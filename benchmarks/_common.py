@@ -1,0 +1,29 @@
+"""Shared benchmark utilities.
+
+Every bench prints a paper-vs-reproduced table (run pytest with ``-s`` to see
+them) and appends its series to ``benchmarks/results/<experiment>.json`` so
+EXPERIMENTS.md can be regenerated from an actual run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: scale factor for graphs that are actually executed (not just modeled)
+MEASURED_SCALE = 1 / 64
+
+
+def record(experiment: str, payload: dict) -> None:
+    """Persist one experiment's reproduced numbers as JSON."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+
+
+def ratio_str(a: float | None, b: float | None) -> str:
+    if not a or not b:
+        return "-"
+    return f"{a / b:.2f}x"

@@ -1,0 +1,53 @@
+"""Sec. V-E accuracy sanity check: FeatGraph changes performance, never
+semantics.
+
+The paper trains GCN / GraphSage on reddit for 200 epochs and reports
+identical test accuracy with either backend (93.7% / 93.1%).  We run the
+same experiment on the planted-partition stand-in: both backends must reach
+the same accuracy, and a high one.
+"""
+
+import pytest
+
+from repro.bench import paper
+from repro.bench.tables import Table
+from repro.graph.datasets import planted_partition
+from repro.minidgl.backends import get_backend
+from repro.minidgl.models import GCN, GraphSage
+from repro.minidgl.train import train_model
+
+from _common import record
+
+
+def test_accuracy_parity(benchmark):
+    ds = planted_partition(n=700, num_classes=5, feature_dim=24,
+                           avg_degree=15, seed=13)
+    results = {}
+
+    def run_all():
+        for model_name, model_cls in (("GCN", GCN), ("GraphSage", GraphSage)):
+            for backend_name in ("minigun", "featgraph"):
+                model = model_cls(24, 5, hidden=24, dropout=0.0, seed=4)
+                res = train_model(model, ds, get_backend(backend_name),
+                                  epochs=40, lr=0.02)
+                results[(model_name, backend_name)] = res.test_accuracy
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    t = Table("Sec. V-E: test accuracy, DGL-default vs FeatGraph backend",
+              ["model", "minigun backend", "featgraph backend",
+               "paper (reddit)"])
+    for model_name in ("GCN", "GraphSage"):
+        t.add(model_name,
+              f"{results[(model_name, 'minigun')]:.3f}",
+              f"{results[(model_name, 'featgraph')]:.3f}",
+              f"{paper.ACCURACY[model_name]:.3f}")
+    t.show()
+    record("accuracy_parity", {f"{k}": v for k, v in results.items()})
+
+    for model_name in ("GCN", "GraphSage"):
+        a = results[(model_name, "minigun")]
+        b = results[(model_name, "featgraph")]
+        assert a == pytest.approx(b, abs=0.02), model_name
+        assert b > 0.75, model_name

@@ -1,0 +1,75 @@
+"""Extension bench: transferable tuning across graphs (paper Sec. V-D).
+
+"Transferable tuning across graphs ... is more challenging and worth further
+study."  This experiment tunes the partitioning factors on one graph and
+deploys them, via the working-set-preserving transfer rule, on the others,
+reporting regret against each target's own grid optimum.  It also checks the
+paper's own transfer (Sec. V-E): factors tuned on GCN reused for GraphSage
+and GAT by rescaling the feature partitions only.
+"""
+
+from repro.bench.tables import Table
+from repro.core.transfer import TunedConfig, transfer_regret
+from repro.core.tuner import GridTuner
+from repro.hwsim import cpu
+from repro.hwsim.spec import XEON_8124M
+
+from _common import record
+
+SPACE = {"graph": [1, 2, 4, 8, 16, 32, 64, 128, 256],
+         "feature": [1, 2, 4, 8, 16, 32]}
+DATASETS = ("ogbn-proteins", "reddit", "rand-100K")
+
+
+def _evaluate(stats, f):
+    def fn(cfg):
+        return cpu.spmm_time(XEON_8124M, stats, f, frame=cpu.FEATGRAPH_CPU,
+                             num_graph_partitions=cfg["graph"],
+                             num_feature_partitions=cfg["feature"])
+    return fn
+
+
+def test_ext_transfer_tuning(stats, benchmark):
+    f = 128
+    tuned = {}
+
+    def tune_all():
+        for name in DATASETS:
+            res = GridTuner(SPACE, _evaluate(stats[name], f)).tune()
+            tuned[name] = TunedConfig(res.best_config["graph"],
+                                      res.best_config["feature"],
+                                      stats[name].n_src, f)
+        return tuned
+
+    benchmark(tune_all)
+
+    t = Table("Transferable tuning: regret of source-tuned config on target "
+              "(GCN agg, f=128)",
+              ["source \\ target"] + list(DATASETS))
+    rows = {}
+    for src in DATASETS:
+        cells = []
+        for dst in DATASETS:
+            regret, predicted, _ = transfer_regret(
+                _evaluate(stats[dst], f), tuned[src], stats[dst], f, SPACE)
+            rows[(src, dst)] = regret
+            cells.append(f"{regret * 100:+.1f}%")
+        t.add(src, *cells)
+    t.show()
+    record("ext_transfer_tuning", {f"{k}": v for k, v in rows.items()})
+
+    # self-transfer is exact; cross-transfer within 25% of each optimum
+    for src in DATASETS:
+        assert rows[(src, src)] == 0.0
+        for dst in DATASETS:
+            assert rows[(src, dst)] < 0.25, (src, dst, rows[(src, dst)])
+
+    # the paper's Sec. V-E transfer: keep graph partitions, rescale feature
+    # partitions with the feature length
+    base = tuned["reddit"]
+    for f_new in (256, 512):
+        regret, predicted, _ = transfer_regret(
+            _evaluate(stats["reddit"], f_new), base, stats["reddit"],
+            f_new, SPACE)
+        assert predicted["graph"] == base.graph_partitions
+        assert regret < 0.15, (f_new, regret)

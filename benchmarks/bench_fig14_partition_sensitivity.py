@@ -1,0 +1,63 @@
+"""Fig. 14: sensitivity to partitioning factors (CPU GCN aggregation,
+reddit, f=128).
+
+Sweeps the 4x4 grid of (#graph partitions, #feature partitions) through the
+grid tuner and prints the landscape next to the paper's heatmap values.
+Paper optimum: 16 graph partitions x 4 feature partitions; as f grows the
+optimal feature-partition count grows proportionally while the graph
+partition count stays put -- both trends asserted here.
+"""
+
+import numpy as np
+
+from repro.bench import paper
+from repro.bench.tables import Table
+from repro.core.tuner import GridTuner
+from repro.hwsim import cpu
+from repro.hwsim.spec import XEON_8124M
+
+from _common import record
+
+GRAPH_PARTS = (1, 4, 16, 64)
+FEATURE_PARTS = (1, 2, 4, 8)
+
+
+def _tune(st, f):
+    def evaluate(cfg):
+        return cpu.spmm_time(XEON_8124M, st, f, frame=cpu.FEATGRAPH_CPU,
+                             num_graph_partitions=cfg["graph"],
+                             num_feature_partitions=cfg["feature"])
+
+    return GridTuner({"graph": GRAPH_PARTS, "feature": FEATURE_PARTS},
+                     evaluate).tune()
+
+
+def test_fig14_partition_sensitivity(stats, benchmark):
+    st = stats["reddit"]
+    res = benchmark(lambda: _tune(st, 128))
+    land = res.landscape("graph", "feature")
+
+    t = Table("Fig. 14: time (s) by (#graph partitions, #feature partitions), "
+              "reddit f=128",
+              ["#graph \\ #feature"] + [str(nf) for nf in FEATURE_PARTS]
+              + ["paper row"])
+    for g in GRAPH_PARTS:
+        paper_row = " / ".join(f"{paper.FIG14_GRID[(g, nf)]:.1f}"
+                               for nf in FEATURE_PARTS)
+        t.add(g, *[f"{land[(g, nf)]:.2f}" for nf in FEATURE_PARTS], paper_row)
+    t.show()
+    record("fig14_sensitivity", {f"{k}": v for k, v in land.items()})
+
+    # the optimum is an interior cell with heavy partitioning on both axes,
+    # like the paper's (16, 4)
+    best = res.best_config
+    assert best["graph"] >= 4 and best["feature"] >= 2
+    assert land[(1, 1)] > res.best_cost.seconds * 1.5  # landscape is a bowl
+
+    # paper: "as the feature length increases, the optimal number of feature
+    # partitions increases proportionately, while the optimal number of
+    # graph partitions stays constant"
+    best_256 = _tune(st, 256).best_config
+    best_512 = _tune(st, 512).best_config
+    assert best_512["feature"] >= best_256["feature"] >= best["feature"]
+    assert best_512["graph"] == best["graph"]

@@ -1,0 +1,45 @@
+"""Fig. 15: sensitivity to the number of CUDA blocks (GPU GCN aggregation,
+reddit, f=128).
+
+Paper: more blocks utilize the device better; time falls from ~100 ms at 256
+blocks and flattens around 60 ms -- which is why FeatGraph sets the block
+count to the number of adjacency rows.
+"""
+
+from repro.bench import paper
+from repro.bench.tables import Table
+from repro.hwsim import gpu
+from repro.hwsim.spec import TESLA_V100
+
+from _common import record
+
+BLOCKS = (256, 1024, 4096, 16384, 65536, 262144)
+
+
+def test_fig15_cuda_blocks(stats, benchmark):
+    st = stats["reddit"]
+
+    def sweep():
+        return {b: gpu.spmm_row_block_time(TESLA_V100, st, 128,
+                                           num_blocks=b).seconds * 1e3
+                for b in BLOCKS}
+
+    times = benchmark(sweep)
+
+    t = Table("Fig. 15: time vs #CUDA blocks (GCN agg, reddit, f=128, GPU)",
+              ["#blocks", "paper (ms)", "repro (ms)"])
+    for b in BLOCKS:
+        t.add(b, f"{paper.FIG15_BLOCKS_MS[b]:.0f}", f"{times[b]:.1f}")
+    t.show()
+    record("fig15_cuda_blocks", times)
+
+    # monotone improvement, flattening at the tail
+    vals = [times[b] for b in BLOCKS]
+    assert all(a >= b for a, b in zip(vals, vals[1:]))
+    assert vals[0] / vals[-1] > 1.2          # visible gain, like 100 -> 60
+    assert vals[0] / vals[-1] < 4.0          # but bounded
+    assert vals[-2] / vals[-1] < 1.1         # flat tail
+
+    # default block count (one per row) is within a hair of the best
+    default = gpu.spmm_row_block_time(TESLA_V100, st, 128).seconds * 1e3
+    assert default <= vals[-1] * 1.05

@@ -1,0 +1,65 @@
+"""Table V: sensitivity to graph sparsity (uniform 100K-vertex graph,
+f=128, CPU, FeatGraph vs MKL).
+
+Paper: speedup over MKL grows from 1.10x at 99.95% sparsity to 2.91x at 95%,
+"because a denser graph has more data reuse, which FeatGraph is able to
+exploit by graph partitioning and feature dimension tiling".
+"""
+
+import numpy as np
+
+from repro.bench import paper
+from repro.bench.tables import Table
+from repro.core.backend import FeatGraphBackend
+from repro.baselines import MKLBackend
+from repro.graph.datasets import paper_stats, uniform_random
+
+from _common import record
+
+SPARSITIES = (0.9995, 0.995, 0.95)
+F = 128
+
+
+def test_table5_sparsity(benchmark):
+    fg = FeatGraphBackend("cpu")
+    mkl = MKLBackend()
+    rows = {}
+    for sparsity in SPARSITIES:
+        density = 1 - sparsity
+        st = paper_stats(f"uniform-{density}")
+        t_mkl = mkl.cost("gcn_aggregation", st, F).seconds
+        t_fg = fg.cost("gcn_aggregation", st, F).seconds
+        rows[sparsity] = (t_mkl, t_fg, t_mkl / t_fg)
+
+    t = Table("Table V: sensitivity to sparsity (uniform 100K graph, f=128)",
+              ["sparsity", "MKL paper (s)", "MKL repro (s)",
+               "FeatGraph paper (s)", "FeatGraph repro (s)",
+               "paper speedup", "repro speedup"])
+    for sp in SPARSITIES:
+        p_mkl, p_fg, p_sp = paper.TABLE5_SPARSITY[sp]
+        r_mkl, r_fg, r_sp = rows[sp]
+        t.add(f"{sp:.2%}", f"{p_mkl:.2f}", f"{r_mkl:.2f}",
+              f"{p_fg:.2f}", f"{r_fg:.2f}", f"{p_sp:.2f}x", f"{r_sp:.2f}x")
+    t.show()
+    record("table5_sparsity", {str(k): v for k, v in rows.items()})
+
+    # the paper's trend: denser graph => bigger FeatGraph advantage.  The
+    # model overestimates the advantage at the sparsest point (1.9x vs the
+    # paper's 1.10x -- see EXPERIMENTS.md) but the monotone trend and the
+    # dense-end magnitude hold.
+    speedups = [rows[sp][2] for sp in SPARSITIES]
+    assert speedups[0] < speedups[1] < speedups[2]
+    assert speedups[2] > 1.5
+    assert speedups[0] < 2.0
+
+    # measured: both backends execute the densest scaled instance correctly
+    ds = uniform_random(1500, 0.05, seed=9)
+    x = np.random.default_rng(4).random((1500, F), dtype=np.float32)
+
+    def run_both():
+        a = fg.gcn_aggregation(ds.adj, x)
+        b = mkl.gcn_aggregation(ds.adj, x)
+        assert np.allclose(a, b, atol=1e-2)
+        return a
+
+    benchmark(run_both)

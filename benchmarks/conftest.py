@@ -1,0 +1,44 @@
+"""Benchmark fixtures: paper-scale statistics (for the machine models) and
+scaled-down instantiated graphs (for measured wall-clock)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.graph.datasets import load, paper_stats
+
+from _common import MEASURED_SCALE
+
+
+@pytest.fixture(scope="session")
+def stats():
+    """Paper-scale GraphStats per dataset (no edges materialized)."""
+    return {name: paper_stats(name)
+            for name in ("ogbn-proteins", "reddit", "rand-100K")}
+
+
+@pytest.fixture(scope="session")
+def scaled():
+    """Scaled-down instantiated datasets for measured execution."""
+    return {name: load(name, scale=MEASURED_SCALE)
+            for name in ("ogbn-proteins", "reddit", "rand-100K")}
+
+
+@pytest.fixture(scope="session")
+def features():
+    """Random feature matrices keyed by (dataset vertex count, f)."""
+    cache = {}
+    rng = np.random.default_rng(0)
+
+    def get(n: int, f: int) -> np.ndarray:
+        if (n, f) not in cache:
+            cache[(n, f)] = rng.random((n, f), dtype=np.float32)
+        return cache[(n, f)]
+
+    return get

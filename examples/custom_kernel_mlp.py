@@ -1,0 +1,90 @@
+"""Writing a new GNN kernel from scratch: MLP aggregation.
+
+The paper's motivating workload (Fig. 1): each edge pushes its endpoint
+features through a small MLP -- ``relu((x_u + x_v) @ W)`` -- and the
+destination takes the element-wise max.  Traditional graph frameworks treat
+that per-edge computation as a black box; FeatGraph lets you express it as a
+tensor-expression UDF with a multi-level FDS (Figs. 3b, 8, 9), and fuses it
+into the SpMM template.
+
+This example writes the kernel by hand, checks it against the Ligra
+baseline, and compares modeled times at paper scale.
+
+Run:  python examples/custom_kernel_mlp.py
+"""
+
+import numpy as np
+
+import repro.core as featgraph
+from repro import tensorir as tvm
+from repro.baselines import LigraBackend
+from repro.graph import from_edges
+from repro.graph.datasets import paper_stats
+
+n, m = 1_500, 30_000
+d1, d2 = 8, 32
+rng = np.random.default_rng(1)
+src = rng.integers(0, n, m)
+dst = rng.integers(0, n, m)
+adj = from_edges(n, n, src, dst)
+A = featgraph.spmat(adj)
+
+# --- the UDF (paper Fig. 3b) --------------------------------------------------
+XV = tvm.placeholder((n, d1), name="XV")
+W = tvm.placeholder((d1, d2), name="W")
+
+
+def msgfunc(src_v, dst_v, eid):
+    k = tvm.reduce_axis((0, d1), name="k")
+    return tvm.compute(
+        (d2,),
+        lambda i: tvm.maximum(
+            tvm.sum_reduce((XV[src_v, k] + XV[dst_v, k]) * W[k, i], axis=k),
+            0.0,
+        ),
+    )
+
+
+# --- multi-level FDS (paper Fig. 8): tile both matmul dimensions --------------
+def cpu_schedule(out):
+    s = tvm.create_schedule(out)
+    s[out].split(out.op.axis[0], factor=8)
+    s[out].split(out.op.reduce_axis[0], factor=8)
+    return s
+
+
+MLP = featgraph.spmm(A, msgfunc, "max", target="cpu", fds=cpu_schedule)
+print(f"compiled: {MLP}")
+print(f"UDF flop analysis: {MLP.udf_flops:.0f} flops/edge, "
+      f"reads dst features: {MLP.reads_dst}")
+
+# --- execute and check against the Ligra baseline -----------------------------
+x = rng.standard_normal((n, d1)).astype(np.float32)
+w = rng.standard_normal((d1, d2)).astype(np.float32)
+H = MLP.run({"XV": x, "W": w})
+H_ligra = LigraBackend().mlp_aggregation(adj, x, w)
+assert np.allclose(H, H_ligra, atol=1e-3)
+print("FeatGraph and Ligra agree numerically")
+
+# --- paper-scale comparison (Table III(b)) -------------------------------------
+proteins = paper_stats("ogbn-proteins")
+t_fg = MLP.cost(stats=proteins).seconds
+t_ligra = LigraBackend().cost("mlp_aggregation", proteins, d2).seconds
+print(f"\nmodeled on ogbn-proteins at d2={d2}:")
+print(f"  Ligra:     {t_ligra:8.2f} s   (paper: 12.90 s at f=32)")
+print(f"  FeatGraph: {t_fg:8.2f} s   (paper:  2.48 s at f=32)")
+print(f"  speedup:   {t_ligra / t_fg:.1f}x      (paper band: 4.4x-5.5x)")
+
+# --- the same kernel on GPU with the Fig. 9 FDS --------------------------------
+def gpu_schedule(out):
+    s = tvm.create_schedule(out)
+    s[out].bind(out.op.axis[0], "block.x")
+    s[out].tree_reduce(out.op.reduce_axis[0], "thread.x")
+    return s
+
+
+MLP_gpu = featgraph.spmm(A, msgfunc, "max", target="gpu", fds=gpu_schedule)
+assert np.allclose(MLP_gpu.run({"XV": x, "W": w}), H, atol=1e-3)
+print(f"\nGPU variant matches; modeled V100 time at proteins scale: "
+      f"{MLP_gpu.cost(stats=proteins).seconds * 1e3:.1f} ms "
+      f"(paper Table IV(b): 26.9-333 ms)")

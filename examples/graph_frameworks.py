@@ -1,0 +1,76 @@
+"""The baseline graph frameworks as real systems.
+
+The reproduction doesn't stub its baselines: Ligra (vertex-centric,
+push/pull direction switching) and Gunrock (frontier advance with
+degree-bucketed load balancing) are runnable frameworks.  This example uses
+them the way their papers intend -- BFS and PageRank -- and then shows why
+the paper says they mishandle GNN workloads: the per-edge feature
+computation is opaque to their schedulers.
+
+Run:  python examples/graph_frameworks.py
+"""
+
+import numpy as np
+
+from repro.baselines.gunrock import GunrockBackend, bfs as gunrock_bfs
+from repro.baselines.ligra import (
+    Frontier,
+    LigraBackend,
+    LigraGraph,
+    bfs as ligra_bfs,
+    edge_map,
+    pagerank,
+)
+from repro.core.backend import FeatGraphBackend
+from repro.graph import from_edges
+from repro.graph.datasets import paper_stats
+
+n, m = 3_000, 30_000
+rng = np.random.default_rng(5)
+adj = from_edges(n, n, rng.integers(0, n, m), rng.integers(0, n, m))
+
+# --- classic workloads: where these frameworks shine ---------------------------
+g = LigraGraph(adj)
+dist = ligra_bfs(g, source=0)
+reached = (dist >= 0).sum()
+print(f"Ligra BFS from vertex 0: reached {reached}/{n} vertices, "
+      f"eccentricity {dist.max()}")
+
+dist2 = gunrock_bfs(adj.transpose(), 0)
+assert np.array_equal(dist, dist2)
+print("Gunrock BFS agrees with Ligra")
+
+pr = pagerank(g, iters=15)
+top = np.argsort(pr)[::-1][:5]
+print(f"Ligra PageRank top-5 vertices: {top.tolist()}")
+
+# --- a custom vertex program on the Ligra model ---------------------------------
+# label propagation: each round, take the max label among in-neighbors
+labels = np.arange(n)
+for _ in range(3):
+    def update(src, dst, eid):
+        np.maximum.at(labels, dst, labels[src])
+        return np.ones(len(dst), bool)
+    edge_map(g, Frontier.all(n), update)
+print(f"label propagation converged toward {labels.max()} "
+      f"({(labels == labels.max()).sum()} vertices)")
+
+# --- GNN workloads: where they fall over -----------------------------------------
+print("\nGNN kernels (modeled at paper scale, reddit, f=256):")
+reddit = paper_stats("reddit")
+systems = {
+    "Ligra (CPU)": (LigraBackend(), "cpu"),
+    "FeatGraph (CPU)": (FeatGraphBackend("cpu"), "cpu"),
+    "Gunrock (GPU)": (GunrockBackend(), "gpu"),
+    "FeatGraph (GPU)": (FeatGraphBackend("gpu"), "gpu"),
+}
+print(f"{'system':<18} {'GCN agg':>10} {'MLP agg':>10} {'attention':>10}")
+for name, (backend, _) in systems.items():
+    row = []
+    for kernel in ("gcn_aggregation", "mlp_aggregation", "dot_attention"):
+        t = backend.cost(kernel, reddit, 256).seconds
+        row.append(f"{t:9.3f}s")
+    print(f"{name:<18} {row[0]:>10} {row[1]:>10} {row[2]:>10}")
+print("\nthe frameworks run everything -- but treating the UDF as a black "
+      "box costs Ligra its cache locality and Gunrock its feature "
+      "parallelism (plus atomics), exactly the paper's Sec. II-B argument.")

@@ -1,0 +1,80 @@
+"""Heterogeneous graphs: R-GCN entity classification.
+
+Two views of the same relational workload:
+
+1. the **kernel** view -- `kernels.rgcn_aggregation` puts the per-relation
+   weight lookup *inside* the message function (`XV[src] @ W[rel[eid]]`),
+   one fused generalized SpMM over the typed multigraph;
+2. the **framework** view -- `minidgl.hetero.RGCN` trains a 2-layer R-GCN
+   where classes are encoded purely in the relation structure, so the model
+   must treat relations differently to learn at all.
+
+Run:  python examples/heterograph_rgcn.py
+"""
+
+import numpy as np
+
+from repro.core import kernels
+from repro.graph import from_edges
+from repro.minidgl.autograd import Tensor, no_grad
+from repro.minidgl.backends import get_backend
+from repro.minidgl.hetero import HeteroGraph, RGCN
+from repro.minidgl.optim import Adam
+
+rng = np.random.default_rng(0)
+
+# --- kernel view -----------------------------------------------------------------
+n, m, R, d1, d2 = 1_000, 12_000, 4, 16, 32
+src = rng.integers(0, n, m)
+dst = rng.integers(0, n, m)
+rel = rng.integers(0, R, m)
+adj = from_edges(n, n, src, dst)
+k = kernels.rgcn_aggregation(adj, n, m, R, d1, d2)
+print(f"R-GCN kernel: {k}")
+print(f"  per-edge UDF work: {k.udf_flops:.0f} flops "
+      f"(a {d1}x{d2} relation-indexed matmul)")
+x = rng.standard_normal((n, d1)).astype(np.float32)
+w = rng.standard_normal((R, d1, d2)).astype(np.float32)
+H = k.run({"XV": x, "W": w, "REL": rel})
+ref = np.zeros((n, d2), np.float32)
+np.add.at(ref, dst, np.einsum("ek,eki->ei", x[src], w[rel]))
+assert np.allclose(H, ref, atol=1e-3)
+print(f"  fused relational aggregation matches reference: {H.shape}")
+
+# --- framework view ----------------------------------------------------------------
+print("\ntraining a 2-layer R-GCN where only the relations carry signal...")
+n2, classes = 400, 3
+labels = rng.integers(0, classes, n2)
+by_class = [np.nonzero(labels == c)[0] for c in range(classes)]
+same_src = rng.integers(0, n2, n2 * 8)
+same_dst = np.array([rng.choice(by_class[labels[s]]) for s in same_src])
+diff_src = rng.integers(0, n2, n2 * 4)
+diff_dst = np.array([rng.choice(by_class[(labels[s] + 1) % classes])
+                     for s in diff_src])
+hg = HeteroGraph(n2, {"same": (same_src, same_dst),
+                      "diff": (diff_src, diff_dst)})
+print(f"  {hg}")
+
+feats = rng.normal(0, 1, (n2, 16)).astype(np.float32)  # pure noise features
+train = np.arange(n2) % 4 != 0
+model = RGCN(16, classes, hg.relations, hidden=16, seed=1)
+backend = get_backend("featgraph")
+opt = Adam(model.parameters(), lr=0.02)
+x2 = Tensor(feats)
+onehot = np.eye(classes, dtype=np.float32)[labels]
+for epoch in range(60):
+    opt.zero_grad()
+    logits = model(hg, x2, backend)
+    logp = logits.gather_rows(np.nonzero(train)[0]).log_softmax(-1)
+    loss = -(logp * Tensor(onehot[train])).sum() * (1.0 / train.sum())
+    loss.backward()
+    opt.step()
+    if epoch % 20 == 0:
+        print(f"  epoch {epoch:2d}: loss={float(loss.data):.4f}")
+
+model.eval()
+with no_grad():
+    pred = model(hg, x2, backend).data.argmax(1)
+acc = (pred[~train] == labels[~train]).mean()
+print(f"  test accuracy (features are noise; signal lives in relations): "
+      f"{acc:.3f}")

@@ -1,0 +1,51 @@
+"""Multi-GPU aggregation with NeuGraph-style chain streaming.
+
+The paper's closing future-work item: "integrate FeatGraph into large-scale
+GNN training systems such as NeuGraph to accelerate multi-GPU training."
+This example shards GCN aggregation across simulated V100s with the 2D
+partitioning + chain-streaming schedule, verifies the sharded numerics, and
+compares the modeled scaling of the chain schedule against a naive
+host-broadcast schedule.
+
+Run:  python examples/multigpu_scaling.py
+"""
+
+import numpy as np
+
+from repro.graph.datasets import paper_stats, reddit_like
+from repro.minidgl.multigpu import LinkSpec, MultiGPUSpMM
+
+ds = reddit_like(scale=1 / 128, seed=0)
+reddit = paper_stats("reddit")
+f = 512
+print(f"graph: scaled reddit |V|={ds.num_vertices}, |E|={ds.num_edges}; "
+      f"modeling at paper scale (|E|=114.8M), f={f}")
+
+# --- numerics: sharded == single-device ----------------------------------------
+x = np.random.default_rng(1).random((ds.num_vertices, 64), dtype=np.float32)
+mg = MultiGPUSpMM(ds.adj, num_gpus=4, feature_len=64)
+out = mg.run(x)
+ref = np.zeros_like(out)
+np.add.at(ref, ds.adj.row_of_edge(), x[ds.adj.indices])
+assert np.allclose(out, ref, atol=1e-3)
+print(f"sharded execution across {mg.num_gpus} devices matches "
+      f"single-device output ({mg.num_dst_chunks}x{mg.num_src_chunks} blocks)")
+
+# --- modeled scaling -------------------------------------------------------------
+print(f"\n{'#GPUs':>6} {'chain streaming':>16} {'host broadcast':>15}")
+for gpus in (1, 2, 4, 8):
+    mgk = MultiGPUSpMM(ds.adj, num_gpus=gpus, feature_len=f)
+    chain = mgk.speedup_over_single(reddit, "chain")
+    naive = mgk.speedup_over_single(reddit, "host-to-all")
+    print(f"{gpus:>6} {chain:>15.2f}x {naive:>14.2f}x")
+
+print("\nthe chain schedule crosses PCIe once per chunk and pipelines "
+      "GPU-to-GPU hops against compute; the broadcast schedule saturates "
+      "the shared host link -- NeuGraph's core observation.")
+
+# --- interconnect sensitivity ----------------------------------------------------
+print(f"\n4-GPU chain time by interconnect (reddit, f={f}):")
+for name, links in (("PCIe-only (12/12 GB/s)", LinkSpec(12e9, 12e9)),
+                    ("NVLink chain (12/48 GB/s)", LinkSpec(12e9, 48e9))):
+    mgk = MultiGPUSpMM(ds.adj, num_gpus=4, feature_len=f, links=links)
+    print(f"  {name:<28} {mgk.cost(reddit, 'chain').seconds * 1e3:8.1f} ms")

@@ -1,0 +1,80 @@
+"""Quickstart: the FeatGraph programming interface end to end.
+
+Mirrors the paper's Fig. 3a listing: wrap an adjacency, describe the
+per-edge feature computation as a UDF in the tensor-expression language,
+attach a feature dimension schedule (FDS), trigger the SpMM template, run
+it, and ask the machine model what the kernel would cost on the paper's
+hardware.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.core as featgraph
+from repro import tensorir as tvm
+from repro.graph import from_edges
+
+# --- build a random graph ---------------------------------------------------
+n, m, d = 2_000, 40_000, 64
+rng = np.random.default_rng(0)
+src = rng.integers(0, n, m)
+dst = rng.integers(0, n, m)
+A = featgraph.spmat(from_edges(n, n, src, dst))
+print(f"graph: {A}")
+
+# --- the UDF: use the source vertex feature as the message (GCN) ------------
+XV = tvm.placeholder((n, d), name="XV")
+
+
+def msgfunc(src_v, dst_v, eid):
+    return tvm.compute((d,), lambda i: XV[src_v, i])
+
+
+# --- the FDS: tile the feature dimension for cache optimization (CPU) -------
+def cpu_schedule(out):
+    s = tvm.create_schedule(out)
+    s[out].split(out.op.axis[0], factor=8)  # the tiling factor is tunable
+    return s
+
+
+# --- the FDS for GPU: bind the feature dimension to CUDA threads ------------
+def gpu_schedule(out):
+    s = tvm.create_schedule(out)
+    s[out].bind(out.op.axis[0], "thread.x")
+    return s
+
+
+# --- trigger the SpMM template -----------------------------------------------
+GCN_cpu = featgraph.spmm(A, msgfunc, "sum", target="cpu", fds=cpu_schedule)
+GCN_gpu = featgraph.spmm(A, msgfunc, "sum", target="gpu", fds=gpu_schedule)
+print(f"compiled: {GCN_cpu}")
+print(f"compiled: {GCN_gpu}")
+
+# --- execute ------------------------------------------------------------------
+features = rng.random((n, d), dtype=np.float32)
+H = GCN_cpu.run({"XV": features})
+H_gpu = GCN_gpu.run({"XV": features})
+assert np.allclose(H, H_gpu, atol=1e-4)
+print(f"output: shape={H.shape}, H[0,:4]={np.round(H[0, :4], 3)}")
+
+# --- sanity check vs a dense reference ----------------------------------------
+ref = np.zeros_like(H)
+np.add.at(ref, dst, features[src])
+assert np.allclose(H, ref, atol=1e-3)
+print("matches the scatter-add reference")
+
+# --- what would this cost on the paper's machines? -----------------------------
+print(f"\nmodeled on Xeon 8124M (this graph):  {GCN_cpu.cost()}")
+print(f"modeled on Tesla V100 (this graph):  {GCN_gpu.cost()}")
+
+# at paper scale (reddit: 233K vertices, 114.8M edges)
+from repro.graph.datasets import paper_stats
+
+reddit = paper_stats("reddit")
+print(f"\nmodeled on Xeon 8124M (reddit, f={d}): "
+      f"{GCN_cpu.cost(stats=reddit).seconds:.2f} s "
+      f"(paper Table III: 2.13 s at f=64)")
+print(f"modeled on Tesla V100 (reddit, f={d}): "
+      f"{GCN_gpu.cost(stats=reddit).seconds * 1e3:.1f} ms "
+      f"(paper Table IV: 28.6 ms at f=64)")

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that minimal offline environments (no ``wheel`` package, so PEP 660 editable
+builds fail) can still install with::
+
+    python setup.py develop        # or: pip install -e . (where wheel exists)
+"""
+
+from setuptools import setup
+
+setup()

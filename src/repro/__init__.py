@@ -1,0 +1,44 @@
+"""FeatGraph reproduction: a flexible and efficient backend for GNN systems.
+
+Reimplements the system of *FeatGraph: A Flexible and Efficient Backend for
+Graph Neural Network Systems* (Hu et al., SC 2020) in pure Python, together
+with every substrate it depends on:
+
+- :mod:`repro.tensorir` -- a mini tensor compiler (the TVM stand-in).
+- :mod:`repro.graph` -- sparse formats, partitioning, Hilbert traversal,
+  synthetic datasets.
+- :mod:`repro.hwsim` -- CPU/GPU machine models (the Xeon/V100 stand-ins).
+- :mod:`repro.core` -- FeatGraph itself: generalized SpMM/SDDMM templates,
+  feature dimension schedules, prebuilt kernels, the grid tuner.
+- :mod:`repro.baselines` -- Ligra-, Gunrock-, MKL- and cuSPARSE-like
+  comparison systems.
+- :mod:`repro.minidgl` -- a DGL-like GNN framework with autodiff, used for
+  the end-to-end experiments.
+- :mod:`repro.bench` -- the harness behind the ``benchmarks/`` suite.
+
+Quickstart::
+
+    import numpy as np
+    import repro.core as featgraph
+    from repro.graph import from_edges
+
+    n = 1000
+    rng = np.random.default_rng(0)
+    src, dst = rng.integers(0, n, 20_000), rng.integers(0, n, 20_000)
+    A = from_edges(n, n, src, dst)
+    kernel = featgraph.kernels.gcn_aggregation(A, n, feature_len=64)
+    H = kernel.run({"XV": rng.random((n, 64), dtype=np.float32)})
+    print(kernel.cost())          # machine-model execution time
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensorir",
+    "graph",
+    "hwsim",
+    "core",
+    "baselines",
+    "minidgl",
+    "bench",
+]

@@ -1,0 +1,43 @@
+"""Baseline systems the paper compares against.
+
+Each baseline reproduces both the *functionality* (a runnable
+reimplementation faithful to the system's execution style) and the
+*limitation* the paper identifies:
+
+- :mod:`repro.baselines.ligra` -- Ligra-like shared-memory CPU framework:
+  vertex-centric edge-map/vertex-map with push/pull direction switching.
+  Feature-dimension-blind: the per-edge UDF is a black box to the scheduler
+  (no feature tiling, scalar arithmetic model).
+- :mod:`repro.baselines.gunrock` -- Gunrock-like GPU framework: advance
+  operator with per-degree load balancing (thread/warp/block buckets), edge
+  parallelization, atomic vertex reductions.  Blackbox UDFs: no feature
+  dimension parallelism.
+- :mod:`repro.baselines.mkl` -- vendor CPU sparse library stand-in: highly
+  optimized vanilla CSR SpMM only; no generalized kernels, no graph
+  partitioning or feature tiling.
+- :mod:`repro.baselines.cusparse` -- vendor GPU sparse library stand-in:
+  vanilla SpMM only.
+
+:class:`UnsupportedKernel` signals the coverage gaps that paper Table I and
+the "MKL does not support MLP aggregation" notes describe.
+"""
+
+from repro.baselines.common import Backend, UnsupportedKernel
+from repro.baselines.ligra import LigraBackend, LigraGraph, edge_map, vertex_map
+from repro.baselines.gunrock import GunrockBackend, GunrockFrontier, advance
+from repro.baselines.mkl import MKLBackend
+from repro.baselines.cusparse import CuSparseBackend
+
+__all__ = [
+    "Backend",
+    "UnsupportedKernel",
+    "LigraBackend",
+    "LigraGraph",
+    "edge_map",
+    "vertex_map",
+    "GunrockBackend",
+    "GunrockFrontier",
+    "advance",
+    "MKLBackend",
+    "CuSparseBackend",
+]

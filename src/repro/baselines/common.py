@@ -1,0 +1,78 @@
+"""Shared baseline interface.
+
+Every backend (FeatGraph and the four baselines) exposes the three evaluated
+kernels through one protocol so the benchmark harness can sweep them
+uniformly.  ``run_*`` executes numerically; ``cost_*`` returns the
+machine-model time for (possibly paper-scale) graph statistics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.graph.sparse import CSRMatrix
+from repro.hwsim.report import CostReport
+from repro.hwsim.stats import GraphStats
+
+__all__ = ["Backend", "UnsupportedKernel", "KERNELS"]
+
+KERNELS = ("gcn_aggregation", "mlp_aggregation", "dot_attention")
+
+
+class UnsupportedKernel(NotImplementedError):
+    """Raised when a backend lacks a kernel (paper Table I coverage gaps)."""
+
+
+class Backend(ABC):
+    """A GNN-kernel execution backend."""
+
+    name: str = "?"
+    platform: str = "cpu"  # "cpu" | "gpu"
+    #: kernels this backend can execute (Table I flexibility column)
+    supported: frozenset = frozenset(KERNELS)
+
+    def supports(self, kernel: str) -> bool:
+        return kernel in self.supported
+
+    def _require(self, kernel: str):
+        if not self.supports(kernel):
+            raise UnsupportedKernel(f"{self.name} does not support {kernel}")
+
+    # -- numerical execution ------------------------------------------------
+    @abstractmethod
+    def gcn_aggregation(self, adj: CSRMatrix, features: np.ndarray) -> np.ndarray:
+        """Sum source features into destinations (vanilla SpMM)."""
+
+    def mlp_aggregation(self, adj: CSRMatrix, features: np.ndarray,
+                        weight: np.ndarray) -> np.ndarray:
+        """Max-aggregate ``relu((x_u + x_v) @ W)`` over incoming edges."""
+        self._require("mlp_aggregation")
+        raise UnsupportedKernel(self.name)
+
+    def dot_attention(self, adj: CSRMatrix, features: np.ndarray) -> np.ndarray:
+        """Per-edge dot product of endpoint features (vanilla SDDMM)."""
+        self._require("dot_attention")
+        raise UnsupportedKernel(self.name)
+
+    # -- machine-model cost ---------------------------------------------------
+    @abstractmethod
+    def cost(self, kernel: str, stats: GraphStats, feature_len: int,
+             *, threads: int = 1, d1: int = 8) -> CostReport:
+        """Modeled time of one kernel execution at the given scale."""
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name} ({self.platform})>"
+
+
+def mlp_reference(adj: CSRMatrix, features: np.ndarray, weight: np.ndarray,
+                  dst_rows: np.ndarray | None = None) -> np.ndarray:
+    """Shared dense-vectorized reference for MLP aggregation semantics."""
+    if dst_rows is None:
+        dst_rows = adj.row_of_edge()
+    msgs = np.maximum((features[adj.indices] + features[dst_rows]) @ weight, 0)
+    out = np.full((adj.shape[0], weight.shape[1]), -np.inf, dtype=np.float32)
+    np.maximum.at(out, dst_rows, msgs.astype(np.float32))
+    out[np.diff(adj.indptr) == 0] = 0.0
+    return out

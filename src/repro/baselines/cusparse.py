@@ -1,0 +1,40 @@
+"""Vendor GPU sparse library stand-in (NVIDIA cuSPARSE ``csrmm``).
+
+Like MKL: a fixed, highly tuned vanilla SpMM (the row-block /
+feature-across-threads schedule of [Yang, Buluc, Owens 2018], which is also
+what FeatGraph's GPU SpMM template generates) -- but no generalized kernels
+and no graph-aware partitioning options (no hybrid degree partitioning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.common import Backend
+from repro.graph.sparse import CSRMatrix
+from repro.hwsim import gpu as gpu_model
+from repro.hwsim.report import CostReport
+from repro.hwsim.spec import GPUSpec, TESLA_V100
+from repro.hwsim.stats import GraphStats
+
+__all__ = ["CuSparseBackend"]
+
+
+class CuSparseBackend(Backend):
+    """Vanilla GPU SpMM only."""
+
+    name = "cuSPARSE"
+    platform = "gpu"
+    supported = frozenset(("gcn_aggregation",))
+
+    def gcn_aggregation(self, adj: CSRMatrix, features: np.ndarray) -> np.ndarray:
+        data = np.ones(adj.nnz, dtype=np.float32)
+        a = sp.csr_matrix((data, adj.indices, adj.indptr), shape=adj.shape)
+        return np.asarray(a @ features, dtype=np.float32)
+
+    def cost(self, kernel: str, stats: GraphStats, feature_len: int,
+             *, threads: int = 1, d1: int = 8, spec: GPUSpec = TESLA_V100) -> CostReport:
+        self._require(kernel)
+        return gpu_model.spmm_row_block_time(spec, stats, feature_len,
+                                             kernel_efficiency=1.0)

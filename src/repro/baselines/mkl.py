@@ -1,0 +1,46 @@
+"""Vendor CPU sparse library stand-in (Intel MKL's ``mkl_sparse_s_mm``).
+
+A vendor library is a *fixed* set of hand-optimized kernels: vanilla CSR
+SpMM is fast (row-major, SIMD, software-prefetched) but there is no feature
+tiling, no graph partitioning, and no generalized kernels at all -- "MKL
+does not support MLP aggregation and dot-product attention" (Sec. V-B).
+
+The numerical path delegates to scipy.sparse (a vendor BLAS in spirit); the
+cost model charges :data:`repro.hwsim.cpu.MKL_CPU` prices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.common import Backend
+from repro.graph.sparse import CSRMatrix
+from repro.hwsim import cpu as cpu_model
+from repro.hwsim.report import CostReport
+from repro.hwsim.spec import CPUSpec, XEON_8124M
+from repro.hwsim.stats import GraphStats
+
+__all__ = ["MKLBackend"]
+
+
+def _to_scipy(adj: CSRMatrix) -> sp.csr_matrix:
+    data = np.ones(adj.nnz, dtype=np.float32)
+    return sp.csr_matrix((data, adj.indices, adj.indptr), shape=adj.shape)
+
+
+class MKLBackend(Backend):
+    """Vanilla CSR SpMM only."""
+
+    name = "MKL"
+    platform = "cpu"
+    supported = frozenset(("gcn_aggregation",))
+
+    def gcn_aggregation(self, adj: CSRMatrix, features: np.ndarray) -> np.ndarray:
+        return np.asarray(_to_scipy(adj) @ features, dtype=np.float32)
+
+    def cost(self, kernel: str, stats: GraphStats, feature_len: int,
+             *, threads: int = 1, d1: int = 8, spec: CPUSpec = XEON_8124M) -> CostReport:
+        self._require(kernel)
+        return cpu_model.spmm_time(spec, stats, feature_len,
+                                   frame=cpu_model.MKL_CPU, threads=threads)

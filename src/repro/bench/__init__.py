@@ -1,0 +1,18 @@
+"""Benchmark harness utilities.
+
+- :mod:`repro.bench.tables` -- paper-style ASCII table rendering with
+  paper-vs-reproduced columns and speedup annotations.
+- :mod:`repro.bench.paper` -- the numbers reported in the paper's tables and
+  figures, transcribed verbatim for side-by-side comparison.
+- :mod:`repro.bench.timing` -- wall-clock measurement following the paper's
+  protocol ("first do a warm-up run and then take the average time of 10
+  runs").
+- :mod:`repro.bench.recorder` -- collects (experiment, series, value) rows
+  so EXPERIMENTS.md can be regenerated from a bench run.
+"""
+
+from repro.bench.tables import Table, fmt_seconds, fmt_speedup
+from repro.bench.timing import measure
+from repro.bench import paper
+
+__all__ = ["Table", "fmt_seconds", "fmt_speedup", "measure", "paper"]

@@ -1,0 +1,30 @@
+"""CLI: summarize a benchmark run.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only       # produces benchmarks/results/
+    python -m repro.bench [results_dir]       # prints the markdown summary
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench.report import load_results, summarize
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    results_dir = Path(argv[0]) if argv else Path("benchmarks/results")
+    try:
+        results = load_results(results_dir)
+    except FileNotFoundError as e:
+        print(e, file=sys.stderr)
+        return 1
+    print(summarize(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""The paper's reported numbers, transcribed for side-by-side comparison.
+
+All times in seconds unless a dict is suffixed ``_MS``.  Keys follow
+``[dataset][system][feature_len]`` for the kernel tables.
+"""
+
+from __future__ import annotations
+
+FEATURE_LENGTHS = (32, 64, 128, 256, 512)
+DATASETS = ("ogbn-proteins", "reddit", "rand-100K")
+
+# ---------------------------------------------------------------- Table III
+# Single-threaded CPU performance, seconds.
+TABLE3_GCN = {
+    "ogbn-proteins": {
+        "Ligra": {32: 1.47, 64: 2.05, 128: 3.10, 256: 6.01, 512: 12.30},
+        "MKL": {32: 0.60, 64: 0.96, 128: 2.17, 256: 5.34, 512: 14.71},
+        "FeatGraph": {32: 0.50, 64: 0.99, 128: 1.97, 256: 3.94, 512: 8.02},
+    },
+    "reddit": {
+        "Ligra": {32: 4.10, 64: 7.20, 128: 13.10, 256: 20.40, 512: 34.90},
+        "MKL": {32: 1.50, 64: 3.01, 128: 7.87, 256: 17.79, 512: 40.06},
+        "FeatGraph": {32: 1.02, 64: 2.13, 128: 4.09, 256: 8.16, 512: 16.71},
+    },
+    "rand-100K": {
+        "Ligra": {32: 0.64, 64: 0.86, 128: 1.49, 256: 2.58, 512: 4.91},
+        "MKL": {32: 0.43, 64: 0.77, 128: 2.26, 256: 5.45, 512: 15.51},
+        "FeatGraph": {32: 0.22, 64: 0.43, 128: 0.87, 256: 1.74, 512: 3.52},
+    },
+}
+
+TABLE3_MLP = {
+    "ogbn-proteins": {
+        "Ligra": {32: 12.90, 64: 24.70, 128: 47.70, 256: 94.00, 512: 187.00},
+        "FeatGraph": {32: 2.48, 64: 4.84, 128: 9.68, 256: 19.55, 512: 38.70},
+    },
+    "reddit": {
+        "Ligra": {32: 20.70, 64: 37.90, 128: 71.50, 256: 139.00, 512: 273.00},
+        "FeatGraph": {32: 4.03, 64: 8.20, 128: 15.33, 256: 30.80, 512: 62.07},
+    },
+    "rand-100K": {
+        "Ligra": {32: 7.81, 64: 14.80, 128: 28.80, 256: 56.90, 512: 113.00},
+        "FeatGraph": {32: 1.42, 64: 2.74, 128: 5.48, 256: 10.96, 512: 21.97},
+    },
+}
+
+TABLE3_ATTENTION = {
+    "ogbn-proteins": {
+        "Ligra": {32: 9.81, 64: 22.30, 128: 47.50, 256: 97.70, 512: 198.00},
+        "FeatGraph": {32: 2.21, 64: 4.39, 128: 8.67, 256: 16.46, 512: 32.97},
+    },
+    "reddit": {
+        "Ligra": {32: 17.20, 64: 37.30, 128: 77.20, 256: 152.00, 512: 297.00},
+        "FeatGraph": {32: 3.71, 64: 7.34, 128: 14.11, 256: 27.13, 512: 54.51},
+    },
+    "rand-100K": {
+        "Ligra": {32: 5.57, 64: 12.90, 128: 28.20, 256: 58.30, 512: 119.00},
+        "FeatGraph": {32: 1.28, 64: 2.51, 128: 5.37, 256: 10.76, 512: 21.47},
+    },
+}
+
+# ----------------------------------------------------------------- Table IV
+# GPU performance, milliseconds.
+TABLE4_GCN_MS = {
+    "ogbn-proteins": {
+        "Gunrock": {32: 114.2, 64: 276.7, 128: 1322.3, 256: 4640.3, 512: 12423.9},
+        "cuSPARSE": {32: 4.1, 64: 8.1, 128: 16.2, 256: 32.1, 512: 64.2},
+        "FeatGraph": {32: 4.6, 64: 7.8, 128: 15.4, 256: 30.8, 512: 61.9},
+    },
+    "reddit": {
+        "Gunrock": {32: 616.9, 64: 2026.4, 128: 5141.2, 256: 11715.3, 512: 24749.8},
+        "cuSPARSE": {32: 12.2, 64: 25.1, 128: 51.6, 256: 104.7, 512: 209.6},
+        "FeatGraph": {32: 14.3, 64: 28.6, 128: 57.8, 256: 116.9, 512: 232.0},
+    },
+    "rand-100K": {
+        "Gunrock": {32: 72.7, 64: 175.5, 128: 1006.2, 256: 3303.7, 512: 8236.5},
+        "cuSPARSE": {32: 3.6, 64: 5.9, 128: 10.6, 256: 21.9, 512: 44.4},
+        "FeatGraph": {32: 2.8, 64: 4.9, 128: 10.2, 256: 20.3, 512: 39.9},
+    },
+}
+
+TABLE4_MLP_MS = {
+    "ogbn-proteins": {
+        "Gunrock": {32: 591.6, 64: 833.4, 128: 2067.7, 256: 5603.5, 512: 13687.4},
+        "FeatGraph": {32: 26.9, 64: 46.7, 128: 87.4, 256: 168.9, 512: 332.9},
+    },
+    "reddit": {
+        "Gunrock": {32: 1285.6, 64: 2697.5, 128: 5886.4, 256: 12285.0, 512: 25442.3},
+        "FeatGraph": {32: 33.2, 64: 76.7, 128: 142.9, 256: 277.1, 512: 547.9},
+    },
+    "rand-100K": {
+        "Gunrock": {32: 447.2, 64: 648.1, 128: 1556.1, 256: 3848.5, 512: 8624.6},
+        "FeatGraph": {32: 8.9, 64: 14.9, 128: 26.0, 256: 46.6, 512: 89.6},
+    },
+}
+
+TABLE4_ATTENTION_MS = {
+    "ogbn-proteins": {
+        "Gunrock": {32: 30.9, 64: 58.8, 128: 120.2, 256: 251.3, 512: 645.1},
+        "FeatGraph": {32: 24.4, 64: 37.9, 128: 69.3, 256: 143.3, 512: 333.7},
+    },
+    "reddit": {
+        "Gunrock": {32: 44.8, 64: 99.3, 128: 278.5, 256: 648.2, 512: 1388.7},
+        "FeatGraph": {32: 35.9, 64: 56.6, 128: 103.7, 256: 212.0, 512: 483.2},
+    },
+    "rand-100K": {
+        "Gunrock": {32: 19.3, 64: 37.3, 128: 75.5, 256: 174.3, 512: 441.6},
+        "FeatGraph": {32: 14.9, 64: 23.2, 128: 42.3, 256: 87.8, 512: 201.5},
+    },
+}
+
+# ------------------------------------------------------------------- Fig 10
+# Speedup over single-threaded execution, GCN aggregation, reddit, f=512.
+FIG10_SCALABILITY = {
+    "FeatGraph": {1: 1.0, 2: 1.9, 4: 3.7, 8: 7.0, 16: 12.6},
+    "Ligra": {1: 1.0, 2: 1.8, 4: 3.3, 8: 5.9, 16: 9.5},
+    "MKL": {1: 1.0, 2: 1.8, 4: 3.4, 8: 6.1, 16: 9.8},
+}
+
+# ------------------------------------------------------------------- Fig 11
+# Speedup over unoptimized baseline, CPU GCN aggregation on reddit, f=512.
+FIG11_F512_SPEEDUPS = {
+    "feature tiling": 1.2,
+    "graph partitioning": 1.7,
+    "feature tiling + graph partitioning": 2.2,
+}
+
+# ------------------------------------------------------------------- Fig 12
+# Tree reduction boosts GPU dot-product attention "by up to 2x" (rand-100K).
+FIG12_TREE_REDUCTION_MAX_BOOST = 2.0
+
+# ------------------------------------------------------------------- Fig 13
+# Hybrid partitioning: "10%-20% performance boost" on rand-100K GCN.
+FIG13_HYBRID_BOOST_RANGE = (1.10, 1.20)
+
+# ------------------------------------------------------------------- Fig 14
+# Time (s) by (#graph partitions, #feature partitions), reddit, f=128.
+FIG14_GRID = {
+    (1, 1): 12.5, (1, 2): 10.0, (1, 4): 7.6, (1, 8): 16.1,
+    (4, 1): 7.9, (4, 2): 5.5, (4, 4): 4.5, (4, 8): 13.9,
+    (16, 1): 5.6, (16, 2): 4.6, (16, 4): 4.1, (16, 8): 12.4,
+    (64, 1): 6.0, (64, 2): 5.1, (64, 4): 4.5, (64, 8): 12.6,
+}
+FIG14_BEST = (16, 4)
+
+# ------------------------------------------------------------------- Fig 15
+# Time (ms) vs #CUDA blocks, GPU GCN aggregation, reddit, f=128 (approx.,
+# read off the figure).
+FIG15_BLOCKS_MS = {256: 100.0, 1024: 80.0, 4096: 67.0, 16384: 62.0,
+                   65536: 60.0, 262144: 60.0}
+
+# ------------------------------------------------------------------ Table V
+# Sensitivity to graph sparsity: uniform 100K-vertex graph, f=128, CPU.
+TABLE5_SPARSITY = {
+    # sparsity: (MKL s, FeatGraph s, speedup)
+    0.9995: (0.34, 0.31, 1.10),
+    0.995: (3.58, 1.95, 1.84),
+    0.95: (37.22, 12.78, 2.91),
+}
+
+# ----------------------------------------------------------------- Table VI
+# End-to-end, reddit, seconds per epoch: (DGL w/o FeatGraph, DGL w/).
+TABLE6 = {
+    ("cpu", "training", "GCN"): (2447.1, 114.5),
+    ("cpu", "training", "GraphSage"): (1269.6, 57.8),
+    ("cpu", "training", "GAT"): (5763.9, 179.3),
+    ("cpu", "inference", "GCN"): (1176.9, 55.3),
+    ("cpu", "inference", "GraphSage"): (602.4, 29.8),
+    ("cpu", "inference", "GAT"): (1580.9, 71.5),
+    ("gpu", "training", "GCN"): (6.3, 2.2),
+    ("gpu", "training", "GraphSage"): (3.1, 1.5),
+    ("gpu", "training", "GAT"): (None, 1.64),  # w/o FeatGraph: OOM
+    ("gpu", "inference", "GCN"): (3.1, 1.5),
+    ("gpu", "inference", "GraphSage"): (1.5, 1.1),
+    ("gpu", "inference", "GAT"): (8.1, 1.1),
+}
+
+# Sec. V-E accuracy: both backends match (GAT diverges with both).
+ACCURACY = {"GCN": 0.937, "GraphSage": 0.931}

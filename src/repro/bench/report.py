@@ -1,0 +1,112 @@
+"""Aggregate benchmark results into a markdown report.
+
+``python -m repro.bench`` reads ``benchmarks/results/*.json`` (written by a
+``pytest benchmarks/`` run) and prints a summary of reproduced headline
+numbers, so EXPERIMENTS.md can be refreshed from an actual run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["load_results", "summarize"]
+
+
+def load_results(results_dir: str | Path) -> dict[str, dict]:
+    """Read every results JSON in the directory, keyed by experiment name."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(
+            f"{results_dir} not found -- run `pytest benchmarks/ "
+            "--benchmark-only` first")
+    out = {}
+    for path in sorted(results_dir.glob("*.json")):
+        out[path.stem] = json.loads(path.read_text())
+    return out
+
+
+def _kernel_speedups(table: dict, baseline: str, ours: str = "FeatGraph"):
+    ratios = []
+    for ds, systems in table.items():
+        if baseline not in systems:
+            continue
+        for f, t in systems[baseline].items():
+            ratios.append(t / systems[ours][f])
+    return (min(ratios), max(ratios)) if ratios else (None, None)
+
+
+def summarize(results: dict[str, dict]) -> str:
+    """Render a markdown summary of the headline reproduced numbers."""
+    lines = ["# Reproduced headline numbers", ""]
+
+    if "table3a_gcn" in results:
+        lo, hi = _kernel_speedups(results["table3a_gcn"], "Ligra")
+        lines.append(f"- CPU GCN aggregation vs Ligra: {lo:.1f}x-{hi:.1f}x "
+                     "(paper: 1.4x-4.0x)")
+        lo, hi = _kernel_speedups(results["table3a_gcn"], "MKL")
+        lines.append(f"- CPU GCN aggregation vs MKL: {lo:.1f}x-{hi:.1f}x "
+                     "(paper: ~0.9x-4.4x)")
+    if "table3b_mlp" in results:
+        lo, hi = _kernel_speedups(results["table3b_mlp"], "Ligra")
+        lines.append(f"- CPU MLP aggregation vs Ligra: {lo:.1f}x-{hi:.1f}x "
+                     "(paper: 4.4x-5.5x)")
+    if "table3c_attention" in results:
+        lo, hi = _kernel_speedups(results["table3c_attention"], "Ligra")
+        lines.append(f"- CPU dot attention vs Ligra: {lo:.1f}x-{hi:.1f}x "
+                     "(paper: 4.3x-6.0x)")
+    if "table4a_gcn_gpu" in results:
+        lo, hi = _kernel_speedups(results["table4a_gcn_gpu"], "Gunrock")
+        lines.append(f"- GPU GCN aggregation vs Gunrock: {lo:.0f}x-{hi:.0f}x "
+                     "(paper: 24x-206x)")
+    if "table4c_attention_gpu" in results:
+        lo, hi = _kernel_speedups(results["table4c_attention_gpu"], "Gunrock")
+        lines.append(f"- GPU dot attention vs Gunrock: {lo:.1f}x-{hi:.1f}x "
+                     "(paper: 1.2x-3.1x)")
+
+    if "table6_end_to_end" in results:
+        best_cpu, best_gpu = 0.0, 0.0
+        for key, (wo, w) in results["table6_end_to_end"].items():
+            if wo is None or w is None:
+                continue
+            ratio = wo / w
+            if "'cpu'" in key:
+                best_cpu = max(best_cpu, ratio)
+            else:
+                best_gpu = max(best_gpu, ratio)
+        lines.append(f"- end-to-end best speedup: {best_cpu:.0f}x on CPU, "
+                     f"{best_gpu:.1f}x on GPU (paper abstract: 32x / 7x)")
+        gat = results["table6_end_to_end"].get("('gpu', 'training', 'GAT')")
+        if gat and gat[0] is None:
+            lines.append("- GAT GPU training w/o FeatGraph: OOM "
+                         "(paper's starred N/A reproduced)")
+
+    if "fig10_scalability" in results:
+        fg = results["fig10_scalability"]["FeatGraph"].get("16")
+        if fg:
+            lines.append(f"- 16-thread scaling, FeatGraph: {fg:.1f}x "
+                         "(paper: 12.6x)")
+    if "fig12_tree_reduction" in results:
+        boosts = [v["fg_no_tree"] / v["fg_tree"]
+                  for v in results["fig12_tree_reduction"].values()]
+        lines.append(f"- tree-reduction boost: up to {max(boosts):.2f}x "
+                     "(paper: up to 2x)")
+    if "fig13_hybrid" in results:
+        boosts = [v["fg_no_hybrid"] / v["fg_hybrid"]
+                  for v in results["fig13_hybrid"].values()]
+        lines.append(f"- hybrid-partitioning boost: up to {max(boosts):.2f}x "
+                     "(paper: 1.10x-1.20x)")
+    if "accuracy_parity" in results:
+        accs = results["accuracy_parity"]
+        pairs = {}
+        for key, acc in accs.items():
+            model = key.split("'")[1]
+            pairs.setdefault(model, []).append(acc)
+        ok = all(abs(v[0] - v[1]) < 0.02 for v in pairs.values()
+                 if len(v) == 2)
+        lines.append(f"- backend accuracy parity: "
+                     f"{'holds' if ok else 'VIOLATED'} "
+                     "(paper: identical accuracy)")
+    lines.append("")
+    lines.append(f"({len(results)} experiment record(s) found)")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Paper-style ASCII table rendering."""
+
+from __future__ import annotations
+
+__all__ = ["Table", "fmt_seconds", "fmt_speedup"]
+
+
+def fmt_seconds(s: float | None, unit: str = "s") -> str:
+    if s is None:
+        return "N/A"
+    if unit == "ms":
+        return f"{s * 1e3:.1f}"
+    return f"{s:.2f}"
+
+
+def fmt_speedup(x: float | None) -> str:
+    if x is None:
+        return "-"
+    return f"{x:.2f}x"
+
+
+class Table:
+    """A simple column-aligned table with a title, printed to stdout."""
+
+    def __init__(self, title: str, columns: list[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells):
+        cells = [str(c) for c in cells]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has {len(self.columns)} columns")
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), len(sep))]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self):
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,44 @@
+"""Wall-clock measurement following the paper's protocol.
+
+"In all the experiments, we first do a warm-up run and then take the
+average time of 10 runs as the measurement." (Sec. V-A)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["measure", "Measurement"]
+
+
+@dataclass
+class Measurement:
+    mean_seconds: float
+    min_seconds: float
+    max_seconds: float
+    runs: int
+
+    @property
+    def ms(self) -> float:
+        return self.mean_seconds * 1e3
+
+
+def measure(fn: Callable[[], object], runs: int = 10, warmup: int = 1) -> Measurement:
+    """Warm up, then average ``runs`` timed executions of ``fn``."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return Measurement(
+        mean_seconds=sum(times) / len(times),
+        min_seconds=min(times),
+        max_seconds=max(times),
+        runs=runs,
+    )

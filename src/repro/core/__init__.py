@@ -1,0 +1,87 @@
+"""FeatGraph core: the paper's primary contribution.
+
+The public API mirrors the paper's code listings (Figs. 3 and 4)::
+
+    import repro.core as featgraph
+    from repro import tensorir as tvm
+
+    A = featgraph.spmat(adj)                      # wrap a CSR adjacency
+    XV = tvm.placeholder((n, d), name="XV")
+
+    def msgfunc(src, dst, eid):                   # fine-grained UDF
+        return tvm.compute((d,), lambda i: XV[src, i])
+
+    def cpu_schedule(out):                        # feature dimension schedule
+        s = tvm.create_schedule(out)
+        s[out].split(out.op.axis[0], factor=8)
+        return s
+
+    GCN = featgraph.spmm(A, msgfunc, "sum", target="cpu", fds=cpu_schedule)
+    H = GCN.run({"XV": features})
+    cost = GCN.cost()                              # machine-model estimate
+
+Submodules:
+
+- :mod:`repro.core.api` -- ``spmat`` / ``spmm`` / ``sddmm`` entry points.
+- :mod:`repro.core.fds` -- feature-dimension-schedule handling and prebuilt
+  FDS factories for CPU tiling / GPU thread binding / tree reduction.
+- :mod:`repro.core.spmm` -- the generalized SpMM template (vertex-wise).
+- :mod:`repro.core.sddmm` -- the generalized SDDMM template (edge-wise).
+- :mod:`repro.core.kernels` -- prebuilt GNN kernels (GCN aggregation, MLP
+  aggregation, dot-product attention, DGL builtin message functions).
+- :mod:`repro.core.tuner` -- grid-search tuning of scheduling parameters.
+- :mod:`repro.core.cost` -- UDF flop analysis feeding the machine models.
+"""
+
+from repro.core.api import spmat, SparseMat
+from repro.core.fds import (
+    FDS,
+    cpu_tile_fds,
+    cpu_multilevel_fds,
+    gpu_feature_thread_fds,
+    gpu_tree_reduce_fds,
+    gpu_multilevel_fds,
+    default_fds,
+)
+from repro.core.spmm import GeneralizedSpMM
+from repro.core.sddmm import GeneralizedSDDMM
+from repro.core import kernels
+from repro.core.tuner import GridTuner, TuneResult
+
+from repro.core.softmax import EdgeSoftmax
+from repro.core.program import KernelProgram
+from repro.core.transfer import TunedConfig, TuningCache, transfer_config
+from repro.core.verify import verify_sddmm, verify_spmm
+from repro.core.bindings import BindingError
+
+# Bind the entry-point functions *after* the submodule imports above: the
+# `repro.core.spmm` / `repro.core.sddmm` module objects would otherwise
+# shadow the same-named functions on the package.
+from repro.core.api import spmm, sddmm  # noqa: E402
+
+__all__ = [
+    "spmat",
+    "spmm",
+    "sddmm",
+    "SparseMat",
+    "FDS",
+    "cpu_tile_fds",
+    "cpu_multilevel_fds",
+    "gpu_feature_thread_fds",
+    "gpu_tree_reduce_fds",
+    "gpu_multilevel_fds",
+    "default_fds",
+    "GeneralizedSpMM",
+    "GeneralizedSDDMM",
+    "kernels",
+    "GridTuner",
+    "TuneResult",
+    "EdgeSoftmax",
+    "KernelProgram",
+    "TunedConfig",
+    "TuningCache",
+    "transfer_config",
+    "verify_spmm",
+    "verify_sddmm",
+    "BindingError",
+]

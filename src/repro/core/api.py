@@ -1,0 +1,100 @@
+"""Public FeatGraph API entry points (paper Sec. III-B).
+
+``spmat`` wraps an adjacency; ``spmm`` / ``sddmm`` build compiled kernels
+from (template, UDF, aggregation, target, FDS) exactly as in the paper's
+Figs. 3 and 4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.sparse import CSRMatrix, from_edges
+from repro.hwsim.stats import GraphStats
+
+__all__ = ["SparseMat", "spmat", "spmm", "sddmm"]
+
+
+class SparseMat:
+    """The ``featgraph.spmat`` object: an adjacency plus cached statistics.
+
+    Rows are destination vertices, columns are sources (pull layout); this is
+    the matrix ``A`` of the paper's Eq. (3)/(4).
+    """
+
+    def __init__(self, csr: CSRMatrix):
+        if not isinstance(csr, CSRMatrix):
+            raise TypeError("SparseMat wraps a repro.graph.CSRMatrix")
+        self.csr = csr
+        self._stats: GraphStats | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def num_dst(self) -> int:
+        return self.csr.shape[0]
+
+    @property
+    def num_src(self) -> int:
+        return self.csr.shape[1]
+
+    def stats(self) -> GraphStats:
+        if self._stats is None:
+            self._stats = GraphStats.from_csr(
+                self.csr.indptr, self.csr.indices, self.csr.shape[1]
+            )
+        return self._stats
+
+    def __repr__(self):
+        return f"SparseMat(shape={self.shape}, nnz={self.nnz})"
+
+
+def spmat(adj, n_src: int | None = None, n_dst: int | None = None,
+          src: np.ndarray | None = None, dst: np.ndarray | None = None) -> SparseMat:
+    """Create a sparse adjacency handle.
+
+    Accepts a :class:`~repro.graph.CSRMatrix` directly, an existing
+    :class:`SparseMat` (returned as-is), or ``(n_src, n_dst, src, dst)``
+    edge-list arguments.
+    """
+    if isinstance(adj, SparseMat):
+        return adj
+    if isinstance(adj, CSRMatrix):
+        return SparseMat(adj)
+    if adj is None and src is not None and dst is not None:
+        if n_src is None or n_dst is None:
+            raise ValueError("edge-list construction needs n_src and n_dst")
+        return SparseMat(from_edges(n_src, n_dst, src, dst))
+    raise TypeError("spmat takes a CSRMatrix, a SparseMat, or an edge list")
+
+
+def spmm(A, msgfunc: Callable, aggregation="sum", target: str = "cpu",
+         fds=None, **options):
+    """Build a generalized-SpMM kernel (paper Fig. 3a line 32).
+
+    Parameters mirror the paper: an adjacency, a message function
+    ``msgfunc(src, dst, eid) -> Tensor``, an aggregation (``"sum"``,
+    ``"max"``, ``"min"``, ``"mean"``, ``"prod"`` or the ``tensorir``
+    reduction builders), the target, and an FDS.  Extra options (graph
+    partitions, hybrid partitioning, CUDA blocks) pass through to
+    :class:`~repro.core.spmm.GeneralizedSpMM`.
+    """
+    from repro.core.spmm import GeneralizedSpMM
+
+    return GeneralizedSpMM(spmat(A), msgfunc, aggregation=aggregation,
+                           target=target, fds=fds, **options)
+
+
+def sddmm(A, edgefunc: Callable, target: str = "cpu", fds=None, **options):
+    """Build a generalized-SDDMM kernel (paper Fig. 4a line 21)."""
+    from repro.core.sddmm import GeneralizedSDDMM
+
+    return GeneralizedSDDMM(spmat(A), edgefunc, target=target, fds=fds, **options)

@@ -1,0 +1,113 @@
+"""FeatGraph exposed through the common Backend protocol.
+
+Lets the benchmark harness sweep FeatGraph and the baselines uniformly.
+Kernels are compiled once per (graph, feature length) and cached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import Backend
+from repro.core import kernels
+from repro.graph.sparse import CSRMatrix
+from repro.hwsim import cpu as cpu_model
+from repro.hwsim import gpu as gpu_model
+from repro.hwsim.report import CostReport
+from repro.hwsim.spec import CPUSpec, GPUSpec, TESLA_V100, XEON_8124M
+from repro.hwsim.stats import GraphStats
+
+__all__ = ["FeatGraphBackend"]
+
+
+class FeatGraphBackend(Backend):
+    """FeatGraph on either target, via the prebuilt kernel builders."""
+
+    supported = frozenset(("gcn_aggregation", "mlp_aggregation", "dot_attention"))
+
+    def __init__(self, target: str = "cpu", *, hybrid_partitioning: bool | None = None):
+        if target not in ("cpu", "gpu"):
+            raise ValueError(f"unknown target {target!r}")
+        self.platform = target
+        self.name = f"FeatGraph-{target.upper()}"
+        self.hybrid = (target == "gpu") if hybrid_partitioning is None else hybrid_partitioning
+        self._cache: dict = {}
+
+    def _kernel(self, kind: str, adj: CSRMatrix, *shape):
+        key = (kind, id(adj), shape)
+        if key not in self._cache:
+            n = adj.shape[1]
+            opts = {}
+            if self.platform == "gpu":
+                opts["hybrid_partitioning"] = self.hybrid
+            if kind == "gcn":
+                self._cache[key] = kernels.gcn_aggregation(
+                    adj, n, shape[0], target=self.platform, **opts)
+            elif kind == "mlp":
+                self._cache[key] = kernels.mlp_aggregation(
+                    adj, n, shape[0], shape[1], target=self.platform, **opts)
+            elif kind == "attn":
+                self._cache[key] = kernels.dot_attention(
+                    adj, n, shape[0], target=self.platform)
+            else:
+                raise ValueError(kind)
+        return self._cache[key]
+
+    def gcn_aggregation(self, adj: CSRMatrix, features: np.ndarray) -> np.ndarray:
+        k = self._kernel("gcn", adj, features.shape[1])
+        return k.run({"XV": features})
+
+    def mlp_aggregation(self, adj: CSRMatrix, features: np.ndarray,
+                        weight: np.ndarray) -> np.ndarray:
+        k = self._kernel("mlp", adj, weight.shape[0], weight.shape[1])
+        return k.run({"XV": features, "W": weight})
+
+    def dot_attention(self, adj: CSRMatrix, features: np.ndarray) -> np.ndarray:
+        k = self._kernel("attn", adj, features.shape[1])
+        return k.run({"XV": features})[:, 0]
+
+    def cost(self, kernel: str, stats: GraphStats, feature_len: int,
+             *, threads: int = 1, d1: int = 8,
+             spec: CPUSpec | GPUSpec | None = None,
+             num_graph_partitions: int | None = None,
+             num_feature_partitions: int | None = None) -> CostReport:
+        self._require(kernel)
+        if self.platform == "cpu":
+            cpu_spec = spec if isinstance(spec, CPUSpec) else XEON_8124M
+            frame = cpu_model.FEATGRAPH_CPU
+            if num_feature_partitions is None:
+                num_feature_partitions = max(1, feature_len // 32)
+            if num_graph_partitions is None:
+                ft = max(1, feature_len // num_feature_partitions)
+                ws = stats.n_src * ft * 4
+                num_graph_partitions = max(1, min(
+                    stats.n_src, round(ws / (2 * 1024 * 1024))))
+            if kernel == "gcn_aggregation":
+                return cpu_model.spmm_time(
+                    cpu_spec, stats, feature_len, frame=frame,
+                    num_graph_partitions=num_graph_partitions,
+                    num_feature_partitions=num_feature_partitions,
+                    threads=threads)
+            if kernel == "mlp_aggregation":
+                return cpu_model.spmm_time(
+                    cpu_spec, stats, feature_len, frame=frame,
+                    udf_flops_per_edge=2 * d1 * feature_len, reads_dst=True,
+                    num_graph_partitions=num_graph_partitions,
+                    num_feature_partitions=num_feature_partitions,
+                    threads=threads)
+            return cpu_model.sddmm_time(
+                cpu_spec, stats, feature_len, frame=frame, hilbert=True,
+                num_feature_partitions=max(1, feature_len // 64),
+                threads=threads)
+        gpu_spec = spec if isinstance(spec, GPUSpec) else TESLA_V100
+        if kernel == "gcn_aggregation":
+            return gpu_model.spmm_row_block_time(
+                gpu_spec, stats, feature_len,
+                hybrid_partitioning=self.hybrid, kernel_efficiency=0.92)
+        if kernel == "mlp_aggregation":
+            return gpu_model.spmm_row_block_time(
+                gpu_spec, stats, feature_len,
+                udf_flops_per_edge=2 * d1 * feature_len,
+                hybrid_partitioning=self.hybrid, kernel_efficiency=0.92)
+        return gpu_model.sddmm_coop_time(gpu_spec, stats, feature_len,
+                                         tree_reduce=True)

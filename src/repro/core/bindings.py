@@ -1,0 +1,51 @@
+"""Kernel-argument validation.
+
+The templates bind user arrays to UDF placeholders at ``run`` time; this
+module checks shapes and dtypes up front so mistakes fail with a kernel-level
+message instead of a broadcasting error deep inside the evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.tensorir.expr import ComputeOp, Tensor
+
+__all__ = ["validate_bindings", "BindingError"]
+
+
+class BindingError(ValueError):
+    """A kernel was invoked with missing or mis-shaped arrays."""
+
+
+def validate_bindings(udf_output: Tensor, bindings: Mapping[str, np.ndarray],
+                      kernel_name: str) -> None:
+    """Check that ``bindings`` covers every placeholder the UDF reads, with
+    matching shapes.
+
+    Extra keys are allowed (a shared bindings dict may serve several
+    kernels); missing or wrong-shaped entries raise :class:`BindingError`.
+    """
+    op = udf_output.op
+    if not isinstance(op, ComputeOp):
+        return
+    for tensor in op.input_tensors():
+        if tensor.name not in bindings:
+            raise BindingError(
+                f"{kernel_name}: missing binding for placeholder "
+                f"{tensor.name!r} (expected shape {tensor.shape})"
+            )
+        arr = np.asarray(bindings[tensor.name])
+        if arr.shape != tensor.shape:
+            raise BindingError(
+                f"{kernel_name}: binding {tensor.name!r} has shape "
+                f"{arr.shape}, expected {tensor.shape}"
+            )
+        if not np.issubdtype(arr.dtype, np.floating) and \
+                tensor.dtype.startswith("float"):
+            raise BindingError(
+                f"{kernel_name}: binding {tensor.name!r} has dtype "
+                f"{arr.dtype}, expected a float array"
+            )

@@ -1,0 +1,168 @@
+"""Feature dimension schedule (FDS) handling.
+
+An FDS, in the paper's interface, is a user function that receives the UDF's
+output tensor and returns a schedule built with the primitives of
+:mod:`repro.tensorir.schedule` -- see paper Fig. 3a lines 11-22, Fig. 4a
+lines 13-16, and Figs. 8-9.  The templates introspect the returned schedule
+for:
+
+- feature-dimension **tiling factors** (CPU cache optimization),
+- **thread bindings** of feature axes (GPU parallelization),
+- **tree-reduce** annotations on reduction axes (GPU Fig. 7b).
+
+:class:`FDS` wraps the user function and performs that introspection.  The
+``*_fds`` factories below reproduce the schedules from the paper's listings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.tensorir.expr import ComputeOp, Tensor
+from repro.tensorir.schedule import Schedule, create_schedule
+
+__all__ = [
+    "FDS",
+    "default_fds",
+    "cpu_tile_fds",
+    "cpu_multilevel_fds",
+    "gpu_feature_thread_fds",
+    "gpu_tree_reduce_fds",
+    "gpu_multilevel_fds",
+]
+
+
+@dataclass
+class FDSInfo:
+    """Introspected scheduling facts about a UDF output."""
+
+    #: inner split factor of the (first) output feature axis; None = untiled
+    feature_tile: int | None = None
+    #: split factors of every output axis, by axis position
+    tile_factors: dict[int, list[int]] = field(default_factory=dict)
+    #: thread tags bound to output axes, e.g. {"thread.x": 0}
+    bindings: dict[str, int] = field(default_factory=dict)
+    #: True if a reduce axis is tree-reduced across threads
+    tree_reduce: bool = False
+    #: vectorized output axis positions
+    vectorized: tuple[int, ...] = ()
+
+
+class FDS:
+    """A user feature-dimension schedule, plus its introspection."""
+
+    def __init__(self, schedule_fn: Callable[[Tensor], Schedule] | None):
+        self.schedule_fn = schedule_fn
+
+    def apply(self, out: Tensor) -> Schedule:
+        """Run the user schedule function (identity schedule if absent)."""
+        if self.schedule_fn is None:
+            return create_schedule(out)
+        s = self.schedule_fn(out)
+        if not isinstance(s, Schedule):
+            raise TypeError("an FDS function must return a tensorir Schedule")
+        return s
+
+    def inspect(self, out: Tensor) -> FDSInfo:
+        """Apply the schedule to ``out`` and summarize its decisions."""
+        if not isinstance(out.op, ComputeOp):
+            raise TypeError("FDS applies to compute tensors")
+        sched = self.apply(out)
+        stage = sched[out]
+        info = FDSInfo()
+        for pos, ax in enumerate(out.op.axis):
+            factors = stage.tiling_of(ax)
+            if factors:
+                info.tile_factors[pos] = factors
+        if 0 in info.tile_factors:
+            info.feature_tile = info.tile_factors[0][-1]
+        axis_pos = {ax.name: i for i, ax in enumerate(out.op.axis)}
+        for leaf in stage.leaf_iter_vars:
+            attrs = stage.annotation_of(leaf)
+            tag = attrs.get("bind")
+            if tag is not None:
+                root = stage.root_of(leaf)
+                info.bindings[tag] = axis_pos.get(root.name, -1)
+            if attrs.get("kind") == "vectorize":
+                root = stage.root_of(leaf)
+                if root.name in axis_pos:
+                    info.vectorized = info.vectorized + (axis_pos[root.name],)
+        if stage.tree_reduce_axes():
+            info.tree_reduce = True
+        return info
+
+
+def default_fds() -> FDS:
+    """No feature-dimension optimization -- FeatGraph "degrades to
+    traditional graph processing systems" (Sec. III-B)."""
+    return FDS(None)
+
+
+def cpu_tile_fds(factor: int = 8) -> FDS:
+    """Paper Fig. 3a lines 11-15: tile the feature dimension for cache."""
+
+    def fn(out: Tensor) -> Schedule:
+        s = create_schedule(out)
+        s[out].split(out.op.axis[0], factor=factor)
+        return s
+
+    return FDS(fn)
+
+
+def cpu_multilevel_fds(out_factor: int = 8, reduce_factor: int = 8) -> FDS:
+    """Paper Fig. 8: tile both the output and the reduction dimension
+    (MLP aggregation on CPU)."""
+
+    def fn(out: Tensor) -> Schedule:
+        s = create_schedule(out)
+        s[out].split(out.op.axis[0], factor=out_factor)
+        reduce_axes = out.op.reduce_axis
+        if reduce_axes:
+            s[out].split(reduce_axes[0], factor=reduce_factor)
+        return s
+
+    return FDS(fn)
+
+
+def gpu_feature_thread_fds() -> FDS:
+    """Paper Fig. 3a lines 19-22: parallelize the feature dimension across
+    the threads of a CUDA block."""
+
+    def fn(out: Tensor) -> Schedule:
+        s = create_schedule(out)
+        s[out].bind(out.op.axis[0], "thread.x")
+        return s
+
+    return FDS(fn)
+
+
+def gpu_tree_reduce_fds() -> FDS:
+    """Paper Fig. 4a lines 13-16: tree-based parallel reduction of the
+    edge function's reduce axis across threads."""
+
+    def fn(out: Tensor) -> Schedule:
+        s = create_schedule(out)
+        reduce_axes = out.op.reduce_axis
+        if not reduce_axes:
+            raise ValueError("tree-reduce FDS requires a reduction in the UDF")
+        s[out].tree_reduce(reduce_axes[0], "thread.x")
+        return s
+
+    return FDS(fn)
+
+
+def gpu_multilevel_fds() -> FDS:
+    """Paper Fig. 9: bind the first output dimension to blocks and
+    tree-reduce the reduction dimension across threads (MLP aggregation on
+    GPU)."""
+
+    def fn(out: Tensor) -> Schedule:
+        s = create_schedule(out)
+        s[out].bind(out.op.axis[0], "block.x")
+        reduce_axes = out.op.reduce_axis
+        if reduce_axes:
+            s[out].tree_reduce(reduce_axes[0], "thread.x")
+        return s
+
+    return FDS(fn)

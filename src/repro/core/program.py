@@ -1,0 +1,101 @@
+"""Multi-kernel programs.
+
+Real GNN layers chain several generalized kernels (GAT: SDDMM scores ->
+edge softmax -> weighted SpMM).  :class:`KernelProgram` composes compiled
+FeatGraph kernels through named intermediate buffers so a whole layer is one
+runnable, costable object -- the natural unit the paper's "backend for GNN
+frameworks" exposes upward.
+
+Each step binds its inputs from the program's environment (external inputs
+plus earlier steps' outputs, optionally through a pure-numpy transform for
+glue like reshapes or degree normalization that is not a graph kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.hwsim.report import CostReport
+
+__all__ = ["KernelProgram", "Step"]
+
+
+@dataclass
+class Step:
+    """One program step: a kernel (anything with run/cost) or a transform."""
+
+    name: str
+    kernel: object | None = None
+    #: maps the kernel's placeholder names to environment keys
+    inputs: Mapping[str, str] = field(default_factory=dict)
+    #: pure-numpy glue, receives the environment, returns an array
+    transform: Callable[[dict], np.ndarray] | None = None
+
+    def __post_init__(self):
+        if (self.kernel is None) == (self.transform is None):
+            raise ValueError(
+                f"step {self.name!r}: give exactly one of kernel/transform")
+
+
+class KernelProgram:
+    """An ordered pipeline of kernels over named buffers."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.steps: list[Step] = []
+
+    def add_kernel(self, name: str, kernel, inputs: Mapping[str, str]
+                   ) -> "KernelProgram":
+        """Append a kernel step; its output is stored under ``name``."""
+        self._check_name(name)
+        self.steps.append(Step(name=name, kernel=kernel, inputs=dict(inputs)))
+        return self
+
+    def add_transform(self, name: str, fn: Callable[[dict], np.ndarray]
+                      ) -> "KernelProgram":
+        """Append a numpy glue step (reshape, normalize, ...)."""
+        self._check_name(name)
+        self.steps.append(Step(name=name, transform=fn))
+        return self
+
+    def _check_name(self, name: str):
+        if any(s.name == name for s in self.steps):
+            raise ValueError(f"duplicate step name {name!r}")
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Execute all steps; returns the full environment (inputs + every
+        step's output, keyed by step name)."""
+        env: dict[str, np.ndarray] = dict(inputs)
+        for step in self.steps:
+            if step.name in env:
+                raise ValueError(
+                    f"step {step.name!r} collides with an input name")
+            if step.transform is not None:
+                env[step.name] = step.transform(env)
+                continue
+            bindings = {}
+            for placeholder, source in step.inputs.items():
+                if source not in env:
+                    raise KeyError(
+                        f"step {step.name!r} needs {source!r}, which no "
+                        "input or earlier step provides")
+                bindings[placeholder] = env[source]
+            env[step.name] = step.kernel.run(bindings)
+        return env
+
+    def cost(self, **kw) -> CostReport:
+        """Sum of the kernel steps' machine-model costs (transforms free)."""
+        total: CostReport | None = None
+        for step in self.steps:
+            if step.kernel is None:
+                continue
+            c = step.kernel.cost(**kw)
+            total = c if total is None else total + c
+        return total if total is not None else CostReport(seconds=0.0)
+
+    def __repr__(self):
+        kinds = ["K" if s.kernel is not None else "T" for s in self.steps]
+        return f"KernelProgram({self.name}, steps={''.join(kinds)})"

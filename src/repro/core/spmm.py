@@ -1,0 +1,452 @@
+"""The generalized SpMM template (vertex-wise computations, paper Eq. 1).
+
+For every destination vertex ``v``, computes::
+
+    H[v] = aggregate_{u in N(v)} msgfunc(u, v, eid(u, v))
+
+The template owns the graph-traversal optimizations (Sec. III-C1):
+
+- **1D graph partitioning** of source vertices, so each pass's source
+  feature working set fits in cache; partial aggregations merge at the end;
+- **feature dimension tiling**, taken from the user's FDS split factor, so
+  partitioning and tiling compose as in Fig. 6b;
+- on GPU, the Fig. 7a parallelization (rows across blocks, feature elements
+  across threads) and optional **hybrid degree partitioning** (Sec. III-C3).
+
+Numerical execution runs the UDF through the vectorized evaluator in
+row-aligned edge chunks (the fused-kernel equivalent: messages are never
+materialized for the whole edge set, only for the in-flight chunk);
+aggregation uses segmented reductions over CSR order.  ``cost()`` reports
+the machine-model time for the paper-scale graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core import cost as cost_analysis
+from repro.core.api import SparseMat
+from repro.core.bindings import validate_bindings
+from repro.tensorir.runtime import WorkPool
+from repro.core.fds import FDS, FDSInfo, default_fds
+from repro.graph.partition import Partition1D, feature_tiles, partition_1d
+from repro.hwsim import cpu as cpu_model
+from repro.hwsim import gpu as gpu_model
+from repro.hwsim.report import CostReport
+from repro.hwsim.spec import CPUSpec, GPUSpec, TESLA_V100, XEON_8124M
+from repro.tensorir.evaluator import evaluate_batched
+from repro.tensorir.expr import ComputeOp, Tensor, Var
+
+__all__ = ["GeneralizedSpMM", "PARTITION_TARGET_BYTES", "resolve_aggregation"]
+
+#: working-set target per (partition, tile) pass; ~2 MB lands the paper's
+#: Fig. 14 optimum (16 graph partitions on reddit at feature tile 32)
+PARTITION_TARGET_BYTES = 2 * 1024 * 1024
+
+_AGG_UFUNC = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+_AGG_IDENTITY = {"sum": 0.0, "max": -np.inf, "min": np.inf, "prod": 1.0}
+
+
+def resolve_aggregation(aggregation) -> str:
+    """Accept "sum"/"max"/... strings or the tensorir reduction builders."""
+    if isinstance(aggregation, str):
+        name = aggregation.lower()
+        if name in ("sum", "max", "min", "mean", "prod"):
+            return name
+        raise ValueError(f"unknown aggregation {aggregation!r}")
+    from repro.tensorir import expr as E
+
+    mapping = {E.sum: "sum", E.max: "max", E.min: "min", E.prod: "prod"}
+    try:
+        return mapping[aggregation]
+    except (KeyError, TypeError):
+        raise ValueError(
+            "aggregation must be a name or a tensorir reduction builder"
+        ) from None
+
+
+class GeneralizedSpMM:
+    """A compiled generalized-SpMM kernel bound to one graph topology."""
+
+    def __init__(
+        self,
+        A: SparseMat,
+        msgfunc: Callable,
+        aggregation="sum",
+        target: str = "cpu",
+        fds: FDS | Callable | None = None,
+        *,
+        num_graph_partitions: int | str = "auto",
+        num_feature_partitions: int | str = "auto",
+        hybrid_partitioning: bool = False,
+        degree_threshold: int | None = None,
+        num_cuda_blocks: int | None = None,
+        chunk_edges: int = 1 << 17,
+    ):
+        if target not in ("cpu", "gpu"):
+            raise ValueError(f"unknown target {target!r}")
+        self.A = A
+        self.target = target
+        self.aggregation = resolve_aggregation(aggregation)
+        self.msgfunc = msgfunc
+        if fds is None:
+            self.fds = default_fds()
+        elif isinstance(fds, FDS):
+            self.fds = fds
+        else:
+            self.fds = FDS(fds)
+
+        # Trace the UDF once, symbolically.
+        self.src_var = Var("src")
+        self.dst_var = Var("dst")
+        self.eid_var = Var("eid")
+        msg = msgfunc(self.src_var, self.dst_var, self.eid_var)
+        if not isinstance(msg, Tensor) or not isinstance(msg.op, ComputeOp):
+            raise TypeError("msgfunc must return a tensorir compute Tensor")
+        if msg.ndim < 1:
+            raise ValueError("message must have at least one feature dimension")
+        self.msg = msg
+        self.msg_shape = msg.shape
+        self.feature_len = int(np.prod(msg.shape))
+        self.fds_info: FDSInfo = self.fds.inspect(msg)
+        self.reads_src = cost_analysis.reads_endpoint(msg, "src")
+        self.reads_dst = cost_analysis.reads_endpoint(msg, "dst")
+        self.udf_flops = cost_analysis.udf_flops_per_item(msg)
+
+        # Resolve scheduling parameters (template params x FDS params).
+        f0 = msg.shape[0]
+        if num_feature_partitions == "auto":
+            tile = self.fds_info.feature_tile
+            self.num_feature_partitions = math.ceil(f0 / tile) if tile else 1
+        else:
+            self.num_feature_partitions = max(1, int(num_feature_partitions))
+        self.num_feature_partitions = min(self.num_feature_partitions, f0)
+
+        if target == "gpu":
+            # GPU uses hybrid partitioning instead of 1D source partitioning.
+            self.num_graph_partitions = 1
+        elif num_graph_partitions == "auto":
+            ft = math.ceil(f0 / self.num_feature_partitions)
+            row_bytes = ft * int(np.prod(msg.shape[1:])) * 4
+            ws = self.A.num_src * row_bytes
+            self.num_graph_partitions = max(
+                1, min(self.A.num_src, round(ws / PARTITION_TARGET_BYTES))
+            )
+        else:
+            self.num_graph_partitions = max(1, int(num_graph_partitions))
+
+        self.hybrid_partitioning = bool(hybrid_partitioning)
+        self.degree_threshold = degree_threshold
+        self.num_cuda_blocks = num_cuda_blocks
+        if int(chunk_edges) < 1:
+            raise ValueError("chunk_edges must be >= 1")
+        self.chunk_edges = int(chunk_edges)
+        self._partitions: list[Partition1D] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def partitions(self) -> list[Partition1D]:
+        """Lazily materialized 1D source partitions."""
+        if self._partitions is None:
+            self._partitions = partition_1d(self.A.csr, self.num_graph_partitions)
+        return self._partitions
+
+    def _tiles(self) -> list[tuple[int, int]]:
+        return feature_tiles(self.msg_shape[0], self.num_feature_partitions)
+
+    # ------------------------------------------------------------------
+    def run(self, bindings: Mapping[str, np.ndarray],
+            out: np.ndarray | None = None,
+            pool: "WorkPool | None" = None) -> np.ndarray:
+        """Execute the kernel: returns ``(num_dst, *msg_shape)`` float32.
+
+        With ``pool``, partitions are processed cooperatively: all workers
+        share one partition's row range at a time (the LLC-contention-
+        avoiding schedule of Sec. IV-A).
+        """
+        validate_bindings(self.msg, bindings, f"spmm[{self.msg.name}]")
+        n_dst = self.A.num_dst
+        out_shape = (n_dst,) + self.msg_shape
+        base = self.aggregation if self.aggregation != "mean" else "sum"
+        ufunc = _AGG_UFUNC[base]
+        acc = np.full(out_shape, _AGG_IDENTITY[base], dtype=np.float32)
+
+        axis0 = self.msg.op.axis[0].name
+        for lo, hi in self._tiles():
+            acc_tile = acc[:, lo:hi]
+            for part in self.partitions:
+                self._accumulate_partition(part, bindings, acc_tile, (lo, hi),
+                                           axis0, ufunc, pool)
+
+        self._finalize(acc, base)
+        if out is not None:
+            out[...] = acc
+            return out
+        return acc
+
+    def _accumulate_partition(self, part: Partition1D, bindings, acc_tile,
+                              tile: tuple[int, int], axis0: str, ufunc,
+                              pool: WorkPool | None = None) -> None:
+        csr = part.csr
+        nnz = csr.nnz
+        if nnz == 0:
+            return
+        rows = csr.row_of_edge()
+        # Row-aligned chunking so each chunk's rows are disjoint from other
+        # chunks' rows and sorted -- enables vectorized segmented reduction,
+        # and makes chunks race-free under cooperative threading.
+        chunk_starts = self._row_aligned_chunks(csr.indptr)
+
+        def process(bounds):
+            c0, c1 = bounds
+            batch = {
+                "src": csr.indices[c0:c1],
+                "dst": rows[c0:c1],
+                "eid": csr.edge_ids[c0:c1],
+            }
+            msgs = evaluate_batched(self.msg, bindings, batch,
+                                    axis_ranges={axis0: tile})
+            self._segmented_combine(acc_tile, rows[c0:c1], msgs, ufunc)
+
+        if pool is not None and len(chunk_starts) > 1:
+            pool.map(process, chunk_starts)
+        else:
+            for bounds in chunk_starts:
+                process(bounds)
+
+    def _row_aligned_chunks(self, indptr: np.ndarray) -> list[tuple[int, int]]:
+        nnz = int(indptr[-1])
+        if nnz == 0:
+            return []
+        bounds = [0]
+        target = self.chunk_edges
+        while bounds[-1] < nnz:
+            want = bounds[-1] + target
+            if want >= nnz:
+                bounds.append(nnz)
+                break
+            # advance to the smallest row boundary covering `want`; if the
+            # row containing it is huge, take the next boundary past start.
+            j = int(np.searchsorted(indptr, want, side="left"))
+            end = int(indptr[j])
+            if end <= bounds[-1]:
+                j = int(np.searchsorted(indptr, bounds[-1], side="right"))
+                end = int(indptr[j])
+            bounds.append(end)
+        return list(zip(bounds[:-1], bounds[1:]))
+
+    @staticmethod
+    def _segmented_combine(acc_tile, dst_sorted, msgs, ufunc) -> None:
+        """Combine per-edge messages (rows sorted) into the accumulator."""
+        # boundaries of equal-dst runs
+        starts = np.flatnonzero(np.diff(dst_sorted)) + 1
+        starts = np.concatenate(([0], starts))
+        rows = dst_sorted[starts]
+        seg = ufunc.reduceat(msgs, starts, axis=0)
+        acc_rows = acc_tile[rows]
+        acc_tile[rows] = ufunc(acc_rows, seg)
+
+    def _finalize(self, acc: np.ndarray, base: str) -> None:
+        deg = np.diff(self.A.csr.indptr)
+        untouched = deg == 0
+        if base in ("max", "min", "prod") and untouched.any():
+            acc[untouched] = 0.0
+        if base in ("max", "min"):
+            # Partitions with no edges for a row left identities behind only
+            # for fully isolated rows, handled above.
+            pass
+        if self.aggregation == "mean":
+            d = np.maximum(deg, 1).astype(np.float32)
+            acc /= d.reshape((-1,) + (1,) * (acc.ndim - 1))
+
+    # ------------------------------------------------------------------
+    def cost(self, spec: CPUSpec | GPUSpec | None = None, *, threads: int = 1,
+             stats=None, frame: cpu_model.CPUFrameParams | None = None) -> CostReport:
+        """Machine-model execution time of this kernel.
+
+        ``stats`` defaults to the bound graph's statistics; pass paper-scale
+        stats to model the full-size runs.
+        """
+        if stats is None:
+            stats = self.A.stats()
+        if self.target == "cpu":
+            cpu_spec = spec if isinstance(spec, CPUSpec) else XEON_8124M
+            return cpu_model.spmm_time(
+                cpu_spec, stats, self.feature_len,
+                frame=frame or cpu_model.FEATGRAPH_CPU,
+                udf_flops_per_edge=self.udf_flops,
+                reads_dst=self.reads_dst,
+                num_graph_partitions=self.num_graph_partitions,
+                num_feature_partitions=self.num_feature_partitions,
+                threads=threads,
+            )
+        gpu_spec = spec if isinstance(spec, GPUSpec) else TESLA_V100
+        return gpu_model.spmm_row_block_time(
+            gpu_spec, stats, self.feature_len,
+            udf_flops_per_edge=self.udf_flops,
+            hybrid_partitioning=self.hybrid_partitioning,
+            num_blocks=self.num_cuda_blocks,
+            kernel_efficiency=0.92,
+        )
+
+    # ------------------------------------------------------------------
+    def lowered_ir(self):
+        """Representative fused-kernel IR.
+
+        Rebuilds, as a loop-nest statement, what the template generates: the
+        feature-tile / graph-partition / row / edge traversal loops with the
+        FDS-scheduled UDF inlined at the innermost level and the aggregation
+        as a combine-store -- the paper's "directly constructing and
+        manipulating the IR" (Sec. IV-A) made visible.  Pretty-print with
+        :func:`repro.tensorir.ir.stmt_to_str`.
+        """
+        from repro.tensorir import expr as E
+        from repro.tensorir import ir as I
+        from repro.tensorir.lower import (
+            _guarded,
+            _index_map,
+            _wrap_loops,
+            inline_computes,
+            substitute,
+        )
+        from repro.tensorir.simplify import simplify
+
+        n_dst, nnz = self.A.num_dst, self.A.nnz
+        indices_t = E.placeholder((max(nnz, 1),), name="A_indices",
+                                  dtype="int64")
+        eids_t = E.placeholder((max(nnz, 1),), name="A_edge_ids",
+                               dtype="int64")
+        out_buf = I.BufferRef("out", (n_dst,) + self.msg_shape, "float32")
+
+        tile_iv = E.IterVar((0, self.num_feature_partitions), name="f_tile")
+        part_iv = E.IterVar((0, self.num_graph_partitions), name="partition")
+        row_iv = E.IterVar((0, n_dst), name="v")
+        edge_iv = E.IterVar((0, max(nnz, 1)), name="e")
+
+        sched = self.fds.apply(self.msg)
+        stage = sched[self.msg]
+        body = inline_computes(self.msg.op.body)
+        index_values, guards = _index_map(stage)
+        index_values = {k: simplify(v) for k, v in index_values.items()}
+        mapping = dict(index_values)
+        mapping[self.src_var.name] = indices_t[edge_iv]
+        mapping[self.dst_var.name] = row_iv
+        mapping[self.eid_var.name] = eids_t[edge_iv]
+        value = simplify(substitute(body, mapping))
+        out_indices = [row_iv] + [index_values[ax.name]
+                                  for ax in self.msg.op.axis]
+        agg = self.aggregation if self.aggregation != "mean" else "sum"
+        store = I.Store(out_buf, value, out_indices, combiner=agg)
+        data_leaves = [ax for ax in stage.leaf_iter_vars
+                       if ax.kind == E.IterVar.DATA]
+        nest = _wrap_loops(_guarded(store, [simplify(g) for g in guards]),
+                           data_leaves, stage)
+        nest = I.AttrStmt("edge_range", "A.indptr[v] : A.indptr[v+1]",
+                          I.For(edge_iv, max(nnz, 1), nest))
+        nest = I.For(row_iv, n_dst, nest,
+                     kind="block.x" if self.target == "gpu" else I.For.SERIAL)
+        nest = I.AttrStmt("column_range",
+                          "sources of this 1D partition (Fig. 6)",
+                          I.For(part_iv, self.num_graph_partitions, nest))
+        return I.For(tile_iv, self.num_feature_partitions, nest)
+
+    def cuda_source(self, name: str = "fused_spmm") -> str:
+        """CUDA C source of the fused generalized-SpMM kernel.
+
+        The Fig. 7a parallelization: one destination row per block, the
+        feature dimension across the block's threads, the UDF inlined into
+        the edge loop and the aggregation as a combine-update.  Emitted for
+        inspection (no GPU here); structure is covered by tests.
+        """
+        from repro.tensorir import expr as E
+        from repro.tensorir.cuda_codegen import _COMBINE_C, expr_to_c
+        from repro.tensorir.lower import (_find_reduce, _replace_reduce,
+                                          inline_computes, substitute)
+        from repro.tensorir.simplify import simplify
+
+        f = self.feature_len
+        body = inline_computes(self.msg.op.body)
+        # symbolic loads through the CSR arrays
+        src_c, eid_c = "A_indices[e]", "A_edge_ids[e]"
+        mapping = {self.src_var.name: E.Var("__src", "int64"),
+                   self.dst_var.name: E.Var("v", "int64"),
+                   self.eid_var.name: E.Var("__eid", "int64")}
+        axis_names = [ax.name for ax in self.msg.op.axis]
+        for pos, ax in enumerate(self.msg.op.axis):
+            mapping[ax.name] = E.Var(f"i{pos}", "int64")
+        body = substitute(body, mapping)
+        red = _find_reduce(body)
+
+        lines = [
+            f'extern "C" __global__ void {name}(',
+            "    float* __restrict__ out,",
+            "    const long* __restrict__ A_indptr,",
+            "    const long* __restrict__ A_indices,",
+            "    const long* __restrict__ A_edge_ids,",
+        ]
+        for t in self.msg.op.input_tensors():
+            ctype = "const long*" if t.dtype.startswith("int") else "const float*"
+            lines.append(f"    {ctype} __restrict__ {t.name},")
+        lines[-1] = lines[-1].rstrip(",") + ") {"
+        lines.append("  int v = blockIdx.x;")
+        lines.append(f"  if (v >= {self.A.num_dst}) return;")
+        # feature axes: thread-bound axis from the FDS, loops otherwise
+        thread_axis = self.fds_info.bindings.get("thread.x")
+        indent = "  "
+        closes = []
+        for pos, ax in enumerate(self.msg.op.axis):
+            if pos == thread_axis:
+                lines.append(f"{indent}int i{pos} = threadIdx.x;")
+                lines.append(f"{indent}if (i{pos} >= {ax.extent}) return;")
+            else:
+                lines.append(f"{indent}for (int i{pos} = 0; i{pos} < "
+                             f"{ax.extent}; ++i{pos}) {{")
+                closes.append(indent + "}")
+                indent += "  "
+        lines.append(f"{indent}for (long e = A_indptr[v]; "
+                     "e < A_indptr[v + 1]; ++e) {")
+        inner = indent + "  "
+        lines.append(f"{inner}long __src = {src_c};")
+        lines.append(f"{inner}long __eid = {eid_c};")
+        out_idx = " + ".join(
+            [f"v * {f}"]
+            + [f"i{p} * {int(np.prod(self.msg_shape[p + 1:]))}"
+               if int(np.prod(self.msg_shape[p + 1:])) != 1 else f"i{p}"
+               for p in range(len(self.msg_shape))])
+        agg = self.aggregation if self.aggregation != "mean" else "sum"
+        if red is None:
+            value = expr_to_c(simplify(body))
+        else:
+            kvar = red.axes[0]
+            ident = {float("inf"): "INFINITY",
+                     float("-inf"): "-INFINITY"}.get(red.identity,
+                                                     f"{red.identity!r}f")
+            lines.append(f"{inner}float _m = {ident};")
+            lines.append(f"{inner}for (int {kvar.name} = 0; {kvar.name} < "
+                         f"{kvar.extent}; ++{kvar.name}) {{")
+            comb = _COMBINE_C[red.combiner].format(
+                t="_m", v=expr_to_c(simplify(red.source)))
+            lines.append(f"{inner}  {comb}")
+            lines.append(f"{inner}}}")
+            value = expr_to_c(simplify(_replace_reduce(body, E.Var("_m", "float32"))))
+        lines.append(inner + _COMBINE_C[agg].format(t=f"out[{out_idx}]",
+                                                    v=value))
+        lines.append(indent + "}")
+        lines.extend(reversed(closes))
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self):
+        return (
+            f"GeneralizedSpMM(target={self.target}, agg={self.aggregation}, "
+            f"f={self.msg_shape}, graph_parts={self.num_graph_partitions}, "
+            f"feat_parts={self.num_feature_partitions})"
+        )

@@ -1,0 +1,135 @@
+"""Transferable tuning across graphs (paper Sec. V-D).
+
+"Transferable tuning across graphs, i.e., using the optimal partitioning
+factors tuned on one graph to predict the optimal partitioning factors for a
+new graph, is more challenging and worth further study."
+
+This module implements the natural transfer rule the paper's own
+observations suggest:
+
+- the optimal number of **feature partitions** tracks the feature length
+  (Sec. V-D: "increases proportionately"), i.e. the optimal *tile width* is
+  a property of the cache, not the graph;
+- the optimal number of **graph partitions** keeps the per-partition source
+  working set at a fixed byte budget, so it transfers by rescaling with the
+  new graph's source count.
+
+:func:`transfer_config` maps a tuned configuration from one (graph, f) to
+another; :func:`transfer_regret` quantifies how far the transferred
+configuration lands from the new graph's own optimum (the metric the
+``bench_ext_transfer_tuning`` experiment reports).  A :class:`TuningCache`
+persists tuned configurations, amortizing tuning the way Sec. IV-B amortizes
+compilation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.tuner import GridTuner, TuneResult
+from repro.hwsim.stats import GraphStats
+
+__all__ = ["TunedConfig", "transfer_config", "transfer_regret", "TuningCache"]
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """A tuned (graph partitions, feature partitions) point with its
+    context: the graph's source count and the feature length."""
+
+    graph_partitions: int
+    feature_partitions: int
+    n_src: int
+    feature_len: int
+
+    @property
+    def tile_width(self) -> int:
+        return max(1, self.feature_len // self.feature_partitions)
+
+    @property
+    def partition_rows(self) -> float:
+        return self.n_src / self.graph_partitions
+
+    @property
+    def working_set_bytes(self) -> float:
+        """Per-(partition, tile) source working set the tuner settled on."""
+        return self.partition_rows * self.tile_width * 4
+
+
+def _snap(value: float, candidates) -> int:
+    """Closest candidate (log-scale) to a continuous prediction."""
+    best = min(candidates, key=lambda c: abs(math.log(max(c, 1))
+                                             - math.log(max(value, 1))))
+    return int(best)
+
+
+def transfer_config(tuned: TunedConfig, new_stats: GraphStats,
+                    new_feature_len: int,
+                    graph_candidates=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+                    feature_candidates=(1, 2, 4, 8, 16, 32)) -> dict:
+    """Predict a configuration for a new (graph, feature length).
+
+    Keeps the tuned *tile width* and the tuned *working-set budget*:
+    ``nf' = f' / tile_width`` and ``np' = n_src' * tile' * 4 / budget``.
+    """
+    tile = tuned.tile_width
+    nf = max(1, round(new_feature_len / tile))
+    nf = _snap(nf, feature_candidates)
+    tile_new = max(1, new_feature_len // nf)
+    np_parts = new_stats.n_src * tile_new * 4 / max(tuned.working_set_bytes, 1)
+    np_parts = _snap(np_parts, graph_candidates)
+    return {"graph": np_parts, "feature": nf}
+
+
+def transfer_regret(evaluate, tuned: TunedConfig, new_stats: GraphStats,
+                    new_feature_len: int, space: dict) -> tuple[float, dict, TuneResult]:
+    """(regret, transferred config, the new graph's own grid optimum).
+
+    ``regret`` = transferred-config cost / grid-optimal cost - 1.
+    ``evaluate(cfg)`` prices a config on the *new* graph.
+    """
+    predicted = transfer_config(tuned, new_stats, new_feature_len,
+                                graph_candidates=space["graph"],
+                                feature_candidates=space["feature"])
+    optimum = GridTuner(space, evaluate).tune()
+    predicted_cost = evaluate(predicted).seconds
+    regret = predicted_cost / optimum.best_cost.seconds - 1.0
+    return regret, predicted, optimum
+
+
+class TuningCache:
+    """JSON-backed store of tuned configurations, keyed by
+    ``(workload, n_src bucket, feature_len)``."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._data: dict[str, dict] = {}
+        if self.path.exists():
+            self._data = json.loads(self.path.read_text())
+
+    @staticmethod
+    def _key(workload: str, n_src: int, feature_len: int) -> str:
+        bucket = 1 << max(0, (n_src - 1).bit_length())  # next pow2
+        return f"{workload}|{bucket}|{feature_len}"
+
+    def get(self, workload: str, n_src: int, feature_len: int) -> TunedConfig | None:
+        raw = self._data.get(self._key(workload, n_src, feature_len))
+        if raw is None:
+            return None
+        return TunedConfig(**raw)
+
+    def put(self, workload: str, cfg: TunedConfig) -> None:
+        self._data[self._key(workload, cfg.n_src, cfg.feature_len)] = {
+            "graph_partitions": cfg.graph_partitions,
+            "feature_partitions": cfg.feature_partitions,
+            "n_src": cfg.n_src,
+            "feature_len": cfg.feature_len,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(self._data, indent=2))
+
+    def __len__(self):
+        return len(self._data)

@@ -1,0 +1,177 @@
+"""Tuning of scheduling parameters (paper Sec. IV-A and future work).
+
+"In this work we use naive grid search to find the optimal parameters under
+a given input shape ... it is an interesting future direction to try more
+intelligent tuners [37], [38] for faster design space exploration."
+
+This module provides the paper's :class:`GridTuner` plus two of the
+"intelligent" alternatives it points to: :class:`RandomTuner` (random search
+with a trial budget) and :class:`AnnealingTuner` (simulated annealing over
+neighboring configurations, the strategy at the core of OpenTuner/AutoTVM's
+exploration loops).  The tunable space combines template parameters (number
+of graph partitions, number of CUDA blocks) with FDS parameters (feature
+tiling factors); the objective is the machine-model cost.  The Fig. 14 bench
+sweeps the grid; ``bench_ablation_tuners.py`` compares the three tuners'
+cost-vs-trials trade-off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.hwsim.report import CostReport
+
+__all__ = ["GridTuner", "RandomTuner", "AnnealingTuner", "TuneResult"]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a grid search."""
+
+    best_config: dict
+    best_cost: CostReport
+    #: every evaluated point: (config dict, modeled seconds)
+    trials: list[tuple[dict, float]] = field(default_factory=list)
+
+    def landscape(self, x_key: str, y_key: str) -> dict[tuple, float]:
+        """Project trials onto two config keys -> seconds (for heatmaps)."""
+        out = {}
+        for cfg, secs in self.trials:
+            out[(cfg[x_key], cfg[y_key])] = secs
+        return out
+
+
+class GridTuner:
+    """Exhaustive search over a cartesian parameter grid.
+
+    ``space`` maps parameter name -> candidate values.  ``evaluate`` maps a
+    config dict to a :class:`CostReport` (typically a closure that builds a
+    kernel with those scheduling parameters and calls ``cost()``).
+    """
+
+    def __init__(self, space: Mapping[str, Sequence],
+                 evaluate: Callable[[dict], CostReport]):
+        if not space:
+            raise ValueError("empty search space")
+        for k, v in space.items():
+            if not len(v):
+                raise ValueError(f"parameter {k!r} has no candidates")
+        self.space = {k: list(v) for k, v in space.items()}
+        self.evaluate = evaluate
+
+    def configs(self) -> Iterable[dict]:
+        keys = list(self.space)
+        for combo in itertools.product(*(self.space[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def tune(self) -> TuneResult:
+        """Evaluate every config; return the argmin with the full landscape."""
+        best_cfg: dict | None = None
+        best_cost: CostReport | None = None
+        trials: list[tuple[dict, float]] = []
+        for cfg in self.configs():
+            cost = self.evaluate(cfg)
+            trials.append((cfg, cost.seconds))
+            if best_cost is None or cost.seconds < best_cost.seconds:
+                best_cfg, best_cost = cfg, cost
+        assert best_cfg is not None and best_cost is not None
+        return TuneResult(best_config=best_cfg, best_cost=best_cost, trials=trials)
+
+
+class RandomTuner:
+    """Random search with a fixed trial budget over the same space syntax."""
+
+    def __init__(self, space: Mapping[str, Sequence],
+                 evaluate: Callable[[dict], CostReport],
+                 num_trials: int = 16, seed: int = 0):
+        if not space or any(not len(v) for v in space.values()):
+            raise ValueError("empty search space")
+        if num_trials < 1:
+            raise ValueError("num_trials must be >= 1")
+        self.space = {k: list(v) for k, v in space.items()}
+        self.evaluate = evaluate
+        self.num_trials = num_trials
+        self.rng = random.Random(seed)
+
+    def _sample(self) -> dict:
+        return {k: self.rng.choice(v) for k, v in self.space.items()}
+
+    def tune(self) -> TuneResult:
+        best_cfg: dict | None = None
+        best_cost: CostReport | None = None
+        trials: list[tuple[dict, float]] = []
+        seen: set[tuple] = set()
+        for _ in range(self.num_trials):
+            cfg = self._sample()
+            key = tuple(sorted(cfg.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            cost = self.evaluate(cfg)
+            trials.append((cfg, cost.seconds))
+            if best_cost is None or cost.seconds < best_cost.seconds:
+                best_cfg, best_cost = cfg, cost
+        assert best_cfg is not None and best_cost is not None
+        return TuneResult(best_config=best_cfg, best_cost=best_cost, trials=trials)
+
+
+class AnnealingTuner:
+    """Simulated annealing over neighboring configurations.
+
+    A neighbor differs in exactly one parameter, moved one step along its
+    candidate list (the natural topology for power-of-two partition factors).
+    Worse moves are accepted with probability ``exp(-delta / T)``; the
+    temperature decays geometrically each trial.
+    """
+
+    def __init__(self, space: Mapping[str, Sequence],
+                 evaluate: Callable[[dict], CostReport],
+                 num_trials: int = 24, seed: int = 0,
+                 initial_temperature: float = 0.5, cooling: float = 0.85):
+        if not space or any(not len(v) for v in space.values()):
+            raise ValueError("empty search space")
+        if num_trials < 1:
+            raise ValueError("num_trials must be >= 1")
+        if not (0 < cooling < 1):
+            raise ValueError("cooling must be in (0, 1)")
+        self.space = {k: list(v) for k, v in space.items()}
+        self.evaluate = evaluate
+        self.num_trials = num_trials
+        self.rng = random.Random(seed)
+        self.t0 = initial_temperature
+        self.cooling = cooling
+
+    def _neighbor(self, cfg: dict) -> dict:
+        key = self.rng.choice(list(self.space))
+        values = self.space[key]
+        idx = values.index(cfg[key])
+        step = self.rng.choice((-1, 1))
+        new_idx = min(len(values) - 1, max(0, idx + step))
+        out = dict(cfg)
+        out[key] = values[new_idx]
+        return out
+
+    def tune(self) -> TuneResult:
+        current = {k: self.rng.choice(v) for k, v in self.space.items()}
+        current_cost = self.evaluate(current)
+        best_cfg, best_cost = current, current_cost
+        trials: list[tuple[dict, float]] = [(current, current_cost.seconds)]
+        temperature = self.t0
+        for _ in range(self.num_trials - 1):
+            cand = self._neighbor(current)
+            cost = self.evaluate(cand)
+            trials.append((cand, cost.seconds))
+            delta = (cost.seconds - current_cost.seconds) / max(
+                current_cost.seconds, 1e-12)
+            if delta <= 0 or self.rng.random() < math.exp(-delta / max(
+                    temperature, 1e-9)):
+                current, current_cost = cand, cost
+            if cost.seconds < best_cost.seconds:
+                best_cfg, best_cost = cand, cost
+            temperature *= self.cooling
+        return TuneResult(best_config=best_cfg, best_cost=best_cost,
+                          trials=trials)

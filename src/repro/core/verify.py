@@ -1,0 +1,78 @@
+"""Kernel self-verification against a brute-force reference.
+
+The generic interpreter that powers the templates also yields a slow,
+obviously-correct executor: evaluate the UDF for every edge and combine with
+a plain scatter loop.  :func:`verify_spmm` / :func:`verify_sddmm` run a
+kernel and that reference side by side -- the "sanity check" a user reaches
+for after writing a new UDF or FDS (and what the paper's accuracy section
+does at model level).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.sddmm import GeneralizedSDDMM
+from repro.core.spmm import GeneralizedSpMM, _AGG_IDENTITY, _AGG_UFUNC
+from repro.tensorir.evaluator import evaluate_batched
+
+__all__ = ["verify_spmm", "verify_sddmm", "VerificationError"]
+
+
+class VerificationError(AssertionError):
+    """Kernel output disagrees with the brute-force reference."""
+
+
+def _reference_spmm(kernel: GeneralizedSpMM, bindings) -> np.ndarray:
+    csr = kernel.A.csr
+    n_dst = kernel.A.num_dst
+    base = kernel.aggregation if kernel.aggregation != "mean" else "sum"
+    out = np.full((n_dst,) + kernel.msg_shape, _AGG_IDENTITY[base],
+                  dtype=np.float32)
+    rows = csr.row_of_edge()
+    msgs = evaluate_batched(kernel.msg, bindings, {
+        "src": csr.indices, "dst": rows, "eid": csr.edge_ids,
+    })
+    _AGG_UFUNC[base].at(out, rows, msgs)
+    deg = np.diff(csr.indptr)
+    out[deg == 0] = 0.0
+    if kernel.aggregation == "mean":
+        out /= np.maximum(deg, 1).reshape((-1,) + (1,) * (out.ndim - 1))
+    return out
+
+
+def verify_spmm(kernel: GeneralizedSpMM, bindings: Mapping[str, np.ndarray],
+                atol: float = 1e-4) -> np.ndarray:
+    """Run the kernel and the brute-force reference; raise on mismatch.
+
+    Returns the kernel output on success.
+    """
+    got = kernel.run(bindings)
+    ref = _reference_spmm(kernel, bindings)
+    if not np.allclose(got, ref, atol=atol, equal_nan=True):
+        worst = float(np.nanmax(np.abs(got - ref)))
+        raise VerificationError(
+            f"generalized SpMM disagrees with the reference "
+            f"(max abs diff {worst:.3g}, atol {atol:g}); check the FDS and "
+            "partitioning configuration")
+    return got
+
+
+def verify_sddmm(kernel: GeneralizedSDDMM, bindings: Mapping[str, np.ndarray],
+                 atol: float = 1e-4) -> np.ndarray:
+    """Run the kernel and the brute-force edge map; raise on mismatch."""
+    got = kernel.run(bindings)
+    csr = kernel.A.csr
+    vals = evaluate_batched(kernel.edge_out, bindings, {
+        "src": csr.indices, "dst": csr.row_of_edge(), "eid": csr.edge_ids,
+    })
+    ref = np.empty_like(got)
+    ref[csr.edge_ids] = vals
+    if not np.allclose(got, ref, atol=atol, equal_nan=True):
+        worst = float(np.nanmax(np.abs(got - ref)))
+        raise VerificationError(
+            f"generalized SDDMM disagrees with the reference "
+            f"(max abs diff {worst:.3g}, atol {atol:g})")
+    return got

@@ -1,0 +1,53 @@
+"""Graph substrate: sparse formats, partitioning, traversal orders, datasets.
+
+- :mod:`repro.graph.sparse` -- CSR/CSC/COO adjacency structures built from
+  scratch on numpy arrays (no scipy dependency in the data path).
+- :mod:`repro.graph.segment` -- vectorized segment reductions (the numerical
+  core of aggregation).
+- :mod:`repro.graph.partition` -- 1D source partitioning, feature-dimension
+  tiling, and degree-threshold hybrid partitioning (paper Sec. III-C1/C3).
+- :mod:`repro.graph.hilbert` -- Hilbert-curve edge ordering (Sec. III-C1).
+- :mod:`repro.graph.datasets` -- synthetic stand-ins for ogbn-proteins,
+  reddit, and the paper's rand-100K / uniform-sparsity graphs.
+"""
+
+from repro.graph.sparse import CSRMatrix, COOMatrix, from_edges
+from repro.graph.segment import segment_reduce, segment_softmax
+from repro.graph.partition import (
+    partition_1d,
+    feature_tiles,
+    hybrid_degree_split,
+    Partition1D,
+)
+from repro.graph.hilbert import hilbert_order, hilbert_d2xy, hilbert_xy2d
+from repro.graph.datasets import (
+    proteins_like,
+    reddit_like,
+    rand_100k_like,
+    uniform_random,
+    planted_partition,
+    DATASETS,
+    load,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "COOMatrix",
+    "from_edges",
+    "segment_reduce",
+    "segment_softmax",
+    "partition_1d",
+    "feature_tiles",
+    "hybrid_degree_split",
+    "Partition1D",
+    "hilbert_order",
+    "hilbert_d2xy",
+    "hilbert_xy2d",
+    "proteins_like",
+    "reddit_like",
+    "rand_100k_like",
+    "uniform_random",
+    "planted_partition",
+    "DATASETS",
+    "load",
+]

@@ -1,0 +1,310 @@
+"""Synthetic dataset generators standing in for the paper's graphs.
+
+The paper evaluates on ogbn-proteins (132.5K vertices / 79.1M edges, avg
+degree 597), reddit (233.0K / 114.8M, avg 493), rand-100K (100K / 48M: 20K
+vertices of avg degree 2000 plus 80K of avg degree 100), and uniform random
+graphs of varying sparsity (Table V).  Those datasets are not available
+offline, and the full edge counts are beyond what pure-Python numerics
+should chew per benchmark run, so this module provides:
+
+- **degree-faithful generators** that reproduce |V|, |E|, and the degree
+  *distribution shape* (lognormal skew calibrated per dataset) at any scale;
+- :func:`paper_stats` -- full-scale :class:`~repro.hwsim.stats.GraphStats`
+  built from synthesized degree sequences *without materializing edges*, for
+  the analytic machine models;
+- :func:`planted_partition` -- a labeled community graph for the accuracy
+  parity experiment (Sec. V-E), where classification is actually learnable.
+
+Every generator takes a ``scale`` in (0, 1]: vertex and edge counts shrink
+proportionally while average degree is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.sparse import CSRMatrix, from_edges
+from repro.hwsim.stats import GraphStats
+
+__all__ = [
+    "Dataset",
+    "proteins_like",
+    "reddit_like",
+    "rand_100k_like",
+    "uniform_random",
+    "planted_partition",
+    "paper_stats",
+    "DATASETS",
+    "load",
+]
+
+
+@dataclass
+class Dataset:
+    """A graph plus optional vertex features/labels and split masks."""
+
+    name: str
+    adj: CSRMatrix  # pull layout: rows = destinations, cols = sources
+    features: np.ndarray | None = None
+    labels: np.ndarray | None = None
+    train_mask: np.ndarray | None = None
+    val_mask: np.ndarray | None = None
+    test_mask: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.adj.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.adj.nnz
+
+    def stats(self) -> GraphStats:
+        return GraphStats.from_csr(self.adj.indptr, self.adj.indices, self.adj.shape[1])
+
+
+# ----------------------------------------------------------------------
+# degree-sequence machinery
+# ----------------------------------------------------------------------
+
+def _lognormal_degrees(n: int, avg_degree: float, sigma: float,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Integer degree sequence with lognormal shape and exact mean*n sum."""
+    raw = rng.lognormal(mean=0.0, sigma=sigma, size=n)
+    target = int(round(avg_degree * n))
+    deg = np.maximum(1, np.round(raw * (target / raw.sum()))).astype(np.int64)
+    # fix rounding drift so the sum is exact
+    drift = target - int(deg.sum())
+    if drift != 0:
+        idx = rng.choice(n, size=abs(drift), replace=abs(drift) > n)
+        np.add.at(deg, idx, 1 if drift > 0 else -1)
+        deg = np.maximum(deg, 1)
+        # one more correction pass for any clamped decrements
+        drift = target - int(deg.sum())
+        if drift > 0:
+            deg[rng.choice(n, size=drift, replace=drift > n)] += 1
+        elif drift < 0:
+            big = np.nonzero(deg > 1)[0]
+            take = rng.choice(big, size=-drift, replace=-drift > len(big))
+            np.subtract.at(deg, take, 1)
+    return deg
+
+
+def _bimodal_degrees(n_high: int, deg_high: float, n_low: int, deg_low: float,
+                     rng: np.random.Generator) -> np.ndarray:
+    high = _lognormal_degrees(n_high, deg_high, 0.3, rng)
+    low = _lognormal_degrees(n_low, deg_low, 0.3, rng)
+    deg = np.concatenate([high, low])
+    rng.shuffle(deg)
+    return deg
+
+
+def _edges_from_degrees(out_deg: np.ndarray, in_weights: np.ndarray,
+                        rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Configuration-style edge sampling: each source emits out_deg edges to
+    destinations drawn proportionally to in_weights.  Parallel edges are
+    possible (and harmless to every kernel here)."""
+    m = int(out_deg.sum())
+    src = np.repeat(np.arange(len(out_deg), dtype=np.int64), out_deg)
+    p = in_weights / in_weights.sum()
+    dst = rng.choice(len(in_weights), size=m, p=p)
+    return src, dst.astype(np.int64)
+
+
+def _build(name: str, n: int, avg_degree: float, sigma: float, scale: float,
+           seed: int) -> Dataset:
+    if not (0 < scale <= 1):
+        raise ValueError("scale must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    n_s = max(16, int(round(n * scale)))
+    out_deg = _lognormal_degrees(n_s, avg_degree, sigma, rng)
+    in_w = rng.lognormal(0.0, sigma, size=n_s)
+    src, dst = _edges_from_degrees(out_deg, in_w, rng)
+    adj = from_edges(n_s, n_s, src, dst)
+    return Dataset(name=name, adj=adj,
+                   meta={"scale": scale, "paper_vertices": n,
+                         "paper_avg_degree": avg_degree, "sigma": sigma})
+
+
+def proteins_like(scale: float = 1.0, seed: int = 0) -> Dataset:
+    """ogbn-proteins stand-in: 132.5K vertices, avg degree 597, mild skew."""
+    return _build("ogbn-proteins", 132_500, 597.0, sigma=0.55, scale=scale, seed=seed)
+
+
+def reddit_like(scale: float = 1.0, seed: int = 1) -> Dataset:
+    """reddit stand-in: 233.0K vertices, avg degree 493, heavy-tailed hubs."""
+    return _build("reddit", 233_000, 493.0, sigma=0.85, scale=scale, seed=seed)
+
+
+def rand_100k_like(scale: float = 1.0, seed: int = 2) -> Dataset:
+    """rand-100K stand-in: 20K vertices of avg degree 2000 plus 80K of avg
+    degree 100 (the paper's hybrid-partitioning study graph)."""
+    if not (0 < scale <= 1):
+        raise ValueError("scale must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    n_high = max(4, int(round(20_000 * scale)))
+    n_low = max(12, int(round(80_000 * scale)))
+    out_deg = _bimodal_degrees(n_high, 2000.0, n_low, 100.0, rng)
+    in_deg_w = np.concatenate([
+        np.full(n_high, 2000.0), np.full(n_low, 100.0)
+    ])
+    rng.shuffle(in_deg_w)
+    src, dst = _edges_from_degrees(out_deg, in_deg_w, rng)
+    n = n_high + n_low
+    adj = from_edges(n, n, src, dst)
+    return Dataset(name="rand-100K", adj=adj,
+                   meta={"scale": scale, "paper_vertices": 100_000,
+                         "paper_avg_degree": 480.0})
+
+
+def uniform_random(n: int, density: float, seed: int = 3) -> Dataset:
+    """Uniform Erdos-Renyi-style graph with given nonzero density
+    (Table V's sparsity sweep; sparsity = 1 - density)."""
+    if not (0 < density <= 1):
+        raise ValueError("density must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    m = int(round(n * n * density))
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    adj = from_edges(n, n, src, dst)
+    return Dataset(name=f"uniform-{density:g}", adj=adj,
+                   meta={"density": density})
+
+
+def planted_partition(n: int = 3000, num_classes: int = 8, feature_dim: int = 64,
+                      avg_degree: float = 30.0, homophily: float = 0.85,
+                      seed: int = 4) -> Dataset:
+    """Labeled community graph for the accuracy-parity experiment.
+
+    Vertices belong to one of ``num_classes`` communities; edges connect
+    within-community with probability ``homophily``.  Features are a noisy
+    class signature, so a GNN that aggregates neighborhoods can classify well
+    -- mirroring the role of the reddit vertex-classification task in
+    Sec. V-E.  Splits follow the paper's 153K/24K/56K proportions.
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=n)
+    deg = _lognormal_degrees(n, avg_degree, 0.5, rng)
+    src = np.repeat(np.arange(n, dtype=np.int64), deg)
+    m = len(src)
+    same = rng.random(m) < homophily
+    # within-community targets for "same", uniform otherwise
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    by_class = [np.nonzero(labels == c)[0] for c in range(num_classes)]
+    for c in range(num_classes):
+        sel = same & (labels[src] == c)
+        cnt = int(sel.sum())
+        if cnt and len(by_class[c]):
+            dst[sel] = rng.choice(by_class[c], size=cnt)
+    adj = from_edges(n, n, src, dst)
+    centers = rng.normal(0, 1, size=(num_classes, feature_dim))
+    feats = centers[labels] + rng.normal(0, 1.5, size=(n, feature_dim))
+    order = rng.permutation(n)
+    n_train = int(n * 153 / 233)
+    n_val = int(n * 24 / 233)
+    train_mask = np.zeros(n, dtype=bool)
+    val_mask = np.zeros(n, dtype=bool)
+    test_mask = np.zeros(n, dtype=bool)
+    train_mask[order[:n_train]] = True
+    val_mask[order[n_train:n_train + n_val]] = True
+    test_mask[order[n_train + n_val:]] = True
+    return Dataset(name="planted-partition", adj=adj,
+                   features=feats.astype(np.float32), labels=labels.astype(np.int64),
+                   train_mask=train_mask, val_mask=val_mask, test_mask=test_mask,
+                   meta={"num_classes": num_classes, "homophily": homophily})
+
+
+# ----------------------------------------------------------------------
+# paper-scale statistics (no edge materialization)
+# ----------------------------------------------------------------------
+
+_PAPER_SHAPES = {
+    "ogbn-proteins": dict(n=132_500, avg=597.0, sigma=0.55, seed=10),
+    "reddit": dict(n=233_000, avg=493.0, sigma=0.85, seed=11),
+}
+
+
+def paper_stats(name: str, seed: int | None = None) -> GraphStats:
+    """Full-scale GraphStats for the machine models, from degree sequences.
+
+    Edge endpoints never materialize: the models only need degree moments
+    and the coverage curve.
+    """
+    if name in _PAPER_SHAPES:
+        shape = _PAPER_SHAPES[name]
+        rng = np.random.default_rng(seed if seed is not None else shape["seed"])
+        n = shape["n"]
+        out_deg = _lognormal_degrees(n, shape["avg"], shape["sigma"], rng)
+        in_deg = _lognormal_degrees(n, shape["avg"], shape["sigma"], rng)
+        m = int(out_deg.sum())
+        # reconcile sums (lognormal draws are independently normalized)
+        diff = m - int(in_deg.sum())
+        if diff > 0:
+            in_deg[rng.choice(n, size=diff, replace=diff > n)] += 1
+        elif diff < 0:
+            big = np.nonzero(in_deg > 1)[0]
+            take = rng.choice(big, size=-diff, replace=-diff > len(big))
+            np.subtract.at(in_deg, take, 1)
+        return GraphStats(n, n, m, out_deg, in_deg)
+    if name == "rand-100K":
+        rng = np.random.default_rng(seed if seed is not None else 12)
+        out_deg = _bimodal_degrees(20_000, 2000.0, 80_000, 100.0, rng)
+        in_deg = out_deg.copy()
+        rng.shuffle(in_deg)
+        return GraphStats(100_000, 100_000, int(out_deg.sum()), out_deg, in_deg)
+    if name.startswith("uniform-"):
+        density = float(name.split("-", 1)[1])
+        n = 100_000
+        m = int(round(n * n * density))
+        avg = m / n
+        rng = np.random.default_rng(seed if seed is not None else 13)
+        # Poisson-like degrees for a uniform graph, reconciled to exact sum.
+        out_deg = _exact_sum_degrees(rng.poisson(avg, size=n), m, rng)
+        in_deg = _exact_sum_degrees(rng.poisson(avg, size=n), m, rng)
+        return GraphStats(n, n, m, out_deg, in_deg)
+    raise KeyError(f"unknown paper dataset {name!r}")
+
+
+def _exact_sum_degrees(raw: np.ndarray, target: int, rng: np.random.Generator
+                       ) -> np.ndarray:
+    """Scale-round a nonnegative sequence so it sums exactly to ``target``."""
+    raw = np.maximum(np.asarray(raw, dtype=np.float64), 0.0)
+    total = raw.sum()
+    if total <= 0:
+        raw = np.ones_like(raw)
+        total = raw.sum()
+    deg = np.maximum(1, np.round(raw * (target / total))).astype(np.int64)
+    drift = target - int(deg.sum())
+    n = len(deg)
+    while drift != 0:
+        step = min(abs(drift), n)
+        idx = rng.choice(n, size=step, replace=False)
+        if drift > 0:
+            deg[idx] += 1
+            drift -= step
+        else:
+            can = deg[idx] > 1
+            deg[idx[can]] -= 1
+            drift += int(can.sum())
+    return deg
+
+
+DATASETS = {
+    "ogbn-proteins": proteins_like,
+    "reddit": reddit_like,
+    "rand-100K": rand_100k_like,
+}
+
+
+def load(name: str, scale: float = 1.0, seed: int | None = None) -> Dataset:
+    """Instantiate a named dataset at the given scale."""
+    try:
+        factory = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; have {sorted(DATASETS)}") from None
+    if seed is None:
+        return factory(scale=scale)
+    return factory(scale=scale, seed=seed)

@@ -1,0 +1,69 @@
+"""Graph and dataset serialization (.npz).
+
+A small, versioned on-disk format so generated datasets can be cached
+between benchmark runs and shared: one compressed ``.npz`` holding the CSR
+arrays plus optional features/labels/masks and a JSON metadata blob.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.datasets import Dataset
+from repro.graph.sparse import CSRMatrix
+
+__all__ = ["save_dataset", "load_dataset", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Write a dataset to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    adj = dataset.adj
+    payload: dict[str, np.ndarray] = {
+        "version": np.array([FORMAT_VERSION]),
+        "shape": np.array(adj.shape, dtype=np.int64),
+        "indptr": adj.indptr,
+        "indices": adj.indices,
+        "edge_ids": adj.edge_ids,
+        "meta_json": np.frombuffer(
+            json.dumps({"name": dataset.name, **dataset.meta}).encode(),
+            dtype=np.uint8),
+    }
+    for key in ("features", "labels", "train_mask", "val_mask", "test_mask"):
+        value = getattr(dataset, key)
+        if value is not None:
+            payload[key] = value
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {version} "
+                f"(this build reads {FORMAT_VERSION})")
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        name = meta.pop("name", "unnamed")
+        adj = CSRMatrix(tuple(data["shape"]), data["indptr"],
+                        data["indices"], data["edge_ids"])
+
+        def opt(key):
+            return data[key] if key in data.files else None
+
+        return Dataset(
+            name=name, adj=adj,
+            features=opt("features"), labels=opt("labels"),
+            train_mask=opt("train_mask"), val_mask=opt("val_mask"),
+            test_mask=opt("test_mask"), meta=meta,
+        )

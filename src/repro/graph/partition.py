@@ -1,0 +1,174 @@
+"""Graph partitioning and feature tiling (paper Sec. III-C1 and III-C3).
+
+- :func:`partition_1d` -- 1D partitioning of **source vertices** (Fig. 6a):
+  the edge set is split by source-column range so that each pass's source
+  working set fits in cache; partial aggregations are merged at the end.
+- :func:`feature_tiles` -- tiling of the feature dimension (Fig. 6b): each
+  tile re-traverses the graph but shrinks the per-vertex working set.
+- :func:`hybrid_degree_split` -- GPU hybrid partitioning (Sec. III-C3):
+  reorders sources into a low-degree part and a high-degree part by a degree
+  threshold; only high-degree sources are partitioned into shared memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.sparse import CSRMatrix
+
+__all__ = ["Partition1D", "partition_1d", "Partition2D", "partition_2d",
+           "feature_tiles", "hybrid_degree_split", "HybridSplit"]
+
+
+@dataclass
+class Partition1D:
+    """One source-range partition of a CSR adjacency."""
+
+    index: int
+    col_lo: int
+    col_hi: int
+    csr: CSRMatrix  # same shape as the full graph; nonzeros restricted to the range
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def num_sources(self) -> int:
+        return self.col_hi - self.col_lo
+
+
+def partition_1d(adj: CSRMatrix, num_partitions: int) -> list[Partition1D]:
+    """Split the adjacency into ``num_partitions`` source-column ranges.
+
+    Ranges are equal-width in vertex id (matching the paper's Fig. 6, which
+    partitions the source axis uniformly).  Raises on a partition count
+    exceeding the source count.
+    """
+    num_partitions = int(num_partitions)
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    n_src = adj.shape[1]
+    if num_partitions > n_src:
+        raise ValueError(f"cannot make {num_partitions} partitions of {n_src} sources")
+    if num_partitions == 1:
+        return [Partition1D(0, 0, n_src, adj)]
+    bounds = [(p * n_src) // num_partitions for p in range(num_partitions + 1)]
+    out = []
+    for p in range(num_partitions):
+        lo, hi = bounds[p], bounds[p + 1]
+        out.append(Partition1D(p, lo, hi, adj.select_columns(lo, hi)))
+    return out
+
+
+def feature_tiles(feature_len: int, num_tiles: int) -> list[tuple[int, int]]:
+    """Half-open column ranges tiling ``[0, feature_len)`` into ``num_tiles``."""
+    num_tiles = int(num_tiles)
+    if num_tiles < 1:
+        raise ValueError("num_tiles must be >= 1")
+    num_tiles = min(num_tiles, feature_len) if feature_len else 1
+    width = math.ceil(feature_len / num_tiles)
+    return [(lo, min(lo + width, feature_len))
+            for lo in range(0, feature_len, width)]
+
+
+@dataclass
+class Partition2D:
+    """One (destination-range x source-range) grid block of the adjacency,
+    in the style of GridGraph's 2-level hierarchical partitioning (the
+    paper's reference [19])."""
+
+    row_index: int
+    col_index: int
+    row_lo: int
+    row_hi: int
+    col_lo: int
+    col_hi: int
+    csr: CSRMatrix  # full-shape CSR; nonzeros restricted to the block
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+
+def partition_2d(adj: CSRMatrix, num_row_parts: int,
+                 num_col_parts: int) -> list[Partition2D]:
+    """Split the adjacency into a grid of (dst-range x src-range) blocks.
+
+    Both endpoint working sets of a block are bounded, which serves the same
+    goal as Hilbert traversal for edge-wise kernels; blocks are returned in
+    row-major order.  Every nonzero lands in exactly one block.
+    """
+    num_row_parts = int(num_row_parts)
+    num_col_parts = int(num_col_parts)
+    if num_row_parts < 1 or num_col_parts < 1:
+        raise ValueError("partition counts must be >= 1")
+    n_rows, n_cols = adj.shape
+    if num_row_parts > n_rows or num_col_parts > n_cols:
+        raise ValueError("more partitions than vertices")
+    row_bounds = [(p * n_rows) // num_row_parts for p in range(num_row_parts + 1)]
+    blocks: list[Partition2D] = []
+    for r in range(num_row_parts):
+        r_lo, r_hi = row_bounds[r], row_bounds[r + 1]
+        # restrict to the row slab first (cheap: indptr slicing)
+        e_lo, e_hi = adj.indptr[r_lo], adj.indptr[r_hi]
+        slab_indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        slab_indptr[r_lo:r_hi + 1] = adj.indptr[r_lo:r_hi + 1] - e_lo
+        slab_indptr[r_hi + 1:] = slab_indptr[r_hi]
+        slab = CSRMatrix(adj.shape, slab_indptr,
+                         adj.indices[e_lo:e_hi], adj.edge_ids[e_lo:e_hi])
+        for p in partition_1d(slab, num_col_parts):
+            blocks.append(Partition2D(
+                row_index=r, col_index=p.index,
+                row_lo=r_lo, row_hi=r_hi,
+                col_lo=p.col_lo, col_hi=p.col_hi, csr=p.csr))
+    return blocks
+
+
+@dataclass
+class HybridSplit:
+    """Result of degree-threshold hybrid partitioning.
+
+    ``order`` maps new source position -> original source id, with all
+    low-degree sources first, then high-degree sources.  ``num_low`` is the
+    boundary.  ``high_partitions`` groups the high-degree sources into
+    shared-memory-sized chunks.
+    """
+
+    order: np.ndarray
+    num_low: int
+    threshold: int
+    high_partitions: list[np.ndarray]
+
+    @property
+    def high_ids(self) -> np.ndarray:
+        return self.order[self.num_low:]
+
+
+def hybrid_degree_split(adj: CSRMatrix, degree_threshold: int,
+                        shared_capacity_rows: int) -> HybridSplit:
+    """Reorder sources into low/high-degree parts (paper Sec. III-C3).
+
+    High-degree sources (out-degree >= ``degree_threshold``) are grouped,
+    descending by degree, into partitions of at most
+    ``shared_capacity_rows`` rows each -- the rows one CUDA block stages in
+    shared memory.  Lower thresholds mean more partitions: better read
+    efficiency, higher merge cost (the paper's stated trade-off).
+    """
+    if degree_threshold < 0:
+        raise ValueError("degree_threshold must be >= 0")
+    if shared_capacity_rows < 1:
+        raise ValueError("shared_capacity_rows must be >= 1")
+    deg = adj.col_degrees()
+    high_mask = deg >= degree_threshold
+    high = np.nonzero(high_mask)[0]
+    low = np.nonzero(~high_mask)[0]
+    high = high[np.argsort(deg[high])[::-1]]
+    order = np.concatenate([low, high])
+    parts = [high[i : i + shared_capacity_rows]
+             for i in range(0, len(high), shared_capacity_rows)]
+    return HybridSplit(order=order, num_low=len(low),
+                       threshold=int(degree_threshold), high_partitions=parts)

@@ -1,0 +1,99 @@
+"""Graph reordering for locality.
+
+Vertex relabeling is the classic complement to the paper's partitioning
+optimizations: placing frequently co-accessed rows near each other improves
+every downstream cache mechanism.  Two standard orders:
+
+- :func:`degree_order` -- sort vertices by (out-)degree descending, packing
+  the hot rows together (what makes the GPU model's degree-coverage term and
+  the hybrid split effective);
+- :func:`rcm_order` -- reverse Cuthill-McKee: BFS from a low-degree
+  peripheral vertex with degree-sorted neighbor visits, reversed; reduces
+  adjacency bandwidth so edge traversals touch nearby rows.
+
+:func:`apply_vertex_order` relabels an adjacency (and feature matrix) under
+a permutation, preserving multigraph semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.sparse import CSRMatrix, from_edges
+
+__all__ = ["degree_order", "rcm_order", "apply_vertex_order"]
+
+
+def degree_order(adj: CSRMatrix, by: str = "src") -> np.ndarray:
+    """Permutation: position -> old vertex id, hot vertices first.
+
+    ``by="src"`` sorts by out-degree (column counts in pull layout),
+    ``by="dst"`` by in-degree.
+    """
+    if by == "src":
+        deg = adj.col_degrees()
+    elif by == "dst":
+        deg = adj.row_degrees()
+    else:
+        raise ValueError("by must be 'src' or 'dst'")
+    return np.argsort(deg, kind="stable")[::-1].astype(np.int64)
+
+
+def rcm_order(adj: CSRMatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee permutation (position -> old vertex id).
+
+    Operates on the undirected structure; disconnected components are
+    processed in order of their minimum-degree start vertices.
+    """
+    n = adj.shape[0]
+    if adj.shape[0] != adj.shape[1]:
+        raise ValueError("RCM needs a square adjacency")
+    # undirected neighbor lists
+    rows = adj.row_of_edge()
+    cols = adj.indices
+    und_src = np.concatenate([rows, cols])
+    und_dst = np.concatenate([cols, rows])
+    und = from_edges(n, n, und_src, und_dst)
+    deg = und.row_degrees()
+
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    for start in np.argsort(deg, kind="stable"):
+        if visited[start]:
+            continue
+        visited[start] = True
+        queue = deque([int(start)])
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            lo, hi = und.indptr[v], und.indptr[v + 1]
+            nbrs = np.unique(und.indices[lo:hi])
+            nbrs = nbrs[~visited[nbrs]]
+            nbrs = nbrs[np.argsort(deg[nbrs], kind="stable")]
+            visited[nbrs] = True
+            queue.extend(int(x) for x in nbrs)
+    return np.asarray(order[::-1], dtype=np.int64)
+
+
+def apply_vertex_order(adj: CSRMatrix, order: np.ndarray,
+                       features: np.ndarray | None = None):
+    """Relabel vertices so new id ``i`` is old id ``order[i]``.
+
+    Returns ``(new_adj, new_features)``; edge ``k`` of the new adjacency
+    keeps edge id ``k``'s original meaning through ``edge_ids``.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    n = adj.shape[0]
+    if adj.shape[0] != adj.shape[1]:
+        raise ValueError("vertex reordering needs a square adjacency")
+    if len(order) != n or len(np.unique(order)) != n:
+        raise ValueError("order must be a permutation of the vertices")
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.arange(n)
+    rows = inverse[adj.row_of_edge()]
+    cols = inverse[adj.indices]
+    new_adj = from_edges(n, n, cols, rows)
+    new_feats = features[order] if features is not None else None
+    return new_adj, new_feats

@@ -1,0 +1,124 @@
+"""Vectorized segment reductions.
+
+Aggregating per-edge messages into destination vertices is a segmented
+reduction over CSR row boundaries.  ``np.ufunc.reduceat`` gives a fast path
+when messages are laid out in CSR order; the ``unsorted`` variants
+(``np.add.at`` family) cover partitioned execution where a pass touches only
+a subset of rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_reduce", "segment_reduce_unsorted", "segment_softmax"]
+
+_UFUNC = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+_IDENTITY = {
+    "sum": 0.0,
+    "max": -np.inf,
+    "min": np.inf,
+    "prod": 1.0,
+}
+
+
+def segment_reduce(values: np.ndarray, indptr: np.ndarray, op: str = "sum",
+                   out: np.ndarray | None = None) -> np.ndarray:
+    """Reduce ``values`` (shape ``(nnz, ...)``) over CSR segments.
+
+    Returns shape ``(n_segments, ...)``.  Empty segments yield the reducer
+    identity, except ``max``/``min`` yield 0 (matching the GNN convention
+    that isolated vertices aggregate to zero).  ``mean`` divides sums by the
+    segment size.
+    """
+    mean = op == "mean"
+    base_op = "sum" if mean else op
+    if base_op not in _UFUNC:
+        raise ValueError(f"unknown reduction {op!r}")
+    indptr = np.asarray(indptr, dtype=np.int64)
+    n_seg = len(indptr) - 1
+    nnz = int(indptr[-1])
+    values = np.asarray(values)
+    if len(values) != nnz:
+        raise ValueError(f"values has {len(values)} rows; indptr expects {nnz}")
+    out_shape = (n_seg,) + values.shape[1:]
+    if out is None:
+        out = np.empty(out_shape, dtype=values.dtype)
+    elif out.shape != out_shape:
+        raise ValueError("out has wrong shape")
+
+    if nnz == 0:
+        out[:] = 0
+        return out
+    # reduceat over the starts of *non-empty* segments only: each such start
+    # runs exactly to the next non-empty start (any segments in between are
+    # empty), so the boundaries are correct and in range.  Clamping empty
+    # starts instead would corrupt the preceding segment's range.
+    nonempty = indptr[:-1] < indptr[1:]
+    ufunc = _UFUNC[base_op]
+    out[~nonempty] = 0.0
+    if nonempty.any():
+        starts = indptr[:-1][nonempty]
+        out[nonempty] = ufunc.reduceat(values, starts, axis=0)
+    if mean:
+        sizes = np.diff(indptr).astype(values.dtype)
+        sizes[sizes == 0] = 1
+        out /= sizes.reshape((-1,) + (1,) * (values.ndim - 1))
+    return out
+
+
+def segment_reduce_unsorted(values: np.ndarray, segment_ids: np.ndarray, n_segments: int,
+                            op: str = "sum", out: np.ndarray | None = None,
+                            accumulate: bool = False) -> np.ndarray:
+    """Reduce ``values`` grouped by ``segment_ids`` (not necessarily sorted).
+
+    With ``accumulate=True``, combines into an existing ``out`` instead of
+    reinitializing -- the merge step of partitioned SpMM execution.
+    """
+    mean = op == "mean"
+    base_op = "sum" if mean else op
+    if base_op not in _UFUNC:
+        raise ValueError(f"unknown reduction {op!r}")
+    values = np.asarray(values)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (n_segments,) + values.shape[1:]
+    if out is None:
+        if accumulate:
+            raise ValueError("accumulate=True requires an existing out buffer")
+        out = np.full(out_shape, _IDENTITY[base_op], dtype=values.dtype)
+    elif out.shape != out_shape:
+        raise ValueError("out has wrong shape")
+    _UFUNC[base_op].at(out, segment_ids, values)
+    if not accumulate:
+        # Untouched segments hold the identity; normalize to the 0 convention.
+        touched = np.zeros(n_segments, dtype=bool)
+        touched[segment_ids] = True
+        out[~touched] = 0.0
+    if mean:
+        counts = np.bincount(segment_ids, minlength=n_segments).astype(values.dtype)
+        counts[counts == 0] = 1
+        out /= counts.reshape((-1,) + (1,) * (values.ndim - 1))
+    return out
+
+
+def segment_softmax(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax within each CSR segment.
+
+    Used by GAT-style attention: normalizes per-edge scores over each
+    destination's incoming edges.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    values = np.asarray(values)
+    seg_max = segment_reduce(values, indptr, op="max")
+    sizes = np.diff(indptr)
+    shifted = values - np.repeat(seg_max, sizes, axis=0)
+    ex = np.exp(shifted)
+    seg_sum = segment_reduce(ex, indptr, op="sum")
+    seg_sum = np.where(seg_sum == 0, 1, seg_sum)
+    return ex / np.repeat(seg_sum, sizes, axis=0)

@@ -1,0 +1,45 @@
+"""Machine models standing in for the paper's evaluation hardware.
+
+The paper measures on an 18-core Intel Xeon Platinum 8124M (25 MB LLC) and an
+NVIDIA Tesla V100 (80 SMs, up to 96 KB shared memory per SM).  Neither is
+available here, so this package provides:
+
+- :mod:`repro.hwsim.spec` -- parameter records for the two machines.
+- :mod:`repro.hwsim.stats` -- degree/locality statistics of a graph that the
+  analytic models consume.
+- :mod:`repro.hwsim.cpu` -- an analytic CPU kernel-time model (roofline +
+  reuse-distance cache estimation + partitioning/tiling/merge mechanics).
+- :mod:`repro.hwsim.gpu` -- an analytic GPU kernel-time model (coalescing,
+  atomics with contention, register-pressure occupancy, L2/shared-memory
+  reuse from degree coverage, tree reduction).
+- :mod:`repro.hwsim.cache` -- a trace-driven set-associative cache simulator
+  used by the tests to validate the analytic hit-rate estimates on small
+  graphs.
+- :mod:`repro.hwsim.report` -- the :class:`CostReport` structure every model
+  returns.
+
+The constants are calibrated against the paper's absolute numbers (see
+``calibration`` notes inside each module); what the reproduction relies on is
+that every *mechanism* the paper describes (partition working sets, merge
+cost, atomic serialization, feature-dimension parallelism, ...) is modeled
+explicitly, so ablations move the numbers for the modeled reason.
+"""
+
+from repro.hwsim.spec import CPUSpec, GPUSpec, XEON_8124M, TESLA_V100
+from repro.hwsim.stats import GraphStats
+from repro.hwsim.report import CostReport
+from repro.hwsim.cache import CacheSim, CacheHierarchy
+from repro.hwsim import cpu, gpu
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "XEON_8124M",
+    "TESLA_V100",
+    "GraphStats",
+    "CostReport",
+    "CacheSim",
+    "CacheHierarchy",
+    "cpu",
+    "gpu",
+]

@@ -1,0 +1,83 @@
+"""Cost report structure returned by the machine models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostReport"]
+
+
+@dataclass
+class CostReport:
+    """Modeled execution cost of one kernel invocation.
+
+    ``seconds`` is the headline number; the remaining fields break it down so
+    ablation benches can attribute changes to a mechanism.
+    """
+
+    seconds: float
+    compute_seconds: float = 0.0
+    memory_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    dram_bytes: float = 0.0
+    flops: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.seconds < 0:
+            raise ValueError("negative modeled time")
+
+    @property
+    def ms(self) -> float:
+        return self.seconds * 1e3
+
+    def scaled(self, factor: float) -> "CostReport":
+        """Uniformly scale the report (used for multi-run aggregation)."""
+        return CostReport(
+            seconds=self.seconds * factor,
+            compute_seconds=self.compute_seconds * factor,
+            memory_seconds=self.memory_seconds * factor,
+            stall_seconds=self.stall_seconds * factor,
+            dram_bytes=self.dram_bytes * factor,
+            flops=self.flops * factor,
+            detail=dict(self.detail),
+        )
+
+    def __add__(self, other: "CostReport") -> "CostReport":
+        if not isinstance(other, CostReport):
+            return NotImplemented
+        return CostReport(
+            seconds=self.seconds + other.seconds,
+            compute_seconds=self.compute_seconds + other.compute_seconds,
+            memory_seconds=self.memory_seconds + other.memory_seconds,
+            stall_seconds=self.stall_seconds + other.stall_seconds,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            flops=self.flops + other.flops,
+            detail={**self.detail, **other.detail},
+        )
+
+    def explain(self) -> str:
+        """Multi-line human-readable breakdown (roofline-style)."""
+        total = max(self.seconds, 1e-30)
+        lines = [f"modeled time: {self.seconds * 1e3:.3f} ms"]
+        for label, value in (("compute", self.compute_seconds),
+                             ("memory", self.memory_seconds),
+                             ("stalls", self.stall_seconds)):
+            lines.append(f"  {label:<8} {value * 1e3:10.3f} ms "
+                         f"({100 * value / total:5.1f}% of total)")
+        if self.dram_bytes:
+            lines.append(f"  traffic  {self.dram_bytes / 1e9:10.3f} GB")
+        if self.flops:
+            lines.append(f"  work     {self.flops / 1e9:10.3f} Gflop "
+                         f"({self.flops / total / 1e9:.1f} Gflop/s effective)")
+        for key, value in self.detail.items():
+            lines.append(f"  {key} = {value}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"CostReport({self.seconds * 1e3:.3f} ms, "
+            f"compute={self.compute_seconds * 1e3:.3f} ms, "
+            f"mem={self.memory_seconds * 1e3:.3f} ms, "
+            f"stall={self.stall_seconds * 1e3:.3f} ms)"
+        )

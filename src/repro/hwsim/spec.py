@@ -1,0 +1,63 @@
+"""Machine parameter records for the paper's evaluation platforms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CPUSpec", "GPUSpec", "XEON_8124M", "TESLA_V100"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """An x86 server CPU, defaulting to the paper's c5.9xlarge host."""
+
+    name: str = "Xeon-8124M"
+    freq_hz: float = 3.0e9
+    cores: int = 18
+    llc_bytes: int = 25 * 1024 * 1024
+    l2_bytes: int = 1024 * 1024
+    line_bytes: int = 64
+    #: single-thread effective DRAM streaming bandwidth
+    dram_bw_single: float = 12e9
+    #: socket-wide DRAM bandwidth ceiling
+    dram_bw_peak: float = 90e9
+    #: effective SIMD flops per cycle for compiler-vectorized feature loops
+    simd_flops_per_cycle: float = 6.0
+    #: effective scalar flops per cycle (feature-dim-blind frameworks)
+    scalar_flops_per_cycle: float = 1.3
+    #: gathered-load throughput, elements per cycle, data resident in cache
+    gather_elems_per_cycle: float = 1.25
+    #: effective stall for an unhidden last-level miss, cycles
+    miss_latency_cycles: float = 350.0
+
+    def with_(self, **kw) -> "CPUSpec":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """An NVIDIA data-center GPU, defaulting to the paper's Tesla V100."""
+
+    name: str = "Tesla-V100"
+    num_sms: int = 80
+    freq_hz: float = 1.38e9
+    warp_size: int = 32
+    max_threads_per_sm: int = 2048
+    shared_bytes_per_sm: int = 48 * 1024       # default config; up to 96 KB
+    l2_bytes: int = 6 * 1024 * 1024
+    dram_bw: float = 900e9
+    peak_flops: float = 14e12
+    launch_overhead_s: float = 5e-6
+    #: device-wide atomic-update throughput at zero contention, ops/s
+    atomic_throughput: float = 22e9
+    #: per-thread element throughput for independent (non-atomic) work, elems/s
+    thread_elem_throughput: float = 80e9
+    #: element throughput of a block-cooperative (feature-parallel) kernel
+    coop_elem_throughput: float = 140e9
+
+    def with_(self, **kw) -> "GPUSpec":
+        return replace(self, **kw)
+
+
+XEON_8124M = CPUSpec()
+TESLA_V100 = GPUSpec()

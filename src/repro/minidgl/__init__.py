@@ -1,0 +1,43 @@
+"""minidgl: a DGL-like message-passing GNN framework.
+
+The paper integrates FeatGraph into DGL and compares end-to-end training and
+inference against DGL's default backend (Minigun + message materialization).
+This package rebuilds that stack from scratch:
+
+- :mod:`repro.minidgl.autograd` -- reverse-mode automatic differentiation on
+  numpy arrays.
+- :mod:`repro.minidgl.graph` -- the graph object and message-passing ops
+  (generalized SpMM / SDDMM / edge-softmax) wired into autograd.  The
+  gradient of SpMM follows the SDDMM pattern and vice versa, exactly as the
+  paper's Sec. II-A derives.
+- :mod:`repro.minidgl.backends` -- two kernel backends: ``MinigunBackend``
+  (materializes per-edge messages, DGL's default) and ``FeatGraphBackend``
+  (fused kernels via :mod:`repro.core`).
+- :mod:`repro.minidgl.nn` -- layers (Linear, Dropout, GCNConv, SAGEConv,
+  GATConv).
+- :mod:`repro.minidgl.models` -- the paper's three evaluated models: 2-layer
+  GCN (hidden 512), GraphSage (hidden 256), GAT (hidden 256).
+- :mod:`repro.minidgl.optim` / :mod:`repro.minidgl.train` -- optimizers and
+  the vertex-classification training loop.
+- :mod:`repro.minidgl.perfmodel` -- per-epoch kernel-call enumeration for
+  the Table VI end-to-end machine-model comparison.
+"""
+
+from repro.minidgl.autograd import Tensor, no_grad
+from repro.minidgl.graph import Graph
+from repro.minidgl.backends import MinigunBackend, FeatGraphDGLBackend, get_backend
+from repro.minidgl import nn, models, optim, train, perfmodel
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Graph",
+    "MinigunBackend",
+    "FeatGraphDGLBackend",
+    "get_backend",
+    "nn",
+    "models",
+    "optim",
+    "train",
+    "perfmodel",
+]

@@ -1,0 +1,119 @@
+"""The paper's three end-to-end models (Sec. V-E).
+
+- 2-layer GCN, hidden size 512
+- 2-layer GraphSage, hidden size 256 (mean aggregation)
+- 2-layer GAT, hidden size 256 (dot/additive attention, 4 heads)
+
+Hidden sizes are constructor defaults and shrink freely for scaled-down
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.minidgl.autograd import Tensor
+from repro.minidgl.graph import Graph
+from repro.minidgl.nn import Dropout, GATConv, GCNConv, Linear, Module, SAGEConv
+
+__all__ = ["GCN", "GraphSage", "GAT", "APPNP", "MODELS"]
+
+
+class GCN(Module):
+    """2-layer graph convolutional network."""
+
+    paper_hidden = 512
+
+    def __init__(self, in_dim: int, num_classes: int, hidden: int = 512,
+                 dropout: float = 0.1, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = GCNConv(in_dim, hidden, rng=rng)
+        self.conv2 = GCNConv(hidden, num_classes, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, graph: Graph, x: Tensor, backend) -> Tensor:
+        h = self.conv1(graph, x, backend).relu()
+        h = self.dropout(h)
+        return self.conv2(graph, h, backend)
+
+
+class GraphSage(Module):
+    """2-layer GraphSage with mean aggregation."""
+
+    paper_hidden = 256
+
+    def __init__(self, in_dim: int, num_classes: int, hidden: int = 256,
+                 dropout: float = 0.1, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = SAGEConv(in_dim, hidden, rng=rng)
+        self.conv2 = SAGEConv(hidden, num_classes, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, graph: Graph, x: Tensor, backend) -> Tensor:
+        h = self.conv1(graph, x, backend).relu()
+        h = self.dropout(h)
+        return self.conv2(graph, h, backend)
+
+
+class GAT(Module):
+    """2-layer graph attention network."""
+
+    paper_hidden = 256
+
+    def __init__(self, in_dim: int, num_classes: int, hidden: int = 256,
+                 num_heads: int = 4, dropout: float = 0.1, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = GATConv(in_dim, hidden, num_heads=num_heads, rng=rng)
+        # final layer: single head onto the class logits
+        self.conv2 = GATConv(hidden, num_classes, num_heads=1, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, graph: Graph, x: Tensor, backend) -> Tensor:
+        h = self.conv1(graph, x, backend).elu()
+        h = self.dropout(h)
+        return self.conv2(graph, h, backend)
+
+
+class APPNP(Module):
+    """Approximate personalized propagation of neural predictions
+    [Klicpera et al.]: an MLP prediction followed by K steps of personalized
+    PageRank propagation -- ``H_{t+1} = (1-a) * Ahat H_t + a * H_0``.
+
+    Each propagation step is one generalized SpMM, making APPNP the most
+    SpMM-dense of the models here (K sparse kernels per forward pass).
+    """
+
+    paper_hidden = 64
+
+    def __init__(self, in_dim: int, num_classes: int, hidden: int = 64,
+                 k_hops: int = 8, alpha: float = 0.1, dropout: float = 0.1,
+                 seed: int = 0):
+        super().__init__()
+        if not (0 <= alpha <= 1):
+            raise ValueError("alpha must be in [0, 1]")
+        if k_hops < 1:
+            raise ValueError("k_hops must be >= 1")
+        rng = np.random.default_rng(seed)
+        self.lin1 = Linear(in_dim, hidden, rng=rng)
+        self.lin2 = Linear(hidden, num_classes, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.k_hops = k_hops
+        self.alpha = alpha
+
+    def forward(self, graph: Graph, x: Tensor, backend) -> Tensor:
+        from repro.minidgl.graph import copy_u_sum
+
+        h0 = self.lin2(self.dropout(self.lin1(x).relu()))
+        inv_deg = Tensor((1.0 / np.maximum(graph.in_degrees(), 1))
+                         .astype(np.float32).reshape(-1, 1))
+        h = h0
+        for _ in range(self.k_hops):
+            h = (copy_u_sum(graph, h, backend) * inv_deg) * (1 - self.alpha) \
+                + h0 * self.alpha
+        return h
+
+
+MODELS = {"GCN": GCN, "GraphSage": GraphSage, "GAT": GAT, "APPNP": APPNP}

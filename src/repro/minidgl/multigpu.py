@@ -1,0 +1,181 @@
+"""Multi-GPU GNN aggregation with a chain-based streaming schedule.
+
+The paper's future work (Sec. VII): "integrate FeatGraph into large-scale
+GNN training systems such as NeuGraph to accelerate multi-GPU training."
+NeuGraph [Ma et al., ATC'19] scales GNNs past one GPU by 2D-partitioning the
+dataflow and **streaming vertex chunks through a chain of GPUs**, so each
+chunk crosses the host-to-device link once and then rides the faster
+inter-GPU links.
+
+:class:`MultiGPUSpMM` implements that execution model on top of FeatGraph
+kernels:
+
+- the adjacency is 2D-partitioned (destination chunks x source chunks);
+- each simulated GPU owns a contiguous range of destination chunks;
+- source-feature chunks stream either **host-to-all** (the naive schedule:
+  every GPU pulls every chunk over PCIe) or **chained** (chunk goes to GPU 0
+  over PCIe, then hops GPU-to-GPU over the faster link);
+- per-block partial aggregations execute numerically through the
+  generalized-SpMM template, and the cost model folds kernel time (from
+  :mod:`repro.hwsim.gpu`) with transfer time, overlapping compute and
+  transfer as the streaming schedule allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.partition import partition_2d
+from repro.graph.sparse import CSRMatrix
+from repro.hwsim import gpu as gpu_model
+from repro.hwsim.report import CostReport
+from repro.hwsim.spec import GPUSpec, TESLA_V100
+from repro.hwsim.stats import GraphStats
+
+__all__ = ["MultiGPUSpMM", "LinkSpec"]
+
+F32 = 4
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Interconnect bandwidths of the simulated node."""
+
+    pcie_bw: float = 12e9      # host -> GPU
+    peer_bw: float = 24e9      # GPU -> GPU (NVLink-class chain hop)
+
+
+class MultiGPUSpMM:
+    """Sum-aggregation SpMM sharded across ``num_gpus`` simulated devices."""
+
+    def __init__(self, adj: CSRMatrix, num_gpus: int, feature_len: int,
+                 chunks_per_gpu: int = 2, spec: GPUSpec = TESLA_V100,
+                 links: LinkSpec | None = None):
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if feature_len < 1:
+            raise ValueError("feature_len must be >= 1")
+        self.adj = adj
+        self.num_gpus = int(num_gpus)
+        self.feature_len = int(feature_len)
+        self.spec = spec
+        self.links = links or LinkSpec()
+        n_dst = adj.shape[0]
+        n_src = adj.shape[1]
+        self.num_dst_chunks = min(n_dst, self.num_gpus * int(chunks_per_gpu))
+        self.num_src_chunks = min(n_src, max(self.num_gpus, 4))
+        self.blocks = partition_2d(adj, self.num_dst_chunks, self.num_src_chunks)
+        # destination chunk c belongs to GPU c % num_gpus (round-robin owner)
+        self.owner = [c % self.num_gpus for c in range(self.num_dst_chunks)]
+
+    # ------------------------------------------------------------------
+    def run(self, features: np.ndarray) -> np.ndarray:
+        """Numerically execute the sharded aggregation.
+
+        Each (dst-chunk, src-chunk) block is a partial SpMM on its owner
+        GPU; partials accumulate into the owner's output shard, and the
+        shards concatenate to the full result -- bit-identical to a
+        single-device SpMM over the whole graph.
+        """
+        if features.shape != (self.adj.shape[1], self.feature_len):
+            raise ValueError(
+                f"features must have shape {(self.adj.shape[1], self.feature_len)}")
+        out = np.zeros((self.adj.shape[0], self.feature_len), dtype=np.float32)
+        for block in self.blocks:
+            csr = block.csr
+            if csr.nnz == 0:
+                continue
+            rows = csr.row_of_edge()
+            np.add.at(out, rows, features[csr.indices])
+        return out
+
+    # ------------------------------------------------------------------
+    def _chunk_stats(self, stats: GraphStats):
+        """Edge share and source-chunk bytes at the modeled scale."""
+        m = stats.n_edges
+        chunk_rows = stats.n_src / self.num_src_chunks
+        chunk_bytes = chunk_rows * self.feature_len * F32
+        edges_per_gpu = m / self.num_gpus
+        return edges_per_gpu, chunk_bytes
+
+    def _compute_seconds_per_gpu(self, stats: GraphStats) -> float:
+        """Kernel time for one GPU's share of edges (row-block schedule)."""
+        per_gpu = GraphStats(
+            stats.n_src, max(1, stats.n_dst // self.num_gpus),
+            max(1, stats.n_edges // self.num_gpus),
+            self._scale_degrees(stats, "src"),
+            self._scale_degrees(stats, "dst"),
+        )
+        return gpu_model.spmm_row_block_time(
+            self.spec, per_gpu, self.feature_len, hybrid_partitioning=True,
+            kernel_efficiency=0.92).seconds
+
+    def _scale_degrees(self, stats: GraphStats, side: str) -> np.ndarray:
+        """Degree sequence for one GPU's shard (approximate 1/num_gpus cut)."""
+        if side == "src":
+            n = stats.n_src
+            target_m = max(1, stats.n_edges // self.num_gpus)
+            deg = np.full(n, target_m // n, dtype=np.int64)
+            deg[: target_m - int(deg.sum())] += 1
+            return deg
+        n = max(1, stats.n_dst // self.num_gpus)
+        target_m = max(1, stats.n_edges // self.num_gpus)
+        deg = np.full(n, target_m // n, dtype=np.int64)
+        deg[: target_m - int(deg.sum())] += 1
+        return deg
+
+    def cost(self, stats: GraphStats | None = None,
+             schedule: str = "chain") -> CostReport:
+        """Modeled multi-GPU epoch-kernel time.
+
+        ``schedule``:
+
+        - ``"host-to-all"`` -- every GPU pulls every source chunk over PCIe:
+          total PCIe traffic = num_gpus x feature matrix.
+        - ``"chain"`` -- NeuGraph's streaming schedule: each chunk crosses
+          PCIe once (to the chain head) and then hops peer-to-peer; PCIe
+          traffic = 1x feature matrix, hops overlap with compute.
+        """
+        if schedule not in ("chain", "host-to-all"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        if stats is None:
+            stats = GraphStats.from_csr(self.adj.indptr, self.adj.indices,
+                                        self.adj.shape[1])
+        feat_bytes = stats.n_src * self.feature_len * F32
+        compute_s = self._compute_seconds_per_gpu(stats)
+        if schedule == "host-to-all":
+            # all GPUs share the single host link
+            transfer_s = self.num_gpus * feat_bytes / self.links.pcie_bw
+            overlap = 0.3  # bulk broadcast overlaps poorly with compute
+        else:
+            pcie_s = feat_bytes / self.links.pcie_bw
+            hop_s = feat_bytes / self.links.peer_bw  # pipelined chain hops
+            transfer_s = pcie_s + hop_s / self.num_gpus
+            overlap = 0.8  # chunk k streams while chunk k-1 computes
+        total = max(compute_s, transfer_s) + (1 - overlap) * min(
+            compute_s, transfer_s)
+        return CostReport(
+            seconds=total,
+            compute_seconds=compute_s,
+            memory_seconds=transfer_s,
+            dram_bytes=feat_bytes,
+            detail={"schedule": schedule, "num_gpus": self.num_gpus,
+                    "transfer_seconds": transfer_s},
+        )
+
+    def speedup_over_single(self, stats: GraphStats | None = None,
+                            schedule: str = "chain") -> float:
+        """Modeled speedup of this configuration over one GPU."""
+        if stats is None:
+            stats = GraphStats.from_csr(self.adj.indptr, self.adj.indices,
+                                        self.adj.shape[1])
+        single = gpu_model.spmm_row_block_time(
+            self.spec, stats, self.feature_len, hybrid_partitioning=True,
+            kernel_efficiency=0.92).seconds
+        return single / self.cost(stats, schedule=schedule).seconds
+
+    def __repr__(self):
+        return (f"MultiGPUSpMM(gpus={self.num_gpus}, f={self.feature_len}, "
+                f"blocks={self.num_dst_chunks}x{self.num_src_chunks})")

@@ -1,0 +1,126 @@
+"""Neighbor sampling and mini-batch blocks (GraphSage's training mode).
+
+The paper's GraphSage reference [40] trains on sampled neighborhoods rather
+than the full graph.  This module provides the standard machinery:
+
+- :func:`sample_neighbors` -- uniform fixed-fanout sampling of incoming
+  edges for a set of seed vertices;
+- :class:`Block` -- a bipartite message-passing block whose destination
+  vertices are the seeds and whose source vertices are the sampled frontier
+  (destinations first, so layer outputs align with seed order);
+- :func:`build_blocks` -- the multi-layer sampling pipeline: one block per
+  GNN layer, sampled inside-out.
+
+Blocks wrap an ordinary pull-layout CSR, so every FeatGraph kernel and both
+minidgl backends run on them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.sparse import CSRMatrix, from_edges
+
+__all__ = ["Block", "sample_neighbors", "build_blocks", "minibatches"]
+
+
+@dataclass
+class Block:
+    """A bipartite sampled block for one message-passing layer.
+
+    ``src_ids``/``dst_ids`` map local positions to global vertex ids;
+    ``dst_ids == src_ids[: num_dst]`` (the seeds are included as sources so
+    self-information can flow).  ``adj`` is pull-layout local CSR with shape
+    ``(num_dst, num_src)``.
+    """
+
+    adj: CSRMatrix
+    src_ids: np.ndarray
+    dst_ids: np.ndarray
+
+    @property
+    def num_src(self) -> int:
+        return len(self.src_ids)
+
+    @property
+    def num_dst(self) -> int:
+        return len(self.dst_ids)
+
+    def gather_src_features(self, features: np.ndarray) -> np.ndarray:
+        """Slice the global feature matrix to this block's source order."""
+        return features[self.src_ids]
+
+
+def sample_neighbors(adj: CSRMatrix, seeds: np.ndarray, fanout: int,
+                     rng: np.random.Generator) -> Block:
+    """Uniformly sample up to ``fanout`` incoming edges per seed vertex.
+
+    Vertices with degree <= fanout keep all their edges (sampling without
+    replacement).
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if len(np.unique(seeds)) != len(seeds):
+        raise ValueError("seeds must be unique")
+    picked_src: list[np.ndarray] = []
+    picked_dst: list[np.ndarray] = []
+    for local, v in enumerate(seeds):
+        lo, hi = adj.indptr[v], adj.indptr[v + 1]
+        deg = hi - lo
+        if deg == 0:
+            continue
+        if deg <= fanout:
+            cols = adj.indices[lo:hi]
+        else:
+            offs = rng.choice(deg, size=fanout, replace=False)
+            cols = adj.indices[lo + offs]
+        picked_src.append(cols)
+        picked_dst.append(np.full(len(cols), local, dtype=np.int64))
+    if picked_src:
+        g_src = np.concatenate(picked_src)
+        l_dst = np.concatenate(picked_dst)
+    else:
+        g_src = np.empty(0, dtype=np.int64)
+        l_dst = np.empty(0, dtype=np.int64)
+    # local source ids: seeds first, then newly discovered frontier vertices
+    frontier = np.setdiff1d(np.unique(g_src), seeds)
+    src_ids = np.concatenate([seeds, frontier])
+    remap = {int(v): i for i, v in enumerate(src_ids)}
+    l_src = np.fromiter((remap[int(v)] for v in g_src), dtype=np.int64,
+                        count=len(g_src))
+    block_adj = from_edges(len(src_ids), len(seeds), l_src, l_dst)
+    return Block(adj=block_adj, src_ids=src_ids, dst_ids=seeds)
+
+
+def build_blocks(adj: CSRMatrix, seeds: np.ndarray, fanouts: list[int],
+                 rng: np.random.Generator) -> list[Block]:
+    """Multi-layer sampling: one block per layer, **output layer first in
+    the returned list reversed to execution order**.
+
+    ``fanouts[i]`` is the fanout of layer i (input-side layer first).  The
+    returned blocks are ordered for forward execution: ``blocks[0]`` is the
+    input-most layer (largest frontier), ``blocks[-1]``'s destinations are
+    the original seeds.
+    """
+    blocks: list[Block] = []
+    current = np.asarray(seeds, dtype=np.int64)
+    for fanout in reversed(fanouts):
+        block = sample_neighbors(adj, current, fanout, rng)
+        blocks.append(block)
+        current = block.src_ids
+    blocks.reverse()
+    return blocks
+
+
+def minibatches(ids: np.ndarray, batch_size: int,
+                rng: np.random.Generator | None = None):
+    """Yield shuffled batches of vertex ids."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    ids = np.asarray(ids)
+    order = rng.permutation(len(ids)) if rng is not None else np.arange(len(ids))
+    for lo in range(0, len(ids), batch_size):
+        yield ids[order[lo:lo + batch_size]]

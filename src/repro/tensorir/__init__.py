@@ -1,0 +1,104 @@
+"""A miniature tensor compiler, standing in for Apache TVM.
+
+FeatGraph expresses per-vertex/per-edge feature computations (UDFs) in TVM's
+tensor-expression language and optimizes them with TVM schedules.  This
+package reimplements, from scratch, the subset of TVM that the paper's code
+listings exercise:
+
+- :mod:`repro.tensorir.expr` -- the tensor-expression language
+  (``placeholder``, ``compute``, ``reduce_axis``, arithmetic, reductions).
+- :mod:`repro.tensorir.schedule` -- schedule primitives
+  (``split``, ``tile``, ``fuse``, ``reorder``, ``bind``, ``tree_reduce``,
+  ``parallel``, ``vectorize``, ``unroll``, ``cache_read``).
+- :mod:`repro.tensorir.ir` -- a loop-nest intermediate representation.
+- :mod:`repro.tensorir.lower` -- lowering of a scheduled compute to loop IR.
+- :mod:`repro.tensorir.codegen` -- generation of executable Python kernels
+  from the IR, for a CPU target and a simulated-GPU target.
+- :mod:`repro.tensorir.evaluator` -- a vectorized (numpy) interpreter for
+  tensor expressions with batched free variables; the execution engine used
+  by FeatGraph's sparse templates.
+- :mod:`repro.tensorir.runtime` -- a persistent worker pool modeled on TVM's
+  customized thread pool.
+"""
+
+from repro.tensorir.expr import (
+    Expr,
+    Var,
+    IterVar,
+    IntImm,
+    FloatImm,
+    BinOp,
+    Call,
+    Select,
+    Cast,
+    Reduce,
+    TensorElem,
+    Tensor,
+    ComputeOp,
+    PlaceholderOp,
+    placeholder,
+    compute,
+    reduce_axis,
+    sum as sum_reduce,
+    max as max_reduce,
+    min as min_reduce,
+    prod as prod_reduce,
+    exp,
+    log,
+    sqrt,
+    tanh,
+    sigmoid,
+    relu,
+    maximum,
+    minimum,
+    select,
+    const,
+)
+from repro.tensorir.schedule import Schedule, Stage, create_schedule
+from repro.tensorir.evaluator import evaluate, evaluate_batched
+from repro.tensorir.lower import lower
+from repro.tensorir.codegen import build
+from repro.tensorir.runtime import WorkPool, default_pool
+
+__all__ = [
+    "Expr",
+    "Var",
+    "IterVar",
+    "IntImm",
+    "FloatImm",
+    "BinOp",
+    "Call",
+    "Select",
+    "Cast",
+    "Reduce",
+    "TensorElem",
+    "Tensor",
+    "ComputeOp",
+    "PlaceholderOp",
+    "placeholder",
+    "compute",
+    "reduce_axis",
+    "sum_reduce",
+    "max_reduce",
+    "min_reduce",
+    "prod_reduce",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "maximum",
+    "minimum",
+    "select",
+    "const",
+    "Schedule",
+    "Stage",
+    "create_schedule",
+    "evaluate",
+    "evaluate_batched",
+    "lower",
+    "build",
+    "WorkPool",
+    "default_pool",
+]

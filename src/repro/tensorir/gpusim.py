@@ -1,0 +1,81 @@
+"""Functional GPU-launch checking.
+
+The GPU-target kernels produced by :func:`repro.tensorir.build` simulate a
+launch by iterating the grid serially.  Real CUDA blocks execute in
+arbitrary order, so a kernel is only *correct* if its result is independent
+of block scheduling.  :func:`racecheck` verifies that property empirically:
+it executes the kernel several times under random block permutations and
+reports any output divergence -- the moral equivalent of running
+``cuda-memcheck --tool racecheck`` on the generated kernel.
+
+FeatGraph's generated kernels are block-race-free by construction (each
+block owns disjoint output rows); this module is the test harness that keeps
+that invariant honest as schedules evolve.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.tensorir.codegen import Kernel
+
+__all__ = ["racecheck", "RaceError", "run_with_block_order"]
+
+
+class RaceError(AssertionError):
+    """The kernel's output depends on block execution order."""
+
+
+def _grid(kernel: Kernel):
+    dims = kernel.launch_dims
+    grid = [dims.get(t, 1) for t in ("block.x", "block.y", "block.z")]
+    block = [dims.get(t, 1) for t in ("thread.x", "thread.y", "thread.z")]
+    blocks = list(itertools.product(range(grid[2]), range(grid[1]),
+                                    range(grid[0])))
+    threads = list(itertools.product(range(block[2]), range(block[1]),
+                                     range(block[0])))
+    return blocks, threads
+
+
+def run_with_block_order(kernel: Kernel, arrays, order: np.ndarray,
+                         out: np.ndarray | None = None) -> np.ndarray:
+    """Execute a GPU kernel with blocks scheduled in the given order."""
+    if kernel.target != "gpu":
+        raise ValueError("racecheck applies to GPU-target kernels")
+    blocks, threads = _grid(kernel)
+    if out is None:
+        out = np.empty(kernel.output.shape, dtype=kernel.output.dtype)
+    for idx in order:
+        bz, by, bx = blocks[int(idx)]
+        for tz, ty, tx in threads:
+            kernel._fn(out, *arrays, _tidx=(bx, by, bz, tx, ty, tz))
+    return out
+
+
+def racecheck(kernel: Kernel, *arrays: np.ndarray, trials: int = 4,
+              seed: int = 0, atol: float = 0.0) -> np.ndarray:
+    """Run the kernel under random block orders; raise on divergence.
+
+    ``atol=0`` demands bit-identical results (right for kernels whose blocks
+    write disjoint locations); a small tolerance admits commutative
+    floating-point accumulation differences.  Returns the reference output.
+    """
+    if trials < 2:
+        raise ValueError("racecheck needs at least 2 trials")
+    blocks, _ = _grid(kernel)
+    n_blocks = len(blocks)
+    rng = np.random.default_rng(seed)
+    reference = run_with_block_order(kernel, arrays, np.arange(n_blocks))
+    for t in range(trials - 1):
+        order = rng.permutation(n_blocks)
+        got = run_with_block_order(kernel, arrays, order)
+        if not np.allclose(got, reference, atol=atol, rtol=0,
+                           equal_nan=True):
+            diverged = int((~np.isclose(got, reference, atol=atol,
+                                        rtol=0)).sum())
+            raise RaceError(
+                f"kernel output depends on block order: {diverged} element(s)"
+                f" diverged under permutation trial {t + 1}")
+    return reference

@@ -1,0 +1,190 @@
+"""Loop-nest intermediate representation.
+
+The paper implements the SpMM/SDDMM templates "by directly constructing and
+manipulating the IR" of TVM.  This module provides that IR: a small statement
+language (loops, stores, conditionals, allocations) over the expression
+language of :mod:`repro.tensorir.expr`.
+
+Statements are immutable trees.  :func:`stmt_to_str` pretty-prints an IR tree
+in a TVM-like surface syntax, which the tests use to assert that schedule
+transformations produce the intended loop structures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.tensorir.expr import Expr, IterVar
+
+__all__ = [
+    "Stmt",
+    "For",
+    "Store",
+    "SeqStmt",
+    "IfThenElse",
+    "Allocate",
+    "AttrStmt",
+    "Evaluate",
+    "BufferRef",
+    "stmt_to_str",
+    "walk",
+]
+
+
+class Stmt:
+    """Base class of IR statements."""
+
+    def children(self) -> tuple["Stmt", ...]:
+        return ()
+
+
+class BufferRef:
+    """A named output/intermediate buffer with a shape and dtype."""
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype: str = "float32"):
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = dtype
+
+    def __repr__(self):
+        return f"BufferRef({self.name}, {self.shape})"
+
+
+class For(Stmt):
+    """A loop over ``var`` in ``[0, extent)``.
+
+    ``kind`` is one of ``serial``, ``parallel``, ``vectorize``, ``unroll``,
+    or a thread-binding tag like ``blockIdx.x`` / ``threadIdx.x``.
+    """
+
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+    VECTORIZE = "vectorize"
+    UNROLL = "unroll"
+
+    def __init__(self, var: IterVar, extent: int, body: Stmt, kind: str = SERIAL):
+        self.var = var
+        self.extent = int(extent)
+        self.body = body
+        self.kind = kind
+
+    def children(self):
+        return (self.body,)
+
+
+class Store(Stmt):
+    """``buffer[indices] = value`` (or combine-update when ``combiner`` set)."""
+
+    def __init__(
+        self,
+        buffer: BufferRef,
+        value: Expr,
+        indices: Sequence[Expr],
+        combiner: str | None = None,
+    ):
+        self.buffer = buffer
+        self.value = value
+        self.indices = tuple(indices)
+        self.combiner = combiner  # None = plain store; "sum"/"max"/... = update
+
+
+class SeqStmt(Stmt):
+    """Sequential composition of statements."""
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        self.stmts = tuple(stmts)
+
+    def children(self):
+        return self.stmts
+
+
+class IfThenElse(Stmt):
+    """Conditional statement; ``else_body`` may be None."""
+
+    def __init__(self, cond: Expr, then_body: Stmt, else_body: Stmt | None = None):
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+    def children(self):
+        if self.else_body is None:
+            return (self.then_body,)
+        return (self.then_body, self.else_body)
+
+
+class Allocate(Stmt):
+    """Allocate a scratch buffer (e.g. GPU shared memory) visible in ``body``."""
+
+    def __init__(self, buffer: BufferRef, scope: str, body: Stmt):
+        self.buffer = buffer
+        self.scope = scope  # "global" | "shared" | "local"
+        self.body = body
+
+    def children(self):
+        return (self.body,)
+
+
+class AttrStmt(Stmt):
+    """Attach a key/value attribute to a subtree (thread extents, pragmas)."""
+
+    def __init__(self, key: str, value, body: Stmt):
+        self.key = key
+        self.value = value
+        self.body = body
+
+    def children(self):
+        return (self.body,)
+
+
+class Evaluate(Stmt):
+    """Evaluate an expression for effect (rare; used for barriers markers)."""
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+def walk(stmt: Stmt):
+    """Pre-order traversal of an IR tree."""
+    yield stmt
+    for c in stmt.children():
+        yield from walk(c)
+
+
+def _expr_str(e) -> str:
+    return repr(e)
+
+
+def stmt_to_str(stmt: Stmt, indent: int = 0) -> str:
+    """Pretty-print an IR tree."""
+    pad = "  " * indent
+    if isinstance(stmt, For):
+        head = {"serial": "for", "parallel": "parallel for",
+                "vectorize": "vectorized for", "unroll": "unrolled for"}.get(
+            stmt.kind, f"for[{stmt.kind}]"
+        )
+        return (
+            f"{pad}{head} {stmt.var.name} in range({stmt.extent}):\n"
+            + stmt_to_str(stmt.body, indent + 1)
+        )
+    if isinstance(stmt, Store):
+        idx = ", ".join(_expr_str(i) for i in stmt.indices)
+        if stmt.combiner is None:
+            return f"{pad}{stmt.buffer.name}[{idx}] = {_expr_str(stmt.value)}"
+        return f"{pad}{stmt.buffer.name}[{idx}] <{stmt.combiner}>= {_expr_str(stmt.value)}"
+    if isinstance(stmt, SeqStmt):
+        return "\n".join(stmt_to_str(s, indent) for s in stmt.stmts)
+    if isinstance(stmt, IfThenElse):
+        out = f"{pad}if {_expr_str(stmt.cond)}:\n" + stmt_to_str(stmt.then_body, indent + 1)
+        if stmt.else_body is not None:
+            out += f"\n{pad}else:\n" + stmt_to_str(stmt.else_body, indent + 1)
+        return out
+    if isinstance(stmt, Allocate):
+        return (
+            f"{pad}allocate {stmt.buffer.name}{list(stmt.buffer.shape)} "
+            f"scope={stmt.scope}\n" + stmt_to_str(stmt.body, indent)
+        )
+    if isinstance(stmt, AttrStmt):
+        return f"{pad}// attr {stmt.key} = {stmt.value}\n" + stmt_to_str(stmt.body, indent)
+    if isinstance(stmt, Evaluate):
+        return f"{pad}evaluate({_expr_str(stmt.expr)})"
+    raise TypeError(f"unknown stmt {type(stmt).__name__}")

@@ -1,0 +1,263 @@
+"""Schedule primitives.
+
+A :class:`Schedule` records, per compute op, a loop-transformation recipe in
+the style of TVM/Halide: the *what* (the compute definition) stays fixed,
+while ``split`` / ``fuse`` / ``reorder`` / ``bind`` / ``tree_reduce`` /
+``parallel`` / ``vectorize`` / ``unroll`` reshape the loop nest that computes
+it.
+
+FeatGraph's *feature dimension schedule* (FDS) is exactly a schedule built
+with these primitives on a UDF's output tensor (paper Figs. 3a, 4a, 8, 9).
+The sparse templates introspect the schedule via the ``tiling_of`` /
+``binding_of`` / ``tree_reduce_axes`` accessors to pick tiling factors and
+GPU parallelization for the feature dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.tensorir.expr import ComputeOp, IterVar, Tensor
+
+__all__ = ["Schedule", "Stage", "SplitRel", "FuseRel", "create_schedule", "THREAD_TAGS"]
+
+THREAD_TAGS = (
+    "block.x",
+    "block.y",
+    "block.z",
+    "thread.x",
+    "thread.y",
+    "thread.z",
+)
+
+
+class SplitRel:
+    """Records ``parent -> (outer, inner)`` with ``parent = outer*factor + inner``."""
+
+    def __init__(self, parent: IterVar, outer: IterVar, inner: IterVar, factor: int):
+        self.parent = parent
+        self.outer = outer
+        self.inner = inner
+        self.factor = factor
+
+
+class FuseRel:
+    """Records ``(outer, inner) -> fused`` with
+    ``fused = outer*inner_extent + inner``."""
+
+    def __init__(self, outer: IterVar, inner: IterVar, fused: IterVar):
+        self.outer = outer
+        self.inner = inner
+        self.fused = fused
+
+
+class Stage:
+    """The schedule state of one compute op."""
+
+    def __init__(self, tensor: Tensor):
+        if not isinstance(tensor.op, ComputeOp):
+            raise TypeError(f"{tensor.name} is not a compute tensor")
+        self.tensor = tensor
+        self.op: ComputeOp = tensor.op
+        # Loop order: data-parallel axes first, then reduce axes, as in TVM.
+        self.leaf_iter_vars: list[IterVar] = list(self.op.axis) + list(self.op.reduce_axis)
+        self.relations: list[SplitRel | FuseRel] = []
+        # name -> {"bind": tag, "kind": "parallel"|"vectorize"|"unroll",
+        #          "tree_reduce": tag}
+        self.iter_attrs: dict[str, dict] = {}
+        self.cache_reads: list[tuple[Tensor, str]] = []
+
+    # ------------------------------------------------------------------
+    # transformation primitives
+    # ------------------------------------------------------------------
+    def _replace_leaf(self, axis: IterVar, new: Sequence[IterVar]):
+        try:
+            pos = self.leaf_iter_vars.index(axis)
+        except ValueError:
+            raise ValueError(
+                f"axis {axis.name} is not a leaf iter var of stage {self.op.name}"
+            ) from None
+        self.leaf_iter_vars[pos : pos + 1] = list(new)
+
+    def split(self, axis: IterVar, factor: int | None = None, nparts: int | None = None):
+        """Split ``axis`` into an (outer, inner) pair.
+
+        Exactly one of ``factor`` (inner extent) or ``nparts`` (outer extent)
+        must be given.  Returns ``(outer, inner)``.
+        """
+        if (factor is None) == (nparts is None):
+            raise ValueError("give exactly one of factor= or nparts=")
+        extent = axis.extent
+        if factor is not None:
+            factor = int(factor)
+            if factor <= 0:
+                raise ValueError("split factor must be positive")
+            n_outer = math.ceil(extent / factor)
+        else:
+            nparts = int(nparts)
+            if nparts <= 0:
+                raise ValueError("split nparts must be positive")
+            factor = math.ceil(extent / nparts)
+            n_outer = nparts
+        outer = IterVar((0, n_outer), name=f"{axis.name}.outer", kind=axis.kind)
+        inner = IterVar((0, factor), name=f"{axis.name}.inner", kind=axis.kind)
+        self.relations.append(SplitRel(axis, outer, inner, factor))
+        self._replace_leaf(axis, (outer, inner))
+        return outer, inner
+
+    def fuse(self, outer: IterVar, inner: IterVar) -> IterVar:
+        """Fuse two adjacent axes into one."""
+        pos_o = self.leaf_iter_vars.index(outer)
+        pos_i = self.leaf_iter_vars.index(inner)
+        if pos_i != pos_o + 1:
+            raise ValueError("fuse requires adjacent axes (outer immediately before inner)")
+        fused = IterVar(
+            (0, outer.extent * inner.extent),
+            name=f"{outer.name}.{inner.name}.fused",
+            kind=outer.kind,
+        )
+        self.relations.append(FuseRel(outer, inner, fused))
+        self.leaf_iter_vars[pos_o : pos_i + 1] = [fused]
+        return fused
+
+    def reorder(self, *axes: IterVar):
+        """Reorder the given leaf axes into the given relative order."""
+        positions = sorted(self.leaf_iter_vars.index(ax) for ax in axes)
+        if len(set(positions)) != len(axes):
+            raise ValueError("reorder got a repeated axis")
+        for pos, ax in zip(positions, axes):
+            self.leaf_iter_vars[pos] = ax
+
+    def tile(self, x: IterVar, y: IterVar, x_factor: int, y_factor: int):
+        """2-D tiling: split both axes and reorder to (xo, yo, xi, yi)."""
+        xo, xi = self.split(x, factor=x_factor)
+        yo, yi = self.split(y, factor=y_factor)
+        self.reorder(xo, yo, xi, yi)
+        return xo, yo, xi, yi
+
+    # ------------------------------------------------------------------
+    # annotations
+    # ------------------------------------------------------------------
+    def _attr(self, axis: IterVar) -> dict:
+        if axis not in self.leaf_iter_vars:
+            raise ValueError(f"axis {axis.name} is not a leaf iter var")
+        return self.iter_attrs.setdefault(axis.name, {})
+
+    def bind(self, axis: IterVar, tag: str):
+        """Bind an axis to a GPU thread index (``block.x``, ``thread.x``, ...)."""
+        if tag not in THREAD_TAGS:
+            raise ValueError(f"unknown thread tag {tag!r}; expected one of {THREAD_TAGS}")
+        self._attr(axis)["bind"] = tag
+
+    def tree_reduce(self, axis: IterVar, tag: str):
+        """Parallelize a reduction axis with a tree reduction across the
+        threads named by ``tag`` (paper Fig. 4a line 15)."""
+        if axis.kind != IterVar.REDUCE:
+            raise ValueError("tree_reduce applies to reduce axes only")
+        if tag not in THREAD_TAGS:
+            raise ValueError(f"unknown thread tag {tag!r}")
+        self._attr(axis)["tree_reduce"] = tag
+
+    def parallel(self, axis: IterVar):
+        """Mark an axis for multi-threaded execution (CPU)."""
+        self._attr(axis)["kind"] = "parallel"
+
+    def vectorize(self, axis: IterVar):
+        """Mark an innermost axis for SIMD execution."""
+        self._attr(axis)["kind"] = "vectorize"
+
+    def unroll(self, axis: IterVar):
+        """Mark an axis for full unrolling."""
+        self._attr(axis)["kind"] = "unroll"
+
+    def cache_read(self, tensor: Tensor, scope: str):
+        """Stage reads of ``tensor`` through a faster memory ``scope``
+        (``"shared"`` on GPU, ``"cache"`` on CPU)."""
+        if scope not in ("shared", "cache", "local"):
+            raise ValueError(f"unknown memory scope {scope!r}")
+        self.cache_reads.append((tensor, scope))
+
+    # ------------------------------------------------------------------
+    # introspection (used by FeatGraph's templates and the cost models)
+    # ------------------------------------------------------------------
+    def root_of(self, axis: IterVar) -> IterVar:
+        """Walk split/fuse relations up to the original compute axis."""
+        current = axis
+        changed = True
+        while changed:
+            changed = False
+            for rel in self.relations:
+                if isinstance(rel, SplitRel) and current in (rel.outer, rel.inner):
+                    current = rel.parent
+                    changed = True
+                elif isinstance(rel, FuseRel) and current is rel.fused:
+                    current = rel.outer  # arbitrary but deterministic root choice
+                    changed = True
+        return current
+
+    def tiling_of(self, root_axis: IterVar) -> list[int]:
+        """Inner split factors applied (in application order) to a root axis."""
+        factors: list[int] = []
+        frontier = {root_axis.name}
+        for rel in self.relations:
+            if isinstance(rel, SplitRel) and rel.parent.name in frontier:
+                factors.append(rel.factor)
+                frontier.discard(rel.parent.name)
+                frontier.add(rel.outer.name)
+                frontier.add(rel.inner.name)
+        return factors
+
+    def binding_of(self, tag: str) -> IterVar | None:
+        """The leaf axis bound to a thread tag, or None."""
+        for ax in self.leaf_iter_vars:
+            if self.iter_attrs.get(ax.name, {}).get("bind") == tag:
+                return ax
+        return None
+
+    def tree_reduce_axes(self) -> list[tuple[IterVar, str]]:
+        """Reduce axes marked for tree reduction, with their thread tags."""
+        out = []
+        for ax in self.leaf_iter_vars:
+            tag = self.iter_attrs.get(ax.name, {}).get("tree_reduce")
+            if tag is not None:
+                out.append((ax, tag))
+        return out
+
+    def annotation_of(self, axis: IterVar) -> dict:
+        return dict(self.iter_attrs.get(axis.name, {}))
+
+
+class Schedule:
+    """A collection of stages, one per compute op reachable from the outputs."""
+
+    def __init__(self, outputs: Sequence[Tensor]):
+        self.outputs = list(outputs)
+        self.stages: dict[str, Stage] = {}
+        for t in self.outputs:
+            self._add_stage(t)
+
+    def _add_stage(self, tensor: Tensor):
+        if isinstance(tensor.op, ComputeOp) and tensor.name not in self.stages:
+            self.stages[tensor.name] = Stage(tensor)
+            for inp in tensor.op.input_tensors():
+                self._add_stage(inp)
+
+    def __getitem__(self, tensor: Tensor) -> Stage:
+        try:
+            return self.stages[tensor.name]
+        except KeyError:
+            raise KeyError(f"no stage for tensor {tensor.name}") from None
+
+    def cache_read(self, tensor: Tensor, scope: str, reader: Tensor) -> None:
+        """Route ``reader``'s loads of ``tensor`` through memory ``scope``."""
+        self[reader].cache_read(tensor, scope)
+
+
+def create_schedule(tensor_or_tensors) -> Schedule:
+    """Create a default (identity) schedule for one or more output tensors."""
+    if isinstance(tensor_or_tensors, Tensor):
+        outputs = [tensor_or_tensors]
+    else:
+        outputs = list(tensor_or_tensors)
+    return Schedule(outputs)

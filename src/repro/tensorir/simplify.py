@@ -1,0 +1,121 @@
+"""Expression simplification.
+
+A classic tensor-compiler pass: constant folding and algebraic identities
+(``x+0``, ``x*1``, ``x*0``, ``x/1``, ``max(x, -inf)``, nested cast removal).
+Applied during lowering so that scheduled index arithmetic like
+``(i_outer * 1 + i_inner)`` and UDF expressions carrying literal zeros don't
+pollute generated code or flop counts.
+"""
+
+from __future__ import annotations
+
+from repro.tensorir import expr as E
+
+__all__ = ["simplify"]
+
+
+def _is_const(node: E.Expr, value: float | None = None) -> bool:
+    if isinstance(node, (E.IntImm, E.FloatImm)):
+        return value is None or float(node.value) == float(value)
+    return False
+
+
+def _const_value(node: E.Expr) -> float:
+    return float(node.value)  # type: ignore[attr-defined]
+
+
+def _fold(op: str, a: float, b: float, dtype: str) -> E.Expr:
+    if op == "+":
+        v = a + b
+    elif op == "-":
+        v = a - b
+    elif op == "*":
+        v = a * b
+    elif op == "/":
+        v = a / b
+    elif op == "//":
+        v = a // b
+    elif op == "%":
+        v = a % b
+    elif op == "max":
+        v = max(a, b)
+    elif op == "min":
+        v = min(a, b)
+    else:
+        raise ValueError(op)
+    if dtype.startswith("int"):
+        return E.IntImm(int(v), dtype)
+    return E.FloatImm(v, dtype)
+
+
+def simplify(node: E.Expr) -> E.Expr:
+    """Return a simplified (possibly identical) expression tree."""
+    if isinstance(node, (E.IntImm, E.FloatImm, E.Var, E.IterVar)):
+        return node
+    if isinstance(node, E.TensorElem):
+        return E.TensorElem(node.tensor, [simplify(i) for i in node.indices])
+    if isinstance(node, E.Call):
+        return E.Call(node.func, [simplify(a) for a in node.args],
+                      dtype=node.dtype)
+    if isinstance(node, E.Select):
+        cond = simplify(node.cond)
+        then = simplify(node.then)
+        other = simplify(node.otherwise)
+        if _is_const(cond):
+            return then if _const_value(cond) else other
+        return E.Select(cond, then, other)
+    if isinstance(node, E.Cast):
+        inner = simplify(node.value)
+        if isinstance(inner, E.Cast):
+            inner = inner.value
+        if inner.dtype == node.dtype:
+            return inner
+        return E.Cast(inner, node.dtype)
+    if isinstance(node, E.Reduce):
+        return E.Reduce(node.combiner, simplify(node.source), node.axes)
+    if isinstance(node, E.BinOp):
+        a = simplify(node.a)
+        b = simplify(node.b)
+        op = node.op
+        if _is_const(a) and _is_const(b):
+            if op in ("<", "<=", ">", ">=", "==", "!="):
+                av, bv = _const_value(a), _const_value(b)
+                result = {"<": av < bv, "<=": av <= bv, ">": av > bv,
+                          ">=": av >= bv, "==": av == bv, "!=": av != bv}[op]
+                return E.IntImm(int(result), "bool")
+            return _fold(op, _const_value(a), _const_value(b), node.dtype)
+        # algebraic identities
+        if op == "+":
+            if _is_const(a, 0):
+                return b
+            if _is_const(b, 0):
+                return a
+        elif op == "-":
+            if _is_const(b, 0):
+                return a
+        elif op == "*":
+            if _is_const(a, 1):
+                return b
+            if _is_const(b, 1):
+                return a
+            if _is_const(a, 0) or _is_const(b, 0):
+                return E.const(0, node.dtype) if node.dtype.startswith("int") \
+                    else E.FloatImm(0.0, node.dtype)
+        elif op == "/":
+            if _is_const(b, 1):
+                return a
+        elif op == "//":
+            if _is_const(b, 1):
+                return a
+        elif op == "max":
+            if _is_const(a, float("-inf")):
+                return b
+            if _is_const(b, float("-inf")):
+                return a
+        elif op == "min":
+            if _is_const(a, float("inf")):
+                return b
+            if _is_const(b, float("inf")):
+                return a
+        return E.BinOp(op, a, b, dtype=node.dtype)
+    raise TypeError(f"cannot simplify {type(node).__name__}")

@@ -1,0 +1,119 @@
+"""Classic graph algorithms on the baseline frameworks, vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.algorithms import connected_components, k_core, triangle_count
+from repro.baselines.ligra import LigraGraph
+from repro.graph.sparse import from_edges
+
+
+def _random(n=60, m=200, seed=0):
+    r = np.random.default_rng(seed)
+    src = r.integers(0, n, m)
+    dst = r.integers(0, n, m)
+    return from_edges(n, n, src, dst), src, dst
+
+
+def _nx_undirected(adj):
+    G = nx.Graph()
+    G.add_nodes_from(range(adj.shape[0]))
+    G.add_edges_from(zip(adj.indices.tolist(), adj.row_of_edge().tolist()))
+    G.remove_edges_from(nx.selfloop_edges(G))
+    return G
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self):
+        adj, *_ = _random(seed=1)
+        labels = connected_components(LigraGraph(adj))
+        G = _nx_undirected(adj)
+        for comp in nx.connected_components(G):
+            comp = sorted(comp)
+            assert len(set(labels[comp])) == 1
+
+    def test_distinct_components_get_distinct_labels(self):
+        # two disjoint triangles
+        src = np.array([0, 1, 2, 3, 4, 5])
+        dst = np.array([1, 2, 0, 4, 5, 3])
+        adj = from_edges(6, 6, src, dst)
+        labels = connected_components(LigraGraph(adj))
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+        assert labels[0] != labels[3]
+
+    def test_isolated_vertices_keep_own_label(self):
+        adj = from_edges(5, 5, np.array([0]), np.array([1]))
+        labels = connected_components(LigraGraph(adj))
+        assert labels[2] == 2 and labels[3] == 3 and labels[4] == 4
+
+    def test_labels_are_component_minima(self):
+        adj, *_ = _random(seed=2)
+        labels = connected_components(LigraGraph(adj))
+        G = _nx_undirected(adj)
+        for comp in nx.connected_components(G):
+            assert labels[min(comp)] == min(comp)
+
+
+class TestKCore:
+    def test_matches_networkx(self):
+        adj, *_ = _random(n=40, m=300, seed=3)
+        G = _nx_undirected(adj)
+        # networkx k_core uses simple-graph degrees; our peeling counts
+        # parallel edges, so compare on the deduplicated graph
+        simple = from_edges(
+            40, 40,
+            np.array([u for u, v in G.edges] + [v for u, v in G.edges]),
+            np.array([v for u, v in G.edges] + [u for u, v in G.edges]),
+        )
+        for k in (2, 3, 4):
+            ours = set(k_core(simple, k).tolist())
+            theirs = set(nx.k_core(G, k).nodes)
+            assert ours == theirs, k
+
+    def test_k_zero_keeps_everything(self):
+        adj, *_ = _random(seed=4)
+        assert len(k_core(adj, 0)) == adj.shape[0]
+
+    def test_huge_k_empties(self):
+        adj, *_ = _random(seed=5)
+        assert len(k_core(adj, 10_000)) == 0
+
+    def test_negative_k_rejected(self):
+        adj, *_ = _random()
+        with pytest.raises(ValueError):
+            k_core(adj, -1)
+
+
+class TestTriangleCount:
+    def test_matches_networkx(self):
+        adj, *_ = _random(n=30, m=300, seed=6)
+        ours = triangle_count(adj)
+        G = _nx_undirected(adj)
+        theirs = sum(nx.triangles(G).values()) // 3
+        assert ours == theirs
+
+    def test_known_small_graphs(self):
+        # one triangle
+        adj = from_edges(3, 3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+        assert triangle_count(adj) == 1
+        # a square has none
+        adj = from_edges(4, 4, np.array([0, 1, 2, 3]), np.array([1, 2, 3, 0]))
+        assert triangle_count(adj) == 0
+
+    def test_parallel_edges_and_self_loops_ignored(self):
+        src = np.array([0, 0, 1, 2, 2, 1])
+        dst = np.array([1, 1, 2, 0, 2, 0])
+        adj = from_edges(3, 3, src, dst)
+        assert triangle_count(adj) == 1
+
+    def test_complete_graph(self):
+        n = 7
+        src, dst = [], []
+        for i in range(n):
+            for j in range(i + 1, n):
+                src.append(i)
+                dst.append(j)
+        adj = from_edges(n, n, np.array(src), np.array(dst))
+        assert triangle_count(adj) == n * (n - 1) * (n - 2) // 6

@@ -1,0 +1,178 @@
+"""Ligra framework tests: the programming model itself (edge_map /
+vertex_map / direction switching), classic algorithms, and the GNN kernels."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ligra import (
+    Frontier,
+    LigraBackend,
+    LigraGraph,
+    bfs,
+    edge_map,
+    pagerank,
+    vertex_map,
+)
+from repro.graph.sparse import from_edges
+
+
+def _chain_graph(n=10):
+    """0 -> 1 -> 2 -> ... -> n-1"""
+    src = np.arange(n - 1)
+    dst = np.arange(1, n)
+    return from_edges(n, n, src, dst)
+
+
+def _random(n=50, m=600, seed=0):
+    r = np.random.default_rng(seed)
+    return from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m)), r
+
+
+class TestFrontier:
+    def test_sparse_dense_round_trip(self):
+        fr = Frontier(10, ids=np.array([1, 5]))
+        assert fr.dense()[1] and fr.dense()[5] and fr.dense().sum() == 2
+        fd = Frontier(10, dense=fr.dense())
+        assert set(fd.ids()) == {1, 5}
+
+    def test_all_and_empty(self):
+        assert len(Frontier.all(7)) == 7
+        assert len(Frontier.empty(7)) == 0
+
+    def test_exactly_one_representation(self):
+        with pytest.raises(ValueError):
+            Frontier(4)
+        with pytest.raises(ValueError):
+            Frontier(4, ids=np.array([0]), dense=np.zeros(4, bool))
+
+
+class TestVertexMap:
+    def test_filters_by_predicate(self):
+        fr = Frontier(10, ids=np.arange(10))
+        out = vertex_map(fr, lambda ids: ids % 2 == 0)
+        assert set(out.ids()) == {0, 2, 4, 6, 8}
+
+    def test_empty_input(self):
+        out = vertex_map(Frontier.empty(5), lambda ids: ids >= 0)
+        assert len(out) == 0
+
+    def test_shape_mismatch_rejected(self):
+        fr = Frontier(5, ids=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            vertex_map(fr, lambda ids: np.array([True]))
+
+
+class TestEdgeMap:
+    def test_push_pull_equivalent(self):
+        adj, r = _random(seed=1)
+        g = LigraGraph(adj)
+        seen_push = np.zeros(g.n, bool)
+        seen_pull = np.zeros(g.n, bool)
+        frontier = Frontier(g.n, ids=np.arange(0, g.n, 3))
+
+        def mk(seen):
+            def update(src, dst, eid):
+                seen[dst] = True
+                return np.ones(len(dst), bool)
+            return update
+
+        # force push (huge threshold denominator => small work bound fails)
+        out_push = edge_map(g, frontier, mk(seen_push), threshold_den=1)
+        out_pull = edge_map(g, frontier, mk(seen_pull), threshold_den=10**9)
+        assert np.array_equal(seen_push, seen_pull)
+        assert set(out_push.ids()) == set(out_pull.ids())
+
+    def test_cond_filters_destinations(self):
+        adj, _ = _random(seed=2)
+        g = LigraGraph(adj)
+        touched = np.zeros(g.n, bool)
+
+        def update(src, dst, eid):
+            touched[dst] = True
+            return np.ones(len(dst), bool)
+
+        edge_map(g, Frontier.all(g.n), update, cond=lambda d: d < 10)
+        assert not touched[10:].any()
+
+    def test_empty_frontier(self):
+        adj, _ = _random(seed=3)
+        g = LigraGraph(adj)
+        out = edge_map(g, Frontier.empty(g.n), lambda s, d, e: np.ones(len(d), bool))
+        assert len(out) == 0
+
+
+class TestClassicAlgorithms:
+    def test_bfs_on_chain(self):
+        g = LigraGraph(_chain_graph(8))
+        dist = bfs(g, 0)
+        assert np.array_equal(dist, np.arange(8))
+
+    def test_bfs_unreachable(self):
+        g = LigraGraph(_chain_graph(8))
+        dist = bfs(g, 4)
+        assert np.all(dist[:4] == -1)
+        assert np.array_equal(dist[4:], np.arange(4))
+
+    def test_bfs_matches_networkx(self):
+        import networkx as nx
+        adj, r = _random(n=40, m=200, seed=4)
+        g = LigraGraph(adj)
+        dist = bfs(g, 0)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(40))
+        G.add_edges_from(zip(adj.indices.tolist(), adj.row_of_edge().tolist()))
+        ref = nx.single_source_shortest_path_length(G, 0)
+        for v in range(40):
+            assert dist[v] == ref.get(v, -1)
+
+    def test_pagerank_sums_to_one(self):
+        adj, _ = _random(seed=5)
+        pr = pagerank(LigraGraph(adj), iters=10)
+        assert pr.sum() == pytest.approx(1.0, abs=0.05)
+        assert np.all(pr > 0)
+
+    def test_pagerank_prefers_high_in_degree(self):
+        # everything points to vertex 0
+        n = 20
+        src = np.arange(1, n)
+        dst = np.zeros(n - 1, dtype=np.int64)
+        g = LigraGraph(from_edges(n, n, src, dst))
+        pr = pagerank(g, iters=20)
+        assert pr[0] == pr.max()
+
+
+class TestLigraGNNKernels:
+    def test_gcn(self, edge_list_graph):
+        adj, src, dst = edge_list_graph
+        x = np.random.default_rng(6).random((adj.shape[0], 8)).astype(np.float32)
+        out = LigraBackend().gcn_aggregation(adj, x)
+        ref = np.zeros_like(out)
+        np.add.at(ref, dst, x[src])
+        assert np.allclose(out, ref, atol=1e-4)
+
+    def test_mlp(self, edge_list_graph):
+        adj, src, dst = edge_list_graph
+        n = adj.shape[0]
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((n, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 6)).astype(np.float32)
+        out = LigraBackend().mlp_aggregation(adj, x, w)
+        msgs = np.maximum((x[src] + x[dst]) @ w, 0).astype(np.float32)
+        ref = np.full((n, 6), -np.inf, np.float32)
+        np.maximum.at(ref, dst, msgs)
+        ref[np.bincount(dst, minlength=n) == 0] = 0
+        assert np.allclose(out, ref, atol=1e-4)
+
+    def test_attention(self, edge_list_graph):
+        adj, src, dst = edge_list_graph
+        x = np.random.default_rng(8).random((adj.shape[0], 8)).astype(np.float32)
+        out = LigraBackend().dot_attention(adj, x)
+        assert np.allclose(out, (x[src] * x[dst]).sum(1), atol=1e-4)
+
+    def test_cost_uses_ligra_frame(self):
+        from repro.graph.datasets import paper_stats
+        st = paper_stats("reddit")
+        b = LigraBackend()
+        rep = b.cost("gcn_aggregation", st, 128)
+        assert rep.seconds > 0
+        assert rep.detail["graph_partitions"] == 1  # Ligra never partitions

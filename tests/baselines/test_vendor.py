@@ -1,0 +1,112 @@
+"""Vendor-library stand-ins (MKL / cuSPARSE) and Table I kernel coverage."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CuSparseBackend,
+    GunrockBackend,
+    LigraBackend,
+    MKLBackend,
+    UnsupportedKernel,
+)
+from repro.baselines.common import KERNELS
+from repro.core.backend import FeatGraphBackend
+
+
+class TestVendorSpMM:
+    @pytest.mark.parametrize("backend_cls", [MKLBackend, CuSparseBackend])
+    def test_gcn_correct(self, backend_cls, edge_list_graph):
+        adj, src, dst = edge_list_graph
+        x = np.random.default_rng(0).random((adj.shape[0], 16)).astype(np.float32)
+        out = backend_cls().gcn_aggregation(adj, x)
+        ref = np.zeros_like(out)
+        np.add.at(ref, dst, x[src])
+        assert np.allclose(out, ref, atol=1e-3)
+
+    @pytest.mark.parametrize("backend_cls", [MKLBackend, CuSparseBackend])
+    def test_generalized_kernels_unsupported(self, backend_cls, edge_list_graph):
+        """Sec. V-B: 'MKL does not support MLP aggregation and dot-product
+        attention' (same for cuSPARSE)."""
+        adj, *_ = edge_list_graph
+        b = backend_cls()
+        x = np.zeros((adj.shape[0], 8), np.float32)
+        with pytest.raises(UnsupportedKernel):
+            b.mlp_aggregation(adj, x, np.zeros((8, 4), np.float32))
+        with pytest.raises(UnsupportedKernel):
+            b.dot_attention(adj, x)
+        with pytest.raises(UnsupportedKernel):
+            b.cost("dot_attention", None, 32)
+
+
+class TestTable1Coverage:
+    """The paper's Table I flexibility/efficiency matrix."""
+
+    def test_kernel_coverage_matrix(self):
+        coverage = {
+            "Ligra": LigraBackend().supported,
+            "Gunrock": GunrockBackend().supported,
+            "MKL": MKLBackend().supported,
+            "cuSPARSE": CuSparseBackend().supported,
+            "FeatGraph-CPU": FeatGraphBackend("cpu").supported,
+            "FeatGraph-GPU": FeatGraphBackend("gpu").supported,
+        }
+        # graph frameworks and FeatGraph are flexible; vendor libraries not
+        for flexible in ("Ligra", "Gunrock", "FeatGraph-CPU", "FeatGraph-GPU"):
+            assert coverage[flexible] == frozenset(KERNELS)
+        for vendor in ("MKL", "cuSPARSE"):
+            assert coverage[vendor] == frozenset({"gcn_aggregation"})
+
+    def test_platforms(self):
+        assert LigraBackend().platform == "cpu"
+        assert MKLBackend().platform == "cpu"
+        assert GunrockBackend().platform == "gpu"
+        assert CuSparseBackend().platform == "gpu"
+
+    def test_featgraph_efficient_and_flexible(self):
+        """Table I's FeatGraph row: high flexibility AND efficiency --
+        supports everything and (modeled) beats the flexible baselines."""
+        from repro.graph.datasets import paper_stats
+        st = paper_stats("reddit")
+        fg_cpu = FeatGraphBackend("cpu")
+        fg_gpu = FeatGraphBackend("gpu")
+        for kernel in KERNELS:
+            assert (fg_cpu.cost(kernel, st, 256).seconds
+                    < LigraBackend().cost(kernel, st, 256).seconds)
+            assert (fg_gpu.cost(kernel, st, 256).seconds
+                    < GunrockBackend().cost(kernel, st, 256).seconds)
+
+
+class TestAllBackendsAgree:
+    """Every backend that supports a kernel computes the same function."""
+
+    def test_gcn_agreement(self, edge_list_graph):
+        adj, src, dst = edge_list_graph
+        x = np.random.default_rng(1).random((adj.shape[0], 12)).astype(np.float32)
+        outputs = {}
+        for b in (LigraBackend(), GunrockBackend(), MKLBackend(),
+                  CuSparseBackend(), FeatGraphBackend("cpu"),
+                  FeatGraphBackend("gpu")):
+            outputs[b.name] = b.gcn_aggregation(adj, x)
+        ref = outputs["FeatGraph-CPU"]
+        for name, out in outputs.items():
+            assert np.allclose(out, ref, atol=1e-2), name
+
+    def test_attention_agreement(self, edge_list_graph):
+        adj, src, dst = edge_list_graph
+        x = np.random.default_rng(2).random((adj.shape[0], 12)).astype(np.float32)
+        outs = [b.dot_attention(adj, x) for b in
+                (LigraBackend(), GunrockBackend(), FeatGraphBackend("cpu"))]
+        assert np.allclose(outs[0], outs[1], atol=1e-3)
+        assert np.allclose(outs[0], outs[2], atol=1e-3)
+
+    def test_mlp_agreement(self, edge_list_graph):
+        adj, *_ = edge_list_graph
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((adj.shape[0], 8)).astype(np.float32)
+        w = rng.standard_normal((8, 10)).astype(np.float32)
+        outs = [b.mlp_aggregation(adj, x, w) for b in
+                (LigraBackend(), GunrockBackend(), FeatGraphBackend("cpu"),
+                 FeatGraphBackend("gpu"))]
+        for o in outs[1:]:
+            assert np.allclose(outs[0], o, atol=1e-3)

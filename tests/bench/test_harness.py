@@ -1,0 +1,85 @@
+"""Benchmark-harness unit tests."""
+
+import pytest
+
+from repro.bench import paper
+from repro.bench.tables import Table, fmt_seconds, fmt_speedup
+from repro.bench.timing import measure
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table("Demo", ["name", "value"])
+        t.add("a", 1)
+        t.add("longer-name", 22)
+        text = t.render()
+        lines = text.splitlines()
+        assert "Demo" in lines[0]
+        assert all(len(l) == len(lines[2]) for l in lines[2:])
+
+    def test_wrong_cell_count_rejected(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_formatters(self):
+        assert fmt_seconds(1.234) == "1.23"
+        assert fmt_seconds(0.0123, "ms") == "12.3"
+        assert fmt_seconds(None) == "N/A"
+        assert fmt_speedup(2.5) == "2.50x"
+        assert fmt_speedup(None) == "-"
+
+
+class TestMeasure:
+    def test_counts_runs(self):
+        calls = []
+        m = measure(lambda: calls.append(1), runs=5, warmup=2)
+        assert len(calls) == 7
+        assert m.runs == 5
+        assert m.min_seconds <= m.mean_seconds <= m.max_seconds
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, runs=0)
+
+
+class TestPaperNumbers:
+    """Internal consistency of the transcription."""
+
+    def test_table3_complete(self):
+        for table in (paper.TABLE3_GCN, paper.TABLE3_MLP, paper.TABLE3_ATTENTION):
+            for ds in paper.DATASETS:
+                for system, row in table[ds].items():
+                    assert set(row) == set(paper.FEATURE_LENGTHS), (ds, system)
+                    assert all(v > 0 for v in row.values())
+
+    def test_table4_complete(self):
+        for table in (paper.TABLE4_GCN_MS, paper.TABLE4_MLP_MS,
+                      paper.TABLE4_ATTENTION_MS):
+            for ds in paper.DATASETS:
+                for system, row in table[ds].items():
+                    assert set(row) == set(paper.FEATURE_LENGTHS)
+
+    def test_ligra_always_slower_than_featgraph_in_paper(self):
+        for table in (paper.TABLE3_GCN, paper.TABLE3_MLP, paper.TABLE3_ATTENTION):
+            for ds in paper.DATASETS:
+                for f in paper.FEATURE_LENGTHS:
+                    assert table[ds]["Ligra"][f] > table[ds]["FeatGraph"][f]
+
+    def test_table5_speedups_consistent(self):
+        for sparsity, (mkl, fg, speedup) in paper.TABLE5_SPARSITY.items():
+            assert mkl / fg == pytest.approx(speedup, abs=0.02)
+
+    def test_table6_gat_gpu_training_is_oom(self):
+        wo, w = paper.TABLE6[("gpu", "training", "GAT")]
+        assert wo is None and w > 0
+
+    def test_fig14_best_cell(self):
+        best = min(paper.FIG14_GRID, key=paper.FIG14_GRID.get)
+        assert best == paper.FIG14_BEST
+
+    def test_fig10_featgraph_scales_best(self):
+        assert (paper.FIG10_SCALABILITY["FeatGraph"][16]
+                > paper.FIG10_SCALABILITY["Ligra"][16])
+        assert (paper.FIG10_SCALABILITY["FeatGraph"][16]
+                > paper.FIG10_SCALABILITY["MKL"][16])

@@ -1,0 +1,69 @@
+"""Benchmark report aggregation tests."""
+
+import json
+
+import pytest
+
+from repro.bench.report import load_results, summarize
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "table3a_gcn.json").write_text(json.dumps({
+        "reddit": {
+            "Ligra": {"32": 4.0, "512": 40.0},
+            "MKL": {"32": 2.0, "512": 35.0},
+            "FeatGraph": {"32": 1.0, "512": 16.0},
+        }
+    }))
+    (d / "table6_end_to_end.json").write_text(json.dumps({
+        "('cpu', 'training', 'GCN')": [2000.0, 100.0],
+        "('gpu', 'training', 'GCN')": [6.0, 2.0],
+        "('gpu', 'training', 'GAT')": [None, 2.0],
+    }))
+    (d / "accuracy_parity.json").write_text(json.dumps({
+        "('GCN', 'minigun')": 0.93,
+        "('GCN', 'featgraph')": 0.93,
+    }))
+    return d
+
+
+class TestLoadResults:
+    def test_loads_all_files(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {"table3a_gcn", "table6_end_to_end",
+                                "accuracy_parity"}
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "nope")
+
+
+class TestSummarize:
+    def test_kernel_speedup_bands(self, results_dir):
+        text = summarize(load_results(results_dir))
+        assert "vs Ligra: 2.5x-4.0x" in text
+        assert "vs MKL: 2.0x-2.2x" in text
+
+    def test_end_to_end_and_oom(self, results_dir):
+        text = summarize(load_results(results_dir))
+        assert "20x on CPU" in text
+        assert "OOM" in text
+
+    def test_accuracy_parity_line(self, results_dir):
+        text = summarize(load_results(results_dir))
+        assert "parity: holds" in text
+
+    def test_handles_empty_results(self, tmp_path):
+        d = tmp_path / "results"
+        d.mkdir()
+        text = summarize(load_results(d))
+        assert "0 experiment" in text
+
+    def test_cli_main(self, results_dir, capsys):
+        from repro.bench.__main__ import main
+        assert main([str(results_dir)]) == 0
+        assert "Reproduced headline" in capsys.readouterr().out
+        assert main([str(results_dir / "missing")]) == 1

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_graph(n_src: int, n_dst: int, m: int, seed: int = 0) -> CSRMatrix:
+    """Random multigraph in pull layout (rows = destinations)."""
+    r = np.random.default_rng(seed)
+    src = r.integers(0, n_src, m)
+    dst = r.integers(0, n_dst, m)
+    return from_edges(n_src, n_dst, src, dst)
+
+
+@pytest.fixture()
+def small_graph() -> CSRMatrix:
+    """A 60-vertex, 800-edge random graph (fast unit-test scale)."""
+    return make_graph(60, 60, 800, seed=7)
+
+
+@pytest.fixture()
+def medium_graph() -> CSRMatrix:
+    """A 400-vertex, 8000-edge graph (integration scale)."""
+    return make_graph(400, 400, 8000, seed=11)
+
+
+@pytest.fixture()
+def edge_list_graph():
+    """(adj, src, dst) with the original edge-list arrays for references."""
+    r = np.random.default_rng(3)
+    n, m = 80, 1200
+    src = r.integers(0, n, m)
+    dst = r.integers(0, n, m)
+    return from_edges(n, n, src, dst), src, dst
+
+
+def gcn_reference(src: np.ndarray, dst: np.ndarray, x: np.ndarray,
+                  n: int) -> np.ndarray:
+    """Multigraph-correct sum aggregation reference."""
+    out = np.zeros((n, x.shape[1]), dtype=np.float32)
+    np.add.at(out, dst, x[src])
+    return out

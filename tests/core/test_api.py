@@ -1,0 +1,118 @@
+"""Public API surface tests."""
+
+import numpy as np
+import pytest
+
+import repro.core as featgraph
+from repro.core.api import SparseMat
+from repro.graph.sparse import from_edges
+
+
+class TestSpmat:
+    def test_from_csr(self, small_graph):
+        A = featgraph.spmat(small_graph)
+        assert isinstance(A, SparseMat)
+        assert A.shape == small_graph.shape
+        assert A.nnz == small_graph.nnz
+
+    def test_idempotent(self, small_graph):
+        A = featgraph.spmat(small_graph)
+        assert featgraph.spmat(A) is A
+
+    def test_from_edge_list(self):
+        A = featgraph.spmat(None, n_src=5, n_dst=4,
+                            src=np.array([0, 1]), dst=np.array([2, 3]))
+        assert A.shape == (4, 5) and A.nnz == 2
+
+    def test_edge_list_needs_dims(self):
+        with pytest.raises(ValueError):
+            featgraph.spmat(None, src=np.array([0]), dst=np.array([0]))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            featgraph.spmat([[0, 1], [1, 0]])
+
+    def test_stats_cached(self, small_graph):
+        A = featgraph.spmat(small_graph)
+        assert A.stats() is A.stats()
+        assert A.stats().n_edges == small_graph.nnz
+
+    def test_num_src_dst(self):
+        g = from_edges(7, 5, np.array([0]), np.array([1]))
+        A = featgraph.spmat(g)
+        assert A.num_src == 7 and A.num_dst == 5
+
+
+class TestKernelBuilders:
+    def test_spmm_signature_matches_paper(self, small_graph):
+        """featgraph.spmm(A, msgfunc, aggregation, target, fds) -- Fig. 3a."""
+        from repro import tensorir as tvm
+
+        n = small_graph.shape[1]
+        XV = tvm.placeholder((n, 8), name="XV")
+
+        def msgfunc(src, dst, eid):
+            return tvm.compute((8,), lambda i: XV[src, i])
+
+        def cpu_schedule(out):
+            s = tvm.create_schedule(out)
+            s[out].split(out.op.axis[0], factor=4)
+            return s
+
+        k = featgraph.spmm(small_graph, msgfunc, "sum", target="cpu",
+                           fds=cpu_schedule)
+        assert k.num_feature_partitions == 2  # 8 / split factor 4
+
+    def test_spmm_accepts_tensorir_reducer(self, small_graph):
+        from repro import tensorir as tvm
+
+        n = small_graph.shape[1]
+        XV = tvm.placeholder((n, 4), name="XV")
+
+        def msgfunc(src, dst, eid):
+            return tvm.compute((4,), lambda i: XV[src, i])
+
+        k = featgraph.spmm(small_graph, msgfunc, tvm.sum_reduce, target="cpu")
+        assert k.aggregation == "sum"
+
+    def test_sddmm_signature_matches_paper(self, small_graph):
+        """featgraph.sddmm(A, edgefunc, target, fds) -- Fig. 4a."""
+        from repro import tensorir as tvm
+
+        n = small_graph.shape[1]
+        XV = tvm.placeholder((n, 8), name="XV")
+
+        def edgefunc(src, dst, eid):
+            k = tvm.reduce_axis((0, 8), name="k")
+            return tvm.compute((1,), lambda i: tvm.sum_reduce(
+                XV[src, k] * XV[dst, k], axis=k))
+
+        def gpu_schedule(out):
+            s = tvm.create_schedule(out)
+            s[out].tree_reduce(out.op.reduce_axis[0], "thread.x")
+            return s
+
+        k = featgraph.sddmm(small_graph, edgefunc, target="gpu",
+                            fds=gpu_schedule)
+        assert k.tree_reduce
+
+    def test_invalid_target(self, small_graph):
+        from repro.core import kernels
+        with pytest.raises(ValueError):
+            kernels.gcn_aggregation(small_graph, small_graph.shape[1], 8,
+                                    target="fpga")
+
+    def test_invalid_aggregation(self, small_graph):
+        from repro import tensorir as tvm
+        n = small_graph.shape[1]
+        XV = tvm.placeholder((n, 4), name="XV")
+
+        def msgfunc(src, dst, eid):
+            return tvm.compute((4,), lambda i: XV[src, i])
+
+        with pytest.raises(ValueError):
+            featgraph.spmm(small_graph, msgfunc, "median")
+
+    def test_msgfunc_must_return_tensor(self, small_graph):
+        with pytest.raises(TypeError):
+            featgraph.spmm(small_graph, lambda s, d, e: 42)

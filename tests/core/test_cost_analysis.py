@@ -1,0 +1,108 @@
+"""UDF static-analysis tests."""
+
+import pytest
+
+from repro import tensorir as T
+from repro.core.cost import bytes_read_per_item, reads_endpoint, udf_flops_per_item
+
+
+def _vars():
+    return T.Var("src"), T.Var("dst"), T.Var("eid")
+
+
+class TestFlops:
+    def test_copy_is_free(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 8), name="X")
+        t = T.compute((8,), lambda i: X[src, i])
+        assert udf_flops_per_item(t) == 0
+
+    def test_elementwise_counts_per_output(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 8), name="X")
+        t = T.compute((8,), lambda i: X[src, i] * 2.0 + 1.0)
+        assert udf_flops_per_item(t) == 16  # 2 ops x 8 outputs
+
+    def test_reduce_multiplies_by_extent(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 4), name="X")
+        W = T.placeholder((4, 8), name="W")
+        k = T.reduce_axis((0, 4), "k")
+        t = T.compute((8,), lambda i: T.sum_reduce(X[src, k] * W[k, i], axis=k))
+        # per output: 4 * (mul + accumulate) = 8; x 8 outputs = 64
+        assert udf_flops_per_item(t) == 64
+
+    def test_mlp_scales_with_d1_d2(self):
+        src, dst, eid = _vars()
+
+        def make(d1, d2):
+            X = T.placeholder((10, d1), name="X")
+            W = T.placeholder((d1, d2), name="W")
+            k = T.reduce_axis((0, d1), "k")
+            return T.compute((d2,), lambda i: T.maximum(
+                T.sum_reduce((X[src, k] + X[dst, k]) * W[k, i], axis=k), 0.0))
+
+        assert udf_flops_per_item(make(8, 32)) == pytest.approx(
+            udf_flops_per_item(make(8, 16)) * 2)
+        assert udf_flops_per_item(make(16, 16)) > udf_flops_per_item(make(8, 16))
+
+    def test_intrinsics_cost_more_than_arith(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 8), name="X")
+        t_add = T.compute((8,), lambda i: X[src, i] + 1.0)
+        t_exp = T.compute((8,), lambda i: T.exp(X[src, i]))
+        assert udf_flops_per_item(t_exp) > udf_flops_per_item(t_add)
+
+    def test_placeholder_has_zero_cost(self):
+        X = T.placeholder((4,), name="X")
+        assert udf_flops_per_item(X) == 0
+
+
+class TestEndpointReads:
+    def test_src_only(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 8), name="X")
+        t = T.compute((8,), lambda i: X[src, i])
+        assert reads_endpoint(t, "src")
+        assert not reads_endpoint(t, "dst")
+
+    def test_both_endpoints(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 8), name="X")
+        t = T.compute((8,), lambda i: X[src, i] - X[dst, i])
+        assert reads_endpoint(t, "src") and reads_endpoint(t, "dst")
+
+    def test_eid_not_an_endpoint_read(self):
+        src, dst, eid = _vars()
+        XE = T.placeholder((100, 8), name="XE")
+        t = T.compute((8,), lambda i: XE[eid, i])
+        assert not reads_endpoint(t, "src")
+        assert reads_endpoint(t, "eid")
+
+    def test_endpoint_inside_reduce(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 4), name="X")
+        k = T.reduce_axis((0, 4), "k")
+        t = T.compute((1,), lambda i: T.sum_reduce(X[src, k] * X[dst, k], axis=k))
+        assert reads_endpoint(t, "src") and reads_endpoint(t, "dst")
+
+
+class TestBytesRead:
+    def test_copy_reads_f_elements(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 8), name="X")
+        t = T.compute((8,), lambda i: X[src, i])
+        assert bytes_read_per_item(t, "src") == 8 * 4
+
+    def test_dot_reads_reduce_extent(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 16), name="X")
+        k = T.reduce_axis((0, 16), "k")
+        t = T.compute((1,), lambda i: T.sum_reduce(X[src, k] * X[dst, k], axis=k))
+        assert bytes_read_per_item(t, "src") == 16 * 4
+
+    def test_unread_endpoint_is_zero(self):
+        src, dst, eid = _vars()
+        X = T.placeholder((10, 8), name="X")
+        t = T.compute((8,), lambda i: X[src, i])
+        assert bytes_read_per_item(t, "dst") == 0

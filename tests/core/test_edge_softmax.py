@@ -1,0 +1,75 @@
+"""Fused edge-softmax pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.softmax import EdgeSoftmax
+from repro.graph.segment import segment_softmax
+from repro.graph.sparse import from_edges
+
+
+def _reference(adj, scores):
+    """Segment softmax in CSR order, mapped back to original edge ids."""
+    csr_scores = scores[adj.edge_ids]
+    ref_csr = segment_softmax(csr_scores, adj.indptr)
+    ref = np.empty_like(ref_csr)
+    ref[adj.edge_ids] = ref_csr
+    return ref
+
+
+class TestEdgeSoftmax:
+    def test_matches_segment_softmax(self, edge_list_graph):
+        adj, src, dst = edge_list_graph
+        scores = np.random.default_rng(0).standard_normal(adj.nnz).astype(np.float32)
+        sm = EdgeSoftmax(adj)
+        assert np.allclose(sm.run(scores), _reference(adj, scores), atol=1e-4)
+
+    def test_multihead(self, edge_list_graph):
+        adj, src, dst = edge_list_graph
+        h = 4
+        scores = np.random.default_rng(1).standard_normal(
+            (adj.nnz, h)).astype(np.float32)
+        sm = EdgeSoftmax(adj, num_heads=h)
+        alpha = sm.run(scores)
+        assert alpha.shape == (adj.nnz, h)
+        sums = np.zeros((adj.shape[0], h))
+        np.add.at(sums, adj.row_of_edge(), alpha[adj.edge_ids])
+        deg = np.diff(adj.indptr)
+        assert np.allclose(sums[deg > 0], 1, atol=1e-4)
+
+    def test_numerical_stability_large_scores(self, edge_list_graph):
+        adj, *_ = edge_list_graph
+        scores = np.full(adj.nnz, 1e4, dtype=np.float32)
+        alpha = EdgeSoftmax(adj).run(scores)
+        assert np.isfinite(alpha).all()
+        assert np.allclose(alpha, _reference(adj, scores), atol=1e-4)
+
+    def test_isolated_destinations_safe(self):
+        adj = from_edges(10, 10, np.array([0, 1]), np.array([3, 3]))
+        scores = np.array([1.0, 2.0], np.float32)
+        alpha = EdgeSoftmax(adj).run(scores)
+        assert np.isfinite(alpha).all()
+        assert alpha.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_single_edge_per_destination_gives_one(self):
+        adj = from_edges(5, 5, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        alpha = EdgeSoftmax(adj).run(np.array([-5.0, 0.0, 9.0], np.float32))
+        assert np.allclose(alpha, 1.0, atol=1e-5)
+
+    def test_cost_is_three_phases(self, edge_list_graph):
+        adj, *_ = edge_list_graph
+        sm = EdgeSoftmax(adj)
+        total = sm.cost()
+        assert total.seconds > sm._max_kernel.cost().seconds
+        assert total.seconds > 0
+
+    def test_invalid_heads(self, edge_list_graph):
+        adj, *_ = edge_list_graph
+        with pytest.raises(ValueError):
+            EdgeSoftmax(adj, num_heads=0)
+
+    def test_gpu_target(self, edge_list_graph):
+        adj, *_ = edge_list_graph
+        scores = np.random.default_rng(2).standard_normal(adj.nnz).astype(np.float32)
+        sm = EdgeSoftmax(adj, target="gpu")
+        assert np.allclose(sm.run(scores), _reference(adj, scores), atol=1e-4)

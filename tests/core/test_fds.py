@@ -1,0 +1,118 @@
+"""Feature-dimension-schedule handling tests."""
+
+import pytest
+
+from repro import tensorir as T
+from repro.core.fds import (
+    FDS,
+    cpu_multilevel_fds,
+    cpu_tile_fds,
+    default_fds,
+    gpu_feature_thread_fds,
+    gpu_multilevel_fds,
+    gpu_tree_reduce_fds,
+)
+
+
+def _copy_udf(f=32):
+    X = T.placeholder((10, f), name="X")
+    src = T.Var("src")
+    return T.compute((f,), lambda i: X[src, i], name="msg")
+
+
+def _reduce_udf(f=32, d1=8):
+    X = T.placeholder((10, d1), name="X")
+    W = T.placeholder((d1, f), name="W")
+    src = T.Var("src")
+    k = T.reduce_axis((0, d1), name="k")
+    return T.compute((f,), lambda i: T.sum_reduce(X[src, k] * W[k, i], axis=k),
+                     name="msg")
+
+
+class TestFactories:
+    def test_default_fds_is_identity(self):
+        info = default_fds().inspect(_copy_udf())
+        assert info.feature_tile is None
+        assert not info.bindings and not info.tree_reduce
+
+    def test_cpu_tile_fds(self):
+        info = cpu_tile_fds(8).inspect(_copy_udf(32))
+        assert info.feature_tile == 8
+        assert info.tile_factors == {0: [8]}
+
+    def test_cpu_multilevel_fds(self):
+        info = cpu_multilevel_fds(8, 4).inspect(_reduce_udf(32))
+        assert info.feature_tile == 8
+
+    def test_cpu_multilevel_without_reduce_ok(self):
+        info = cpu_multilevel_fds(8, 4).inspect(_copy_udf(32))
+        assert info.feature_tile == 8
+
+    def test_gpu_feature_thread_fds(self):
+        info = gpu_feature_thread_fds().inspect(_copy_udf(32))
+        assert info.bindings == {"thread.x": 0}
+
+    def test_gpu_tree_reduce_fds(self):
+        info = gpu_tree_reduce_fds().inspect(_reduce_udf(32))
+        assert info.tree_reduce
+
+    def test_gpu_tree_reduce_requires_reduction(self):
+        with pytest.raises(ValueError):
+            gpu_tree_reduce_fds().inspect(_copy_udf(32))
+
+    def test_gpu_multilevel_fds(self):
+        info = gpu_multilevel_fds().inspect(_reduce_udf(32))
+        assert info.bindings == {"block.x": 0}
+        assert info.tree_reduce
+
+
+class TestCustomFDS:
+    def test_user_function_paper_style(self):
+        """An FDS written exactly like the paper's Fig. 3a listing."""
+
+        def cpu_schedule(out):
+            s = T.create_schedule(out)
+            s[out].split(out.op.axis[0], factor=8)
+            return s
+
+        info = FDS(cpu_schedule).inspect(_copy_udf(64))
+        assert info.feature_tile == 8
+
+    def test_user_function_must_return_schedule(self):
+        with pytest.raises(TypeError):
+            FDS(lambda out: 42).inspect(_copy_udf())
+
+    def test_vectorize_detected(self):
+        def sched(out):
+            s = T.create_schedule(out)
+            s[out].vectorize(out.op.axis[0])
+            return s
+
+        info = FDS(sched).inspect(_copy_udf())
+        assert info.vectorized == (0,)
+
+    def test_nested_splits_recorded(self):
+        def sched(out):
+            s = T.create_schedule(out)
+            o, i = s[out].split(out.op.axis[0], factor=16)
+            s[out].split(i, factor=4)
+            return s
+
+        info = FDS(sched).inspect(_copy_udf(64))
+        assert info.tile_factors[0] == [16, 4]
+        assert info.feature_tile == 4
+
+    def test_inspect_requires_compute(self):
+        X = T.placeholder((4,), name="X")
+        with pytest.raises(TypeError):
+            default_fds().inspect(X)
+
+    def test_bind_after_split_maps_to_root_axis(self):
+        def sched(out):
+            s = T.create_schedule(out)
+            o, i = s[out].split(out.op.axis[0], factor=8)
+            s[out].bind(i, "thread.x")
+            return s
+
+        info = FDS(sched).inspect(_copy_udf(64))
+        assert info.bindings == {"thread.x": 0}

@@ -1,0 +1,100 @@
+"""Random-search and simulated-annealing tuners (the paper's future-work
+direction), validated against the exhaustive grid optimum."""
+
+import pytest
+
+from repro.core.tuner import AnnealingTuner, GridTuner, RandomTuner
+from repro.hwsim.report import CostReport
+
+
+def _bowl(cfg):
+    x, y = cfg["a"], cfg["b"]
+    return CostReport(seconds=(x - 8) ** 2 + 2 * (y - 4) ** 2 + 1.0)
+
+
+SPACE = {"a": [1, 2, 4, 8, 16, 32], "b": [1, 2, 4, 8, 16]}
+
+
+class TestRandomTuner:
+    def test_respects_budget(self):
+        res = RandomTuner(SPACE, _bowl, num_trials=5, seed=0).tune()
+        assert len(res.trials) <= 5
+
+    def test_dedupes_repeats(self):
+        res = RandomTuner({"a": [1], "b": [2]}, _bowl, num_trials=10).tune()
+        assert len(res.trials) == 1
+
+    def test_finds_optimum_with_enough_trials(self):
+        res = RandomTuner(SPACE, _bowl, num_trials=200, seed=1).tune()
+        assert res.best_config == {"a": 8, "b": 4}
+
+    def test_deterministic_given_seed(self):
+        a = RandomTuner(SPACE, _bowl, num_trials=8, seed=3).tune()
+        b = RandomTuner(SPACE, _bowl, num_trials=8, seed=3).tune()
+        assert a.trials == b.trials
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RandomTuner({}, _bowl)
+        with pytest.raises(ValueError):
+            RandomTuner(SPACE, _bowl, num_trials=0)
+
+
+class TestAnnealingTuner:
+    def test_converges_on_bowl(self):
+        res = AnnealingTuner(SPACE, _bowl, num_trials=40, seed=0).tune()
+        assert res.best_cost.seconds <= 3.0  # at or next to the optimum
+
+    def test_neighbors_differ_in_one_key(self):
+        tuner = AnnealingTuner(SPACE, _bowl, seed=5)
+        cfg = {"a": 4, "b": 4}
+        for _ in range(20):
+            nb = tuner._neighbor(cfg)
+            diffs = [k for k in cfg if nb[k] != cfg[k]]
+            assert len(diffs) <= 1
+            for k in diffs:
+                values = SPACE[k]
+                assert abs(values.index(nb[k]) - values.index(cfg[k])) == 1
+
+    def test_trial_budget(self):
+        res = AnnealingTuner(SPACE, _bowl, num_trials=12, seed=1).tune()
+        assert len(res.trials) == 12
+
+    def test_invalid_cooling(self):
+        with pytest.raises(ValueError):
+            AnnealingTuner(SPACE, _bowl, cooling=1.5)
+
+
+class TestTunersOnRealLandscape:
+    """All three tuners on the Fig. 14 kernel-cost landscape."""
+
+    @pytest.fixture(scope="class")
+    def evaluate(self):
+        from repro.graph.datasets import paper_stats
+        from repro.hwsim import cpu
+        from repro.hwsim.spec import XEON_8124M
+
+        stats = paper_stats("reddit")
+
+        def fn(cfg):
+            return cpu.spmm_time(XEON_8124M, stats, 128,
+                                 frame=cpu.FEATGRAPH_CPU,
+                                 num_graph_partitions=cfg["graph"],
+                                 num_feature_partitions=cfg["feature"])
+
+        return fn
+
+    SPACE = {"graph": [1, 4, 16, 64, 256], "feature": [1, 2, 4, 8, 16]}
+
+    def test_annealing_matches_grid_within_10_percent(self, evaluate):
+        grid = GridTuner(self.SPACE, evaluate).tune()
+        anneal = AnnealingTuner(self.SPACE, evaluate, num_trials=15,
+                                seed=2).tune()
+        assert anneal.best_cost.seconds <= grid.best_cost.seconds * 1.10
+        assert len(anneal.trials) < len(grid.trials)
+
+    def test_random_close_with_half_budget(self, evaluate):
+        grid = GridTuner(self.SPACE, evaluate).tune()
+        rand = RandomTuner(self.SPACE, evaluate,
+                           num_trials=len(grid.trials) // 2, seed=4).tune()
+        assert rand.best_cost.seconds <= grid.best_cost.seconds * 1.25

@@ -1,0 +1,115 @@
+"""Algebraic property tests on the generalized templates.
+
+These check mathematical invariants that must hold for *any* graph and
+schedule -- stronger guarantees than point comparisons against references.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.core as featgraph
+from repro import tensorir as T
+from repro.core import kernels
+from repro.graph.reorder import apply_vertex_order
+from repro.graph.sparse import from_edges
+
+
+def _graph(n, m, seed):
+    r = np.random.default_rng(seed)
+    return from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(3, 25), m=st.integers(1, 150),
+       a=st.floats(-3, 3), b=st.floats(-3, 3), seed=st.integers(0, 10_000))
+def test_sum_aggregation_is_linear(n, m, a, b, seed):
+    """spmm_sum(aX + bY) == a spmm_sum(X) + b spmm_sum(Y)."""
+    adj = _graph(n, m, seed)
+    r = np.random.default_rng(seed + 1)
+    k = kernels.gcn_aggregation(adj, n, 6)
+    x = r.standard_normal((n, 6)).astype(np.float32)
+    y = r.standard_normal((n, 6)).astype(np.float32)
+    lhs = k.run({"XV": (a * x + b * y).astype(np.float32)})
+    rhs = a * k.run({"XV": x}) + b * k.run({"XV": y})
+    assert np.allclose(lhs, rhs, atol=1e-2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(3, 20), m=st.integers(1, 120), seed=st.integers(0, 10_000))
+def test_spmm_is_permutation_equivariant(n, m, seed):
+    """Relabeling vertices permutes the aggregation output accordingly."""
+    adj = _graph(n, m, seed)
+    r = np.random.default_rng(seed + 2)
+    x = r.random((n, 4)).astype(np.float32)
+    order = r.permutation(n)
+    new_adj, new_x = apply_vertex_order(adj, order, x)
+    out = kernels.gcn_aggregation(adj, n, 4).run({"XV": x})
+    out_perm = kernels.gcn_aggregation(new_adj, n, 4).run({"XV": new_x})
+    assert np.allclose(out_perm, out[order], atol=1e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(3, 20), m=st.integers(1, 100), seed=st.integers(0, 10_000))
+def test_max_aggregation_ignores_duplicate_edges(n, m, seed):
+    """max over a multiset is unchanged by duplicating edges."""
+    r = np.random.default_rng(seed)
+    src = r.integers(0, n, m)
+    dst = r.integers(0, n, m)
+    adj = from_edges(n, n, src, dst)
+    doubled = from_edges(n, n, np.concatenate([src, src]),
+                         np.concatenate([dst, dst]))
+    x = r.standard_normal((n, 4)).astype(np.float32)
+    k1 = kernels.graphsage_aggregation(adj, n, 4, agg="max")
+    k2 = kernels.graphsage_aggregation(doubled, n, 4, agg="max")
+    assert np.allclose(k1.run({"XV": x}), k2.run({"XV": x}), atol=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(3, 20), m=st.integers(1, 100), seed=st.integers(0, 10_000))
+def test_sum_splits_over_edge_disjoint_union(n, m, seed):
+    """Aggregation over a union of edge sets is the sum of the parts."""
+    r = np.random.default_rng(seed)
+    src = r.integers(0, n, m)
+    dst = r.integers(0, n, m)
+    cut = m // 2
+    a = from_edges(n, n, src[:cut], dst[:cut])
+    b = from_edges(n, n, src[cut:], dst[cut:])
+    both = from_edges(n, n, src, dst)
+    x = r.random((n, 4)).astype(np.float32)
+    out = kernels.gcn_aggregation(both, n, 4).run({"XV": x})
+    parts = (kernels.gcn_aggregation(a, n, 4).run({"XV": x})
+             + kernels.gcn_aggregation(b, n, 4).run({"XV": x}))
+    assert np.allclose(out, parts, atol=1e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(3, 20), m=st.integers(1, 120), seed=st.integers(0, 10_000))
+def test_sddmm_symmetric_under_feature_symmetry(n, m, seed):
+    """Dot attention on (X, X) is invariant to swapping src/dst roles when
+    the graph is symmetrized."""
+    r = np.random.default_rng(seed)
+    src = r.integers(0, n, m)
+    dst = r.integers(0, n, m)
+    sym = from_edges(n, n, np.concatenate([src, dst]),
+                     np.concatenate([dst, src]))
+    x = r.standard_normal((n, 5)).astype(np.float32)
+    scores = kernels.dot_attention(sym, n, 5).run({"XV": x})[:, 0]
+    # edge i and its mirror i+m carry the same dot product
+    assert np.allclose(scores[:m], scores[m:], atol=1e-4)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(4, 16), m=st.integers(2, 80), seed=st.integers(0, 10_000))
+def test_mean_bounded_by_min_max(n, m, seed):
+    """mean aggregation lies within [min, max] aggregation elementwise."""
+    adj = _graph(n, m, seed)
+    r = np.random.default_rng(seed + 3)
+    x = r.standard_normal((n, 3)).astype(np.float32)
+    mean = kernels.graphsage_aggregation(adj, n, 3, agg="mean").run({"XV": x})
+    mx = kernels.graphsage_aggregation(adj, n, 3, agg="max").run({"XV": x})
+    mn = kernels.graphsage_aggregation(adj, n, 3, agg="min").run({"XV": x})
+    deg = np.diff(adj.indptr)
+    active = deg > 0
+    assert np.all(mean[active] <= mx[active] + 1e-4)
+    assert np.all(mean[active] >= mn[active] - 1e-4)

@@ -1,0 +1,184 @@
+"""Prebuilt kernel tests: every kernel the paper evaluates plus the DGL
+builtin message functions."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.graph.sparse import from_edges
+
+
+@pytest.fixture()
+def g(edge_list_graph):
+    adj, src, dst = edge_list_graph
+    n = adj.shape[0]
+    rng = np.random.default_rng(42)
+    return dict(adj=adj, src=src, dst=dst, n=n, m=adj.nnz, rng=rng)
+
+
+def _sum_ref(g, msgs):
+    out = np.zeros((g["n"],) + msgs.shape[1:], dtype=np.float32)
+    np.add.at(out, g["dst"], msgs)
+    return out
+
+
+class TestPaperKernels:
+    @pytest.mark.parametrize("target", ["cpu", "gpu"])
+    def test_gcn_aggregation(self, g, target):
+        x = g["rng"].random((g["n"], 16)).astype(np.float32)
+        k = kernels.gcn_aggregation(g["adj"], g["n"], 16, target=target)
+        assert np.allclose(k.run({"XV": x}), _sum_ref(g, x[g["src"]]), atol=1e-4)
+
+    @pytest.mark.parametrize("target", ["cpu", "gpu"])
+    def test_mlp_aggregation(self, g, target):
+        d1, d2 = 8, 12
+        x = g["rng"].standard_normal((g["n"], d1)).astype(np.float32)
+        w = g["rng"].standard_normal((d1, d2)).astype(np.float32)
+        k = kernels.mlp_aggregation(g["adj"], g["n"], d1, d2, target=target)
+        msgs = np.maximum((x[g["src"]] + x[g["dst"]]) @ w, 0).astype(np.float32)
+        ref = np.full((g["n"], d2), -np.inf, np.float32)
+        np.maximum.at(ref, g["dst"], msgs)
+        ref[np.bincount(g["dst"], minlength=g["n"]) == 0] = 0
+        assert np.allclose(k.run({"XV": x, "W": w}), ref, atol=1e-3)
+
+    @pytest.mark.parametrize("target", ["cpu", "gpu"])
+    def test_dot_attention(self, g, target):
+        x = g["rng"].random((g["n"], 16)).astype(np.float32)
+        k = kernels.dot_attention(g["adj"], g["n"], 16, target=target)
+        ref = (x[g["src"]] * x[g["dst"]]).sum(1)
+        assert np.allclose(k.run({"XV": x})[:, 0], ref, atol=1e-4)
+
+    def test_multihead_attention(self, g):
+        x = g["rng"].random((g["n"], 4, 8)).astype(np.float32)
+        k = kernels.multihead_dot_attention(g["adj"], g["n"], 4, 8)
+        ref = np.einsum("ehk,ehk->eh", x[g["src"]], x[g["dst"]])
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-4)
+
+    def test_graphsage_mean(self, g):
+        x = g["rng"].random((g["n"], 8)).astype(np.float32)
+        k = kernels.graphsage_aggregation(g["adj"], g["n"], 8, agg="mean")
+        deg = np.bincount(g["dst"], minlength=g["n"]).reshape(-1, 1)
+        ref = _sum_ref(g, x[g["src"]]) / np.maximum(deg, 1)
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-4)
+
+    def test_graphsage_max(self, g):
+        x = g["rng"].standard_normal((g["n"], 8)).astype(np.float32)
+        k = kernels.graphsage_aggregation(g["adj"], g["n"], 8, agg="max")
+        ref = np.full((g["n"], 8), -np.inf, np.float32)
+        np.maximum.at(ref, g["dst"], x[g["src"]])
+        ref[np.bincount(g["dst"], minlength=g["n"]) == 0] = 0
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-5)
+
+    def test_attention_weighted_aggregation(self, g):
+        x = g["rng"].random((g["n"], 8)).astype(np.float32)
+        ew = g["rng"].random(g["m"]).astype(np.float32)
+        k = kernels.attention_weighted_aggregation(g["adj"], g["n"], 8, g["m"])
+        # EW is indexed by original edge id == position in (src, dst) arrays
+        ref = _sum_ref(g, x[g["src"]] * ew[:, None])
+        assert np.allclose(k.run({"XV": x, "EW": ew}), ref, atol=1e-4)
+
+
+class TestDGLBuiltins:
+    def test_copy_u(self, g):
+        x = g["rng"].random((g["n"], 8)).astype(np.float32)
+        k = kernels.copy_u(g["adj"], g["n"], 8, agg="sum")
+        assert np.allclose(k.run({"XV": x}), _sum_ref(g, x[g["src"]]), atol=1e-4)
+
+    def test_copy_e(self, g):
+        xe = g["rng"].random((g["m"], 8)).astype(np.float32)
+        k = kernels.copy_e(g["adj"], g["m"], 8)
+        assert np.allclose(k.run({"XE": xe}), _sum_ref(g, xe), atol=1e-4)
+
+    def test_u_add_v(self, g):
+        x = g["rng"].random((g["n"], 8)).astype(np.float32)
+        k = kernels.u_add_v(g["adj"], g["n"], 8)
+        assert np.allclose(k.run({"XV": x}),
+                           _sum_ref(g, x[g["src"]] + x[g["dst"]]), atol=1e-4)
+
+    def test_u_sub_v(self, g):
+        x = g["rng"].random((g["n"], 8)).astype(np.float32)
+        k = kernels.u_sub_v(g["adj"], g["n"], 8)
+        assert np.allclose(k.run({"XV": x}),
+                           _sum_ref(g, x[g["src"]] - x[g["dst"]]), atol=1e-4)
+
+    def test_u_mul_v(self, g):
+        x = g["rng"].random((g["n"], 8)).astype(np.float32)
+        k = kernels.u_mul_v(g["adj"], g["n"], 8)
+        assert np.allclose(k.run({"XV": x}),
+                           _sum_ref(g, x[g["src"]] * x[g["dst"]]), atol=1e-4)
+
+    def test_u_mul_e(self, g):
+        x = g["rng"].random((g["n"], 8)).astype(np.float32)
+        xe = g["rng"].random((g["m"], 8)).astype(np.float32)
+        k = kernels.u_mul_e(g["adj"], g["n"], g["m"], 8)
+        assert np.allclose(k.run({"XV": x, "XE": xe}),
+                           _sum_ref(g, x[g["src"]] * xe), atol=1e-4)
+
+    def test_e_div_sum(self, g):
+        es = g["rng"].random(g["m"]).astype(np.float32)
+        k = kernels.e_div_sum(g["adj"], g["m"])
+        ref = np.zeros(g["n"], np.float32)
+        np.add.at(ref, g["dst"], es)
+        assert np.allclose(k.run({"ES": es})[:, 0], ref, atol=1e-4)
+
+
+class TestExtendedKernels:
+    def test_gcn_norm_aggregation(self, g):
+        x = g["rng"].random((g["n"], 8)).astype(np.float32)
+        deg = np.bincount(g["dst"], minlength=g["n"])
+        cn = (1.0 / np.sqrt(np.maximum(deg, 1))).astype(np.float32)
+        k = kernels.gcn_norm_aggregation(g["adj"], g["n"], 8)
+        out = k.run({"XV": x, "CN": cn})
+        msgs = x[g["src"]] * cn[g["src"]][:, None] * cn[g["dst"]][:, None]
+        assert np.allclose(out, _sum_ref(g, msgs), atol=1e-4)
+
+    def test_rgcn_aggregation(self, g):
+        R, d1, d2 = 4, 6, 10
+        x = g["rng"].standard_normal((g["n"], d1)).astype(np.float32)
+        w = g["rng"].standard_normal((R, d1, d2)).astype(np.float32)
+        rel = g["rng"].integers(0, R, g["m"])
+        k = kernels.rgcn_aggregation(g["adj"], g["n"], g["m"], R, d1, d2)
+        out = k.run({"XV": x, "W": w, "REL": rel})
+        msgs = np.einsum("ek,eki->ei", x[g["src"]], w[rel])
+        assert np.allclose(out, _sum_ref(g, msgs), atol=1e-3)
+
+    def test_rgcn_single_relation_equals_dense_transform(self, g):
+        d1, d2 = 5, 7
+        x = g["rng"].standard_normal((g["n"], d1)).astype(np.float32)
+        w = g["rng"].standard_normal((1, d1, d2)).astype(np.float32)
+        rel = np.zeros(g["m"], dtype=np.int64)
+        k = kernels.rgcn_aggregation(g["adj"], g["n"], g["m"], 1, d1, d2)
+        out = k.run({"XV": x, "W": w, "REL": rel})
+        ref = _sum_ref(g, (x @ w[0])[g["src"]])
+        assert np.allclose(out, ref, atol=1e-3)
+
+    def test_rgcn_gpu_target(self, g):
+        R, d1, d2 = 2, 4, 6
+        x = g["rng"].random((g["n"], d1)).astype(np.float32)
+        w = g["rng"].random((R, d1, d2)).astype(np.float32)
+        rel = g["rng"].integers(0, R, g["m"])
+        cpu = kernels.rgcn_aggregation(g["adj"], g["n"], g["m"], R, d1, d2)
+        gpu = kernels.rgcn_aggregation(g["adj"], g["n"], g["m"], R, d1, d2,
+                                       target="gpu")
+        b = {"XV": x, "W": w, "REL": rel}
+        assert np.allclose(cpu.run(b), gpu.run(b), atol=1e-4)
+
+
+class TestKernelProperties:
+    def test_mlp_udf_flops_scale_with_dims(self, g):
+        k_small = kernels.mlp_aggregation(g["adj"], g["n"], 8, 16)
+        k_big = kernels.mlp_aggregation(g["adj"], g["n"], 8, 64)
+        assert k_big.udf_flops > k_small.udf_flops
+        assert k_small.udf_flops > 0
+
+    def test_gcn_cpu_default_fds_tiles(self, g):
+        k = kernels.gcn_aggregation(g["adj"], g["n"], 128, target="cpu")
+        assert k.num_feature_partitions == 4  # 128 / default tile 32
+
+    def test_gpu_default_fds_binds_threads(self, g):
+        k = kernels.gcn_aggregation(g["adj"], g["n"], 64, target="gpu")
+        assert "thread.x" in k.fds_info.bindings
+
+    def test_attention_gpu_uses_tree_reduce(self, g):
+        k = kernels.dot_attention(g["adj"], g["n"], 64, target="gpu")
+        assert k.tree_reduce

@@ -1,0 +1,95 @@
+"""Fused-kernel IR introspection tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.graph.sparse import from_edges
+from repro.tensorir.ir import AttrStmt, For, Store, stmt_to_str, walk
+
+
+@pytest.fixture()
+def adj():
+    r = np.random.default_rng(0)
+    return from_edges(50, 50, r.integers(0, 50, 400), r.integers(0, 50, 400))
+
+
+class TestLoweredIR:
+    def test_template_loop_structure(self, adj):
+        k = kernels.gcn_aggregation(adj, 50, 64, num_graph_partitions=4,
+                                    num_feature_partitions=2)
+        ir = k.lowered_ir()
+        loops = [s.var.name for s in walk(ir) if isinstance(s, For)]
+        # tile -> partition -> row -> edge -> feature axes, in that order
+        assert loops[0] == "f_tile"
+        assert loops[1] == "partition"
+        assert loops[2] == "v" and loops[3] == "e"
+
+    def test_partition_counts_reflected(self, adj):
+        k = kernels.gcn_aggregation(adj, 50, 64, num_graph_partitions=4,
+                                    num_feature_partitions=2)
+        fors = {s.var.name: s.extent for s in walk(k.lowered_ir())
+                if isinstance(s, For)}
+        assert fors["f_tile"] == 2
+        assert fors["partition"] == 4
+
+    def test_udf_inlined_into_store(self, adj):
+        """The fused kernel stores the *message expression*, not a read of a
+        materialized message buffer."""
+        k = kernels.gcn_aggregation(adj, 50, 16)
+        stores = [s for s in walk(k.lowered_ir()) if isinstance(s, Store)]
+        assert len(stores) == 1
+        text = stmt_to_str(k.lowered_ir())
+        assert "XV[A_indices[" in text          # gather through the CSR
+        assert "<sum>=" in text                  # aggregation combine-store
+
+    def test_fds_split_appears_in_feature_loops(self, adj):
+        from repro.core.fds import cpu_tile_fds
+        k = kernels.gcn_aggregation(adj, 50, 64, fds=cpu_tile_fds(8))
+        names = [s.var.name for s in walk(k.lowered_ir()) if isinstance(s, For)]
+        assert any(n.endswith(".outer") for n in names)
+        assert any(n.endswith(".inner") for n in names)
+
+    def test_mlp_reduction_and_relu_visible(self, adj):
+        k = kernels.mlp_aggregation(adj, 50, 8, 16)
+        text = stmt_to_str(k.lowered_ir())
+        assert "sum(" in text and "max" in text
+        assert "<max>=" in text  # the max aggregation
+
+    def test_gpu_target_binds_rows_to_blocks(self, adj):
+        k = kernels.gcn_aggregation(adj, 50, 32, target="gpu")
+        row_loops = [s for s in walk(k.lowered_ir())
+                     if isinstance(s, For) and s.var.name == "v"]
+        assert row_loops[0].kind == "block.x"
+
+    def test_traversal_markers_present(self, adj):
+        k = kernels.gcn_aggregation(adj, 50, 16)
+        attrs = {s.key for s in walk(k.lowered_ir()) if isinstance(s, AttrStmt)}
+        assert {"edge_range", "column_range"} <= attrs
+
+
+class TestSparseFraction:
+    """The paper's Sec. II-A measurement, from the epoch model."""
+
+    def test_suboptimized_backends_are_sparse_dominated(self):
+        from repro.graph.datasets import paper_stats
+        from repro.minidgl.perfmodel import sparse_fraction
+
+        st = paper_stats("reddit")
+        for model in ("GCN", "GraphSage", "GAT"):
+            f = sparse_fraction(model, st, 602, 41, backend="minigun",
+                                platform="cpu")
+            assert f > 0.9, model  # paper: ~95%
+
+    def test_optimized_backend_still_sparse_heavy(self):
+        from repro.graph.datasets import paper_stats
+        from repro.minidgl.perfmodel import sparse_fraction
+
+        st = paper_stats("reddit")
+        fractions = [sparse_fraction(m, st, 602, 41, backend="featgraph",
+                                     platform="cpu")
+                     for m in ("GCN", "GraphSage", "GAT")]
+        # paper abstract: "more than 60% ... when fully optimized" --
+        # our models straddle that figure; all remain substantial
+        assert all(0.25 < f < 0.85 for f in fractions)
+        assert max(fractions) > 0.6

@@ -1,0 +1,196 @@
+"""Generalized SDDMM template tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.core as featgraph
+from repro import tensorir as T
+from repro.graph.sparse import from_edges
+
+
+def _dot_kernel(adj, n, f, **opts):
+    XV = T.placeholder((n, f), name="XV")
+
+    def edgefunc(src, dst, eid):
+        k = T.reduce_axis((0, f), name="k")
+        return T.compute((1,), lambda i: T.sum_reduce(XV[src, k] * XV[dst, k],
+                                                      axis=k))
+
+    return featgraph.sddmm(adj, edgefunc, **opts)
+
+
+@pytest.fixture()
+def setup(edge_list_graph):
+    adj, src, dst = edge_list_graph
+    n = adj.shape[0]
+    x = np.random.default_rng(0).standard_normal((n, 10)).astype(np.float32)
+    ref = (x[src] * x[dst]).sum(axis=1)
+    return adj, src, dst, n, x, ref
+
+
+class TestDotAttention:
+    def test_matches_reference(self, setup):
+        adj, src, dst, n, x, ref = setup
+        k = _dot_kernel(adj, n, 10)
+        assert np.allclose(k.run({"XV": x})[:, 0], ref, atol=1e-4)
+
+    def test_hilbert_on_off_identical(self, setup):
+        adj, src, dst, n, x, ref = setup
+        k_on = _dot_kernel(adj, n, 10, hilbert=True)
+        k_off = _dot_kernel(adj, n, 10, hilbert=False)
+        assert np.allclose(k_on.run({"XV": x}), k_off.run({"XV": x}), atol=1e-5)
+
+    def test_hilbert_defaults(self, setup):
+        adj, src, dst, n, x, ref = setup
+        assert _dot_kernel(adj, n, 10, target="cpu").hilbert is True
+        assert _dot_kernel(adj, n, 10, target="gpu").hilbert is False
+
+    def test_tiny_chunks(self, setup):
+        adj, src, dst, n, x, ref = setup
+        k = _dot_kernel(adj, n, 10, chunk_edges=13)
+        assert np.allclose(k.run({"XV": x})[:, 0], ref, atol=1e-4)
+
+    def test_output_in_original_edge_order(self):
+        """Edge i of the input list must own row i of the output."""
+        src = np.array([4, 0, 2, 4])
+        dst = np.array([1, 3, 0, 1])
+        adj = from_edges(5, 5, src, dst)
+        x = np.random.default_rng(1).random((5, 6)).astype(np.float32)
+        k = _dot_kernel(adj, 5, 6)
+        out = k.run({"XV": x})[:, 0]
+        assert np.allclose(out, (x[src] * x[dst]).sum(1), atol=1e-5)
+
+    def test_feature_len_derived_from_reduce(self, setup):
+        adj, src, dst, n, x, ref = setup
+        k = _dot_kernel(adj, n, 10)
+        assert k.feature_len == 10 and k.out_width == 1
+
+
+class TestMultiHead:
+    def test_matches_reference(self, setup):
+        adj, src, dst, n, _, _ = setup
+        h, d = 3, 5
+        XV = T.placeholder((n, h, d), name="XV")
+
+        def edgefunc(s, dd, e):
+            k = T.reduce_axis((0, d), name="k")
+            return T.compute((h,), lambda i: T.sum_reduce(
+                XV[s, i, k] * XV[dd, i, k], axis=k))
+
+        x = np.random.default_rng(2).random((n, h, d)).astype(np.float32)
+        kern = featgraph.sddmm(adj, edgefunc)
+        ref = np.einsum("ehk,ehk->eh", x[src], x[dst])
+        assert np.allclose(kern.run({"XV": x}), ref, atol=1e-4)
+        assert kern.feature_len == h * d
+
+    def test_head_tiling_equivalent(self, setup):
+        adj, src, dst, n, _, _ = setup
+        h, d = 4, 5
+        XV = T.placeholder((n, h, d), name="XV")
+
+        def edgefunc(s, dd, e):
+            k = T.reduce_axis((0, d), name="k")
+            return T.compute((h,), lambda i: T.sum_reduce(
+                XV[s, i, k] * XV[dd, i, k], axis=k))
+
+        x = np.random.default_rng(3).random((n, h, d)).astype(np.float32)
+        k1 = featgraph.sddmm(adj, edgefunc, num_feature_partitions=1)
+        k2 = featgraph.sddmm(adj, edgefunc, num_feature_partitions=4)
+        assert np.allclose(k1.run({"XV": x}), k2.run({"XV": x}), atol=1e-5)
+
+
+class TestEdgeFunctionVariants:
+    def test_elementwise_edge_function(self, setup):
+        """No reduction: u_add_v style per-edge vector output."""
+        adj, src, dst, n, x, _ = setup
+        XV = T.placeholder((n, 10), name="XV")
+
+        def edgefunc(s, d, e):
+            return T.compute((10,), lambda i: XV[s, i] + XV[d, i])
+
+        k = featgraph.sddmm(adj, edgefunc)
+        assert k.feature_len == 10  # no reduce: output width itself
+        assert np.allclose(k.run({"XV": x}), x[src] + x[dst], atol=1e-5)
+
+    def test_edge_feature_in_edgefunc(self, setup):
+        adj, src, dst, n, x, _ = setup
+        m = adj.nnz
+        XE = T.placeholder((m,), name="XE")
+        XV = T.placeholder((n, 10), name="XV")
+
+        def edgefunc(s, d, e):
+            k = T.reduce_axis((0, 10), name="k")
+            return T.compute((1,), lambda i: T.sum_reduce(
+                XV[s, k] * XV[d, k], axis=k) * XE[e])
+
+        xe = np.random.default_rng(4).random(m).astype(np.float32)
+        kern = featgraph.sddmm(adj, edgefunc)
+        ref = (x[src] * x[dst]).sum(1) * xe
+        assert np.allclose(kern.run({"XV": x, "XE": xe})[:, 0], ref, atol=1e-4)
+
+    def test_edgefunc_must_return_tensor(self, setup):
+        adj, *_ = setup
+        with pytest.raises(TypeError):
+            featgraph.sddmm(adj, lambda s, d, e: None)
+
+    def test_invalid_target(self, setup):
+        adj, *_ = setup
+        with pytest.raises(ValueError):
+            _dot_kernel(adj, adj.shape[0], 10, target="dsp")
+
+
+class TestGPUVariant:
+    def test_tree_reduce_from_fds(self, setup):
+        adj, src, dst, n, x, ref = setup
+        from repro.core.fds import gpu_tree_reduce_fds
+        k = _dot_kernel(adj, n, 10, target="gpu", fds=gpu_tree_reduce_fds())
+        assert k.tree_reduce
+        assert np.allclose(k.run({"XV": x})[:, 0], ref, atol=1e-4)
+
+    def test_gpu_cost_reflects_tree_reduce(self, setup):
+        adj, *_ = setup
+        from repro.core.fds import gpu_tree_reduce_fds
+        from repro.graph.datasets import paper_stats
+        st_big = paper_stats("rand-100K")
+        k_tree = _dot_kernel(adj, adj.shape[0], 256, target="gpu",
+                             fds=gpu_tree_reduce_fds())
+        k_flat = _dot_kernel(adj, adj.shape[0], 256, target="gpu")
+        assert (k_tree.cost(stats=st_big).seconds
+                < k_flat.cost(stats=st_big).seconds)
+
+    def test_out_buffer(self, setup):
+        adj, src, dst, n, x, ref = setup
+        k = _dot_kernel(adj, n, 10)
+        buf = np.empty((adj.nnz, 1), np.float32)
+        out = k.run({"XV": x}, out=buf)
+        assert out is buf
+        with pytest.raises(ValueError):
+            k.run({"XV": x}, out=np.empty((3, 1), np.float32))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 25),
+    m=st.integers(1, 150),
+    f=st.integers(1, 12),
+    hilbert=st.booleans(),
+    seed=st.integers(0, 10_000),
+)
+def test_sddmm_matches_reference_property(n, m, f, hilbert, seed):
+    """Property: dot attention equals the numpy reference for any graph,
+    feature width, and traversal order."""
+    r = np.random.default_rng(seed)
+    src = r.integers(0, n, m)
+    dst = r.integers(0, n, m)
+    adj = from_edges(n, n, src, dst)
+    x = r.standard_normal((n, f)).astype(np.float32)
+    XV = T.placeholder((n, f), name="XV")
+
+    def edgefunc(s, d, e):
+        k = T.reduce_axis((0, f), name="k")
+        return T.compute((1,), lambda i: T.sum_reduce(XV[s, k] * XV[d, k], axis=k))
+
+    kern = featgraph.sddmm(adj, edgefunc, hilbert=hilbert)
+    ref = (x[src] * x[dst]).sum(axis=1)
+    assert np.allclose(kern.run({"XV": x})[:, 0], ref, atol=1e-3)

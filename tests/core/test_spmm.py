@@ -1,0 +1,281 @@
+"""Generalized SpMM template: correctness against edge-list references under
+every scheduling configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.core as featgraph
+from repro import tensorir as T
+from repro.core.spmm import GeneralizedSpMM, resolve_aggregation
+from repro.graph.sparse import from_edges
+
+
+def _copy_kernel(adj, n, f, **opts):
+    XV = T.placeholder((n, f), name="XV")
+
+    def msgfunc(src, dst, eid):
+        return T.compute((f,), lambda i: XV[src, i])
+
+    return featgraph.spmm(adj, msgfunc, opts.pop("agg", "sum"), **opts)
+
+
+def _sum_ref(src, dst, x, n):
+    out = np.zeros((n, x.shape[1]), dtype=np.float32)
+    np.add.at(out, dst, x[src])
+    return out
+
+
+@pytest.fixture()
+def setup(edge_list_graph):
+    adj, src, dst = edge_list_graph
+    n = adj.shape[0]
+    x = np.random.default_rng(0).standard_normal((n, 12)).astype(np.float32)
+    return adj, src, dst, n, x
+
+
+class TestAggregations:
+    def test_sum(self, setup):
+        adj, src, dst, n, x = setup
+        k = _copy_kernel(adj, n, 12)
+        assert np.allclose(k.run({"XV": x}), _sum_ref(src, dst, x, n), atol=1e-4)
+
+    def test_max(self, setup):
+        adj, src, dst, n, x = setup
+        k = _copy_kernel(adj, n, 12, agg="max")
+        ref = np.full((n, 12), -np.inf, np.float32)
+        np.maximum.at(ref, dst, x[src])
+        ref[np.bincount(dst, minlength=n) == 0] = 0
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-5)
+
+    def test_min(self, setup):
+        adj, src, dst, n, x = setup
+        k = _copy_kernel(adj, n, 12, agg="min")
+        ref = np.full((n, 12), np.inf, np.float32)
+        np.minimum.at(ref, dst, x[src])
+        ref[np.bincount(dst, minlength=n) == 0] = 0
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-5)
+
+    def test_mean(self, setup):
+        adj, src, dst, n, x = setup
+        k = _copy_kernel(adj, n, 12, agg="mean")
+        deg = np.bincount(dst, minlength=n).reshape(-1, 1)
+        ref = _sum_ref(src, dst, x, n) / np.maximum(deg, 1)
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-4)
+
+    def test_prod(self, setup):
+        adj, src, dst, n, x = setup
+        xx = np.abs(x) + 0.5
+        k = _copy_kernel(adj, n, 12, agg="prod")
+        ref = np.ones((n, 12), np.float32)
+        np.multiply.at(ref, dst, xx[src])
+        ref[np.bincount(dst, minlength=n) == 0] = 0
+        assert np.allclose(k.run({"XV": xx}), ref, rtol=1e-3)
+
+    def test_resolve_aggregation_forms(self):
+        assert resolve_aggregation("SUM") == "sum"
+        assert resolve_aggregation(T.sum_reduce) == "sum"
+        assert resolve_aggregation(T.max_reduce) == "max"
+        with pytest.raises(ValueError):
+            resolve_aggregation(print)
+
+
+class TestSchedulingConfigs:
+    """All scheduling configurations must produce identical numerics."""
+
+    @pytest.mark.parametrize("parts", [1, 2, 7, 16])
+    def test_graph_partitions_equivalent(self, setup, parts):
+        adj, src, dst, n, x = setup
+        ref = _sum_ref(src, dst, x, n)
+        k = _copy_kernel(adj, n, 12, num_graph_partitions=parts)
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-4)
+
+    @pytest.mark.parametrize("nf", [1, 2, 3, 12])
+    def test_feature_partitions_equivalent(self, setup, nf):
+        adj, src, dst, n, x = setup
+        ref = _sum_ref(src, dst, x, n)
+        k = _copy_kernel(adj, n, 12, num_feature_partitions=nf)
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-4)
+
+    def test_combined_partitioning(self, setup):
+        adj, src, dst, n, x = setup
+        ref = _sum_ref(src, dst, x, n)
+        k = _copy_kernel(adj, n, 12, num_graph_partitions=4,
+                         num_feature_partitions=3)
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-4)
+
+    def test_tiny_chunks_equivalent(self, setup):
+        adj, src, dst, n, x = setup
+        ref = _sum_ref(src, dst, x, n)
+        k = _copy_kernel(adj, n, 12, chunk_edges=17)
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-4)
+
+    def test_max_with_partitions_and_negative_values(self, setup):
+        """Partition merge must respect the -inf identity, not clobber with 0."""
+        adj, src, dst, n, x = setup
+        x = -np.abs(x) - 1.0  # all negative
+        k = _copy_kernel(adj, n, 12, agg="max", num_graph_partitions=5)
+        ref = np.full((n, 12), -np.inf, np.float32)
+        np.maximum.at(ref, dst, x[src])
+        ref[np.bincount(dst, minlength=n) == 0] = 0
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-5)
+
+    def test_fds_split_controls_feature_partitions(self, setup):
+        adj, src, dst, n, x = setup
+        from repro.core.fds import cpu_tile_fds
+        k = _copy_kernel(adj, n, 12, fds=cpu_tile_fds(4))
+        assert k.num_feature_partitions == 3
+
+    def test_auto_partitions_small_graph_is_one(self, setup):
+        adj, *_ = setup
+        k = _copy_kernel(adj, adj.shape[1], 12)
+        assert k.num_graph_partitions == 1  # tiny working set
+
+    def test_gpu_target_no_graph_partitions(self, setup):
+        adj, src, dst, n, x = setup
+        k = _copy_kernel(adj, n, 12, target="gpu", num_graph_partitions="auto")
+        assert k.num_graph_partitions == 1
+        assert np.allclose(k.run({"XV": x}), _sum_ref(src, dst, x, n), atol=1e-4)
+
+
+class TestUDFVariants:
+    def test_edge_feature_udf(self, setup):
+        adj, src, dst, n, x = setup
+        m = adj.nnz
+        XE = T.placeholder((m, 6), name="XE")
+
+        def msgfunc(s, d, e):
+            return T.compute((6,), lambda i: XE[e, i])
+
+        xe = np.random.default_rng(1).random((m, 6)).astype(np.float32)
+        k = featgraph.spmm(adj, msgfunc, "sum")
+        ref = np.zeros((n, 6), np.float32)
+        np.add.at(ref, dst, xe)  # edge i targets dst[i]
+        assert np.allclose(k.run({"XE": xe}), ref, atol=1e-4)
+
+    def test_src_dst_combined_udf(self, setup):
+        adj, src, dst, n, x = setup
+        XV = T.placeholder((n, 12), name="XV")
+
+        def msgfunc(s, d, e):
+            return T.compute((12,), lambda i: XV[s, i] * XV[d, i])
+
+        k = featgraph.spmm(adj, msgfunc, "sum", num_graph_partitions=3)
+        ref = np.zeros((n, 12), np.float32)
+        np.add.at(ref, dst, x[src] * x[dst])
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-4)
+        assert k.reads_src and k.reads_dst
+
+    def test_multidim_message(self, setup):
+        adj, src, dst, n, _ = setup
+        XV = T.placeholder((n, 3, 4), name="XV")
+
+        def msgfunc(s, d, e):
+            return T.compute((3, 4), lambda h, i: XV[s, h, i])
+
+        x = np.random.default_rng(2).random((n, 3, 4)).astype(np.float32)
+        k = featgraph.spmm(adj, msgfunc, "sum", num_feature_partitions=3)
+        ref = np.zeros((n, 3, 4), np.float32)
+        np.add.at(ref, dst, x[src])
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-4)
+        assert k.feature_len == 12
+
+    def test_transcendental_udf(self, setup):
+        adj, src, dst, n, x = setup
+        XV = T.placeholder((n, 12), name="XV")
+
+        def msgfunc(s, d, e):
+            return T.compute((12,), lambda i: T.exp(XV[s, i] * 0.1))
+
+        k = featgraph.spmm(adj, msgfunc, "sum")
+        ref = np.zeros((n, 12), np.float32)
+        np.add.at(ref, dst, np.exp(x[src] * np.float32(0.1)))
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-3)
+
+
+class TestEdgeCases:
+    def test_graph_with_isolated_vertices(self):
+        adj = from_edges(10, 10, np.array([0, 1]), np.array([0, 0]))
+        k = _copy_kernel(adj, 10, 4, agg="max")
+        x = np.random.default_rng(3).standard_normal((10, 4)).astype(np.float32)
+        out = k.run({"XV": x})
+        assert np.allclose(out[0], np.maximum(x[0], x[1]))
+        assert np.all(out[1:] == 0)
+
+    def test_empty_graph(self):
+        adj = from_edges(5, 5, np.array([], dtype=np.int64),
+                         np.array([], dtype=np.int64))
+        k = _copy_kernel(adj, 5, 4)
+        out = k.run({"XV": np.ones((5, 4), np.float32)})
+        assert np.all(out == 0)
+
+    def test_out_buffer_reuse(self, setup):
+        adj, src, dst, n, x = setup
+        k = _copy_kernel(adj, n, 12)
+        buf = np.empty((n, 12), np.float32)
+        out = k.run({"XV": x}, out=buf)
+        assert out is buf
+        assert np.allclose(buf, _sum_ref(src, dst, x, n), atol=1e-4)
+
+    def test_one_huge_row(self):
+        """Row bigger than the chunk size exercises chunk-boundary logic."""
+        m = 5000
+        src = np.random.default_rng(4).integers(0, 50, m)
+        dst = np.zeros(m, dtype=np.int64)
+        adj = from_edges(50, 50, src, dst)
+        x = np.random.default_rng(5).random((50, 4)).astype(np.float32)
+        k = _copy_kernel(adj, 50, 4, chunk_edges=100)
+        ref = np.zeros((50, 4), np.float32)
+        np.add.at(ref, dst, x[src])
+        assert np.allclose(k.run({"XV": x}), ref, atol=1e-2)
+
+
+class TestCost:
+    def test_cpu_and_gpu_costs_positive(self, setup):
+        adj, src, dst, n, x = setup
+        kc = _copy_kernel(adj, n, 12)
+        kg = _copy_kernel(adj, n, 12, target="gpu")
+        assert kc.cost().seconds > 0
+        assert kg.cost().seconds > 0
+
+    def test_cost_accepts_paper_scale_stats(self, setup):
+        from repro.graph.datasets import paper_stats
+        adj, *_ = setup
+        k = _copy_kernel(adj, adj.shape[1], 12, num_graph_partitions=16)
+        big = k.cost(stats=paper_stats("reddit"))
+        small = k.cost()
+        assert big.seconds > small.seconds
+
+    def test_udf_flop_detection_for_copy_is_free(self, setup):
+        adj, *_ = setup
+        k = _copy_kernel(adj, adj.shape[1], 12)
+        assert k.udf_flops == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    m=st.integers(1, 200),
+    f=st.integers(1, 16),
+    parts=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_spmm_matches_reference_property(n, m, f, parts, seed):
+    """Property: for any random graph/UDF size and partitioning, the template
+    equals the scatter-add reference."""
+    r = np.random.default_rng(seed)
+    src = r.integers(0, n, m)
+    dst = r.integers(0, n, m)
+    adj = from_edges(n, n, src, dst)
+    x = r.standard_normal((n, f)).astype(np.float32)
+    XV = T.placeholder((n, f), name="XV")
+
+    def msgfunc(s, d, e):
+        return T.compute((f,), lambda i: XV[s, i])
+
+    k = featgraph.spmm(adj, msgfunc, "sum",
+                       num_graph_partitions=min(parts, n),
+                       num_feature_partitions=min(parts, f))
+    ref = np.zeros((n, f), np.float32)
+    np.add.at(ref, dst, x[src])
+    assert np.allclose(k.run({"XV": x}), ref, atol=1e-3)

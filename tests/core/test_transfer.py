@@ -1,0 +1,117 @@
+"""Transferable-tuning tests (paper Sec. V-D's open question)."""
+
+import pytest
+
+from repro.core.transfer import TunedConfig, TuningCache, transfer_config, transfer_regret
+from repro.core.tuner import GridTuner
+from repro.graph.datasets import paper_stats
+from repro.hwsim import cpu
+from repro.hwsim.spec import XEON_8124M
+
+SPACE = {"graph": [1, 2, 4, 8, 16, 32, 64, 128, 256],
+         "feature": [1, 2, 4, 8, 16, 32]}
+
+
+def _evaluate(stats, f):
+    def fn(cfg):
+        return cpu.spmm_time(XEON_8124M, stats, f, frame=cpu.FEATGRAPH_CPU,
+                             num_graph_partitions=cfg["graph"],
+                             num_feature_partitions=cfg["feature"])
+    return fn
+
+
+def _tune(stats, f) -> TunedConfig:
+    res = GridTuner(SPACE, _evaluate(stats, f)).tune()
+    return TunedConfig(res.best_config["graph"], res.best_config["feature"],
+                       stats.n_src, f)
+
+
+@pytest.fixture(scope="module")
+def reddit():
+    return paper_stats("reddit")
+
+
+@pytest.fixture(scope="module")
+def proteins():
+    return paper_stats("ogbn-proteins")
+
+
+class TestTunedConfig:
+    def test_derived_quantities(self):
+        cfg = TunedConfig(16, 4, 233_000, 128)
+        assert cfg.tile_width == 32
+        assert cfg.partition_rows == pytest.approx(233_000 / 16)
+        assert cfg.working_set_bytes == pytest.approx(233_000 / 16 * 32 * 4)
+
+
+class TestTransferConfig:
+    def test_feature_partitions_scale_with_f(self, reddit):
+        tuned = _tune(reddit, 128)
+        bigger = transfer_config(tuned, reddit, 512,
+                                 graph_candidates=SPACE["graph"],
+                                 feature_candidates=SPACE["feature"])
+        assert bigger["feature"] >= tuned.feature_partitions
+        # tile width is preserved (the paper's "increases proportionately")
+        assert 512 // bigger["feature"] == pytest.approx(tuned.tile_width,
+                                                         rel=0.5)
+
+    def test_graph_partitions_rescale_with_vertices(self, reddit, proteins):
+        tuned = _tune(reddit, 128)
+        moved = transfer_config(tuned, proteins, 128,
+                                graph_candidates=SPACE["graph"],
+                                feature_candidates=SPACE["feature"])
+        # proteins has fewer sources -> no more partitions than reddit needed
+        assert moved["graph"] <= tuned.graph_partitions
+
+    def test_same_context_roundtrips(self, reddit):
+        tuned = _tune(reddit, 128)
+        same = transfer_config(tuned, reddit, 128,
+                               graph_candidates=SPACE["graph"],
+                               feature_candidates=SPACE["feature"])
+        assert same == {"graph": tuned.graph_partitions,
+                        "feature": tuned.feature_partitions}
+
+
+class TestTransferRegret:
+    def test_cross_graph_regret_small(self, reddit, proteins):
+        """Tune on reddit, deploy on proteins: within 20% of its optimum."""
+        tuned = _tune(reddit, 128)
+        regret, predicted, optimum = transfer_regret(
+            _evaluate(proteins, 128), tuned, proteins, 128, SPACE)
+        assert regret < 0.20, (regret, predicted, optimum.best_config)
+
+    def test_cross_feature_regret_small(self, reddit):
+        """Tune at f=128, deploy at f=512 on the same graph."""
+        tuned = _tune(reddit, 128)
+        regret, *_ = transfer_regret(_evaluate(reddit, 512), tuned, reddit,
+                                     512, SPACE)
+        assert regret < 0.15
+
+    def test_regret_nonnegative(self, reddit, proteins):
+        tuned = _tune(proteins, 64)
+        regret, *_ = transfer_regret(_evaluate(reddit, 64), tuned, reddit,
+                                     64, SPACE)
+        assert regret >= -1e-9
+
+
+class TestTuningCache:
+    def test_roundtrip(self, tmp_path):
+        cache = TuningCache(tmp_path / "tune.json")
+        cfg = TunedConfig(16, 4, 233_000, 128)
+        cache.put("spmm-gcn", cfg)
+        back = TuningCache(tmp_path / "tune.json")  # reload from disk
+        got = back.get("spmm-gcn", 233_000, 128)
+        assert got == cfg
+
+    def test_bucketed_lookup(self, tmp_path):
+        cache = TuningCache(tmp_path / "tune.json")
+        cache.put("spmm-gcn", TunedConfig(16, 4, 233_000, 128))
+        # a graph of similar size hits the same bucket
+        assert cache.get("spmm-gcn", 250_000, 128) is not None
+        # a much smaller graph does not
+        assert cache.get("spmm-gcn", 10_000, 128) is None
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = TuningCache(tmp_path / "tune.json")
+        assert cache.get("spmm-gcn", 1000, 64) is None
+        assert len(cache) == 0

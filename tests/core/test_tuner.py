@@ -1,0 +1,64 @@
+"""Grid-search tuner tests."""
+
+import pytest
+
+from repro.core.tuner import GridTuner
+from repro.hwsim.report import CostReport
+
+
+def _quadratic(cfg):
+    # minimum at (4, 2)
+    x, y = cfg["a"], cfg["b"]
+    return CostReport(seconds=(x - 4) ** 2 + (y - 2) ** 2 + 1.0)
+
+
+class TestGridTuner:
+    def test_finds_minimum(self):
+        tuner = GridTuner({"a": [1, 2, 4, 8], "b": [1, 2, 4]}, _quadratic)
+        res = tuner.tune()
+        assert res.best_config == {"a": 4, "b": 2}
+        assert res.best_cost.seconds == pytest.approx(1.0)
+
+    def test_visits_full_grid(self):
+        tuner = GridTuner({"a": [1, 2, 3], "b": [1, 2]}, _quadratic)
+        res = tuner.tune()
+        assert len(res.trials) == 6
+
+    def test_landscape_projection(self):
+        tuner = GridTuner({"a": [1, 4], "b": [2]}, _quadratic)
+        res = tuner.tune()
+        land = res.landscape("a", "b")
+        assert land[(4, 2)] == pytest.approx(1.0)
+        assert land[(1, 2)] == pytest.approx(10.0)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            GridTuner({}, _quadratic)
+        with pytest.raises(ValueError):
+            GridTuner({"a": []}, _quadratic)
+
+    def test_single_point_grid(self):
+        res = GridTuner({"a": [4], "b": [2]}, _quadratic).tune()
+        assert res.best_cost.seconds == pytest.approx(1.0)
+
+    def test_with_real_kernel_cost(self, small_graph):
+        """Tune a FeatGraph SpMM's partitioning against the machine model,
+        the paper's Sec. IV-A workflow."""
+        from repro.core import kernels
+        from repro.graph.datasets import paper_stats
+
+        stats = paper_stats("reddit")
+        k = kernels.gcn_aggregation(small_graph, small_graph.shape[1], 128)
+
+        def evaluate(cfg):
+            from repro.hwsim import cpu
+            return cpu.spmm_time(
+                __import__("repro.hwsim.spec", fromlist=["XEON_8124M"]).XEON_8124M,
+                stats, 128, frame=cpu.FEATGRAPH_CPU,
+                num_graph_partitions=cfg["graph"],
+                num_feature_partitions=cfg["feature"])
+
+        res = GridTuner({"graph": [1, 4, 16, 64], "feature": [1, 2, 4, 8]},
+                        evaluate).tune()
+        # the optimum must be an interior-ish point, not the unpartitioned corner
+        assert res.best_config != {"graph": 1, "feature": 1}

@@ -1,0 +1,80 @@
+"""CSR coalescing and CostReport.explain tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.sparse import from_edges
+from repro.hwsim.report import CostReport
+
+
+class TestCoalesce:
+    def test_merges_parallel_edges(self):
+        src = np.array([0, 0, 1, 0])
+        dst = np.array([1, 1, 2, 1])
+        adj = from_edges(3, 3, src, dst)
+        simple, mult = adj.coalesce()
+        assert simple.nnz == 2
+        assert mult.sum() == 4
+        # the (1 <- 0) entry carries multiplicity 3
+        rows = simple.row_of_edge()
+        idx = np.nonzero((rows == 1) & (simple.indices == 0))[0][0]
+        assert mult[idx] == 3
+
+    def test_simple_graph_unchanged(self):
+        adj = from_edges(4, 4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        simple, mult = adj.coalesce()
+        assert simple.nnz == 3
+        assert np.all(mult == 1)
+
+    def test_weighted_aggregation_preserves_sum_semantics(self):
+        """sum over the multigraph == weighted sum over the simple graph."""
+        r = np.random.default_rng(0)
+        n, m = 30, 400
+        src, dst = r.integers(0, n, m), r.integers(0, n, m)
+        adj = from_edges(n, n, src, dst)
+        x = r.random((n, 5)).astype(np.float32)
+        multi = np.zeros((n, 5), np.float32)
+        np.add.at(multi, dst, x[src])
+        simple, mult = adj.coalesce()
+        weighted = np.zeros((n, 5), np.float32)
+        np.add.at(weighted, simple.row_of_edge(),
+                  x[simple.indices] * mult[:, None])
+        assert np.allclose(multi, weighted, atol=1e-4)
+
+    def test_empty_graph(self):
+        adj = from_edges(3, 3, np.array([], dtype=np.int64),
+                         np.array([], dtype=np.int64))
+        simple, mult = adj.coalesce()
+        assert simple.nnz == 0 and len(mult) == 0
+
+    def test_result_validates(self):
+        r = np.random.default_rng(1)
+        adj = from_edges(20, 20, r.integers(0, 20, 300), r.integers(0, 20, 300))
+        simple, _ = adj.coalesce()
+        simple.validate()
+
+
+class TestExplain:
+    def test_contains_breakdown(self):
+        rep = CostReport(seconds=0.01, compute_seconds=0.006,
+                         memory_seconds=0.004, dram_bytes=1e9, flops=2e9,
+                         detail={"p_hit": 0.8})
+        text = rep.explain()
+        assert "compute" in text and "memory" in text
+        assert "1.000 GB" in text
+        assert "p_hit = 0.8" in text
+        assert "60.0%" in text
+
+    def test_handles_zero_time(self):
+        rep = CostReport(seconds=0.0)
+        assert "modeled time" in rep.explain()
+
+    def test_real_model_output(self):
+        from repro.graph.datasets import paper_stats
+        from repro.hwsim import cpu
+        from repro.hwsim.spec import XEON_8124M
+
+        rep = cpu.spmm_time(XEON_8124M, paper_stats("reddit"), 128,
+                            frame=cpu.FEATGRAPH_CPU)
+        text = rep.explain()
+        assert "Gflop" in text and "traffic" in text

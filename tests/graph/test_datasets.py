@@ -1,0 +1,123 @@
+"""Dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    load,
+    paper_stats,
+    planted_partition,
+    proteins_like,
+    rand_100k_like,
+    reddit_like,
+    uniform_random,
+)
+
+
+class TestScaledGenerators:
+    def test_proteins_scaled_size(self):
+        ds = proteins_like(scale=1 / 256)
+        n = ds.num_vertices
+        assert abs(n - 132_500 / 256) / (132_500 / 256) < 0.1
+        avg = ds.num_edges / n
+        assert 0.7 * 597 < avg < 1.3 * 597
+
+    def test_reddit_heavier_tail_than_proteins(self):
+        r = reddit_like(scale=1 / 128)
+        p = proteins_like(scale=1 / 128)
+        assert r.stats().degree_skew() > p.stats().degree_skew()
+
+    def test_rand_100k_bimodal(self):
+        ds = rand_100k_like(scale=1 / 64)
+        deg = ds.adj.col_degrees()
+        # ~20% of vertices should carry ~80%+ of out-edges
+        k = int(0.25 * len(deg))
+        top = np.sort(deg)[::-1][:k].sum()
+        assert top / deg.sum() > 0.6
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            proteins_like(scale=0)
+        with pytest.raises(ValueError):
+            rand_100k_like(scale=1.5)
+
+    def test_determinism(self):
+        a = reddit_like(scale=1 / 256, seed=5)
+        b = reddit_like(scale=1 / 256, seed=5)
+        assert np.array_equal(a.adj.indices, b.adj.indices)
+
+    def test_load_by_name(self):
+        for name in DATASETS:
+            ds = load(name, scale=1 / 512)
+            assert ds.num_edges > 0
+        with pytest.raises(KeyError):
+            load("cora")
+
+
+class TestUniformRandom:
+    def test_density(self):
+        ds = uniform_random(200, 0.05, seed=1)
+        assert ds.num_edges == int(200 * 200 * 0.05)
+
+    def test_sparsity_stat(self):
+        ds = uniform_random(100, 0.02, seed=2)
+        assert ds.stats().sparsity() == pytest.approx(0.98, abs=0.005)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            uniform_random(100, 0.0)
+
+
+class TestPlantedPartition:
+    def test_masks_partition_vertices(self):
+        ds = planted_partition(n=300, seed=0)
+        total = ds.train_mask | ds.val_mask | ds.test_mask
+        assert total.all()
+        assert not (ds.train_mask & ds.val_mask).any()
+        assert not (ds.train_mask & ds.test_mask).any()
+
+    def test_split_proportions_match_paper(self):
+        ds = planted_partition(n=2330, seed=1)
+        assert ds.train_mask.sum() == pytest.approx(1530, abs=5)
+        assert ds.val_mask.sum() == pytest.approx(240, abs=5)
+
+    def test_homophily_present(self):
+        ds = planted_partition(n=500, homophily=0.9, seed=2)
+        src = ds.adj.indices
+        dst = ds.adj.row_of_edge()
+        same = (ds.labels[src] == ds.labels[dst]).mean()
+        assert same > 0.5  # far above the 1/num_classes random rate
+
+    def test_features_carry_class_signal(self):
+        ds = planted_partition(n=600, num_classes=4, feature_dim=32, seed=3)
+        centroids = np.stack([ds.features[ds.labels == c].mean(0) for c in range(4)])
+        spread = np.linalg.norm(centroids[:, None] - centroids[None], axis=-1)
+        assert spread[np.triu_indices(4, 1)].min() > 1.0
+
+
+class TestPaperStats:
+    @pytest.mark.parametrize("name,n,m_target", [
+        ("ogbn-proteins", 132_500, 79.1e6),
+        ("reddit", 233_000, 114.8e6),
+        ("rand-100K", 100_000, 48.0e6),
+    ])
+    def test_sizes_match_table2(self, name, n, m_target):
+        st = paper_stats(name)
+        assert st.n_src == n
+        assert abs(st.n_edges - m_target) / m_target < 0.02
+
+    def test_uniform_names(self):
+        st = paper_stats("uniform-0.05")
+        assert st.n_edges == int(100_000 * 100_000 * 0.05)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            paper_stats("citeseer")
+
+    def test_coverage_curve_monotone(self):
+        st = paper_stats("reddit")
+        cov = [st.coverage_src(k) for k in (0, 10, 1000, 100_000, 10**7)]
+        assert cov[0] == 0.0
+        assert all(a <= b + 1e-12 for a, b in zip(cov, cov[1:]))
+        assert cov[-1] == pytest.approx(1.0, abs=1e-9)

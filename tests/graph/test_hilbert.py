@@ -1,0 +1,86 @@
+"""Hilbert-curve traversal tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.hilbert import hilbert_d2xy, hilbert_order, hilbert_xy2d
+
+
+class TestCurveMaps:
+    def test_order1_square(self):
+        d = np.arange(4)
+        x, y = hilbert_d2xy(1, d)
+        assert np.array_equal(hilbert_xy2d(1, x, y), d)
+
+    def test_visits_every_cell_once(self):
+        d = np.arange(64)
+        x, y = hilbert_d2xy(3, d)
+        cells = set(zip(x.tolist(), y.tolist()))
+        assert len(cells) == 64
+
+    def test_adjacent_steps_are_unit_moves(self):
+        """Consecutive curve positions are grid neighbors -- the locality
+        property everything else relies on."""
+        d = np.arange(256)
+        x, y = hilbert_d2xy(4, d)
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert np.all(steps == 1)
+
+    def test_out_of_range_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_xy2d(2, np.array([4]), np.array([0]))
+
+    def test_out_of_range_distance_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_d2xy(2, np.array([16]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(order=st.integers(1, 6), seed=st.integers(0, 10_000))
+def test_xy2d_d2xy_roundtrip(order, seed):
+    """Property: the two maps are mutual inverses."""
+    n = 1 << order
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, n, 50)
+    y = rng.integers(0, n, 50)
+    d = hilbert_xy2d(order, x, y)
+    x2, y2 = hilbert_d2xy(order, d)
+    assert np.array_equal(x, x2) and np.array_equal(y, y2)
+
+
+class TestHilbertOrder:
+    def test_is_permutation(self):
+        rng = np.random.default_rng(0)
+        dst = rng.integers(0, 100, 500)
+        src = rng.integers(0, 100, 500)
+        perm = hilbert_order(dst, src, 100, 100)
+        assert np.array_equal(np.sort(perm), np.arange(500))
+
+    def test_improves_endpoint_locality(self):
+        """The mean jump distance in (dst, src) space must shrink versus
+        random edge order -- the mechanism of paper Sec. III-C1."""
+        rng = np.random.default_rng(1)
+        n, m = 256, 4000
+        dst = rng.integers(0, n, m)
+        src = rng.integers(0, n, m)
+
+        def mean_jump(order):
+            d, s = dst[order], src[order]
+            return np.abs(np.diff(d)).mean() + np.abs(np.diff(s)).mean()
+
+        random_order = rng.permutation(m)
+        hilbert = hilbert_order(dst, src, n, n)
+        assert mean_jump(hilbert) < 0.25 * mean_jump(random_order)
+
+    def test_handles_non_power_of_two_sizes(self):
+        rng = np.random.default_rng(2)
+        dst = rng.integers(0, 100, 50)
+        src = rng.integers(0, 77, 50)
+        perm = hilbert_order(dst, src, 100, 77)
+        assert len(perm) == 50
+
+    def test_empty_edges(self):
+        perm = hilbert_order(np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64), 4, 4)
+        assert len(perm) == 0

@@ -1,0 +1,52 @@
+"""Dataset serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import planted_partition, uniform_random
+from repro.graph.io import FORMAT_VERSION, load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_graph_only(self, tmp_path):
+        ds = uniform_random(50, 0.05, seed=0)
+        path = save_dataset(ds, tmp_path / "g")
+        assert path.suffix == ".npz"
+        back = load_dataset(path)
+        assert back.name == ds.name
+        assert np.array_equal(back.adj.indptr, ds.adj.indptr)
+        assert np.array_equal(back.adj.indices, ds.adj.indices)
+        assert back.features is None and back.labels is None
+
+    def test_labeled_dataset(self, tmp_path):
+        ds = planted_partition(n=80, num_classes=3, feature_dim=8, seed=1)
+        path = save_dataset(ds, tmp_path / "planted.npz")
+        back = load_dataset(path)
+        assert np.allclose(back.features, ds.features)
+        assert np.array_equal(back.labels, ds.labels)
+        assert np.array_equal(back.train_mask, ds.train_mask)
+        assert back.meta["num_classes"] == 3
+
+    def test_edge_ids_preserved(self, tmp_path):
+        ds = uniform_random(30, 0.1, seed=2)
+        back = load_dataset(save_dataset(ds, tmp_path / "e"))
+        assert np.array_equal(back.adj.edge_ids, ds.adj.edge_ids)
+
+    def test_kernels_run_on_loaded_graph(self, tmp_path):
+        from repro.core import kernels
+        ds = uniform_random(40, 0.1, seed=3)
+        back = load_dataset(save_dataset(ds, tmp_path / "k"))
+        x = np.random.default_rng(4).random((40, 8)).astype(np.float32)
+        a = kernels.gcn_aggregation(ds.adj, 40, 8).run({"XV": x})
+        b = kernels.gcn_aggregation(back.adj, 40, 8).run({"XV": x})
+        assert np.allclose(a, b)
+
+    def test_version_check(self, tmp_path):
+        ds = uniform_random(10, 0.1, seed=5)
+        path = save_dataset(ds, tmp_path / "v")
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["version"] = np.array([FORMAT_VERSION + 1])
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)

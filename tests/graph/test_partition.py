@@ -1,0 +1,151 @@
+"""Partitioning and feature tiling tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.partition import (
+    feature_tiles,
+    hybrid_degree_split,
+    partition_1d,
+)
+from repro.graph.sparse import from_edges
+
+
+def _graph(n=30, m=400, seed=0):
+    r = np.random.default_rng(seed)
+    return from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m))
+
+
+class TestPartition1D:
+    def test_single_partition_is_identity(self):
+        g = _graph()
+        parts = partition_1d(g, 1)
+        assert len(parts) == 1 and parts[0].csr is g
+
+    def test_edges_partitioned_exactly(self):
+        g = _graph()
+        parts = partition_1d(g, 4)
+        assert sum(p.nnz for p in parts) == g.nnz
+
+    def test_column_ranges_cover_sources(self):
+        g = _graph()
+        parts = partition_1d(g, 4)
+        assert parts[0].col_lo == 0 and parts[-1].col_hi == g.shape[1]
+        for a, b in zip(parts, parts[1:]):
+            assert a.col_hi == b.col_lo
+
+    def test_partition_respects_ranges(self):
+        g = _graph()
+        for p in partition_1d(g, 5):
+            if p.nnz:
+                assert p.csr.indices.min() >= p.col_lo
+                assert p.csr.indices.max() < p.col_hi
+
+    def test_aggregation_across_partitions_matches_full(self):
+        g = _graph(seed=1)
+        x = np.random.default_rng(2).random((30, 8)).astype(np.float32)
+        full = np.zeros((30, 8), dtype=np.float32)
+        np.add.at(full, g.row_of_edge(), x[g.indices])
+        acc = np.zeros_like(full)
+        for p in partition_1d(g, 6):
+            np.add.at(acc, p.csr.row_of_edge(), x[p.csr.indices])
+        assert np.allclose(acc, full, atol=1e-4)
+
+    def test_too_many_partitions_rejected(self):
+        g = _graph()
+        with pytest.raises(ValueError):
+            partition_1d(g, 31)
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            partition_1d(_graph(), 0)
+
+
+class TestFeatureTiles:
+    def test_exact_division(self):
+        assert feature_tiles(8, 2) == [(0, 4), (4, 8)]
+
+    def test_uneven_division(self):
+        tiles = feature_tiles(10, 4)
+        assert tiles[0] == (0, 3)
+        assert tiles[-1][1] == 10
+        covered = sum(hi - lo for lo, hi in tiles)
+        assert covered == 10
+
+    def test_more_tiles_than_features_clamped(self):
+        tiles = feature_tiles(3, 10)
+        assert len(tiles) == 3
+
+    def test_single_tile(self):
+        assert feature_tiles(64, 1) == [(0, 64)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            feature_tiles(8, 0)
+
+
+class TestHybridSplit:
+    def test_low_high_partition(self):
+        g = _graph(n=50, m=2000, seed=3)
+        deg = g.col_degrees()
+        split = hybrid_degree_split(g, degree_threshold=50, shared_capacity_rows=8)
+        low = split.order[:split.num_low]
+        high = split.order[split.num_low:]
+        assert np.all(deg[low] < 50)
+        assert np.all(deg[high] >= 50)
+
+    def test_order_is_permutation(self):
+        g = _graph(seed=4)
+        split = hybrid_degree_split(g, 5, 4)
+        assert np.array_equal(np.sort(split.order), np.arange(g.shape[1]))
+
+    def test_high_sorted_descending(self):
+        g = _graph(n=50, m=3000, seed=5)
+        deg = g.col_degrees()
+        split = hybrid_degree_split(g, 40, 100)
+        high = split.high_ids
+        assert np.all(np.diff(deg[high]) <= 0)
+
+    def test_partitions_respect_capacity(self):
+        g = _graph(n=50, m=3000, seed=6)
+        split = hybrid_degree_split(g, 10, 7)
+        for part in split.high_partitions:
+            assert len(part) <= 7
+        total = sum(len(p) for p in split.high_partitions)
+        assert total == g.shape[1] - split.num_low
+
+    def test_lower_threshold_more_partitions(self):
+        """The paper's trade-off: smaller threshold => more partitions."""
+        g = _graph(n=80, m=5000, seed=7)
+        hi_t = hybrid_degree_split(g, 120, 8)
+        lo_t = hybrid_degree_split(g, 20, 8)
+        assert len(lo_t.high_partitions) >= len(hi_t.high_partitions)
+
+    def test_invalid_args(self):
+        g = _graph()
+        with pytest.raises(ValueError):
+            hybrid_degree_split(g, -1, 4)
+        with pytest.raises(ValueError):
+            hybrid_degree_split(g, 4, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    m=st.integers(0, 300),
+    k=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_partition_preserves_edge_multiset(n, m, k, seed):
+    """Property: 1D partitioning is an exact edge partition for any graph."""
+    r = np.random.default_rng(seed)
+    g = from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m))
+    k = min(k, n)
+    parts = partition_1d(g, k)
+    merged = sorted(
+        (int(r_), int(c)) for p in parts
+        for r_, c in zip(p.csr.row_of_edge(), p.csr.indices)
+    )
+    original = sorted(zip(g.row_of_edge().tolist(), g.indices.tolist()))
+    assert merged == original

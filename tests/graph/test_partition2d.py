@@ -1,0 +1,91 @@
+"""2D (GridGraph-style) partitioning tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.partition import partition_2d
+from repro.graph.sparse import from_edges
+
+
+def _graph(n=40, m=600, seed=0):
+    r = np.random.default_rng(seed)
+    return from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m))
+
+
+class TestPartition2D:
+    def test_block_count(self):
+        blocks = partition_2d(_graph(), 3, 5)
+        assert len(blocks) == 15
+
+    def test_exact_edge_partition(self):
+        g = _graph(seed=1)
+        blocks = partition_2d(g, 4, 4)
+        assert sum(b.nnz for b in blocks) == g.nnz
+
+    def test_blocks_respect_ranges(self):
+        g = _graph(seed=2)
+        for b in partition_2d(g, 5, 3):
+            if b.nnz == 0:
+                continue
+            rows = b.csr.row_of_edge()
+            assert rows.min() >= b.row_lo and rows.max() < b.row_hi
+            cols = b.csr.indices
+            assert cols.min() >= b.col_lo and cols.max() < b.col_hi
+
+    def test_identity_partition(self):
+        g = _graph(seed=3)
+        (only,) = partition_2d(g, 1, 1)
+        assert only.nnz == g.nnz
+        assert np.array_equal(only.csr.indices, g.indices)
+
+    def test_aggregation_over_blocks_matches_full(self):
+        g = _graph(seed=4)
+        x = np.random.default_rng(5).random((40, 6)).astype(np.float32)
+        full = np.zeros((40, 6), np.float32)
+        np.add.at(full, g.row_of_edge(), x[g.indices])
+        acc = np.zeros_like(full)
+        for b in partition_2d(g, 4, 5):
+            if b.nnz:
+                np.add.at(acc, b.csr.row_of_edge(), x[b.csr.indices])
+        assert np.allclose(acc, full, atol=1e-4)
+
+    def test_edge_ids_preserved(self):
+        g = _graph(seed=6)
+        ids = np.concatenate([b.csr.edge_ids for b in partition_2d(g, 3, 3)])
+        assert np.array_equal(np.sort(ids), np.sort(g.edge_ids))
+
+    def test_invalid_args(self):
+        g = _graph()
+        with pytest.raises(ValueError):
+            partition_2d(g, 0, 1)
+        with pytest.raises(ValueError):
+            partition_2d(g, 1, 100)
+
+    def test_bounded_endpoint_working_sets(self):
+        """The GridGraph point: each block touches a bounded slice of both
+        endpoint ranges -- the same property Hilbert traversal buys."""
+        g = _graph(n=64, m=2000, seed=7)
+        for b in partition_2d(g, 8, 8):
+            assert b.row_hi - b.row_lo <= 8
+            assert b.col_hi - b.col_lo <= 8
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    m=st.integers(0, 200),
+    nr=st.integers(1, 6),
+    nc=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_partition2d_multiset_property(n, m, nr, nc, seed):
+    """Property: the grid blocks partition the edge multiset exactly."""
+    r = np.random.default_rng(seed)
+    g = from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m))
+    nr, nc = min(nr, n), min(nc, n)
+    blocks = partition_2d(g, nr, nc)
+    got = sorted((int(rr), int(c)) for b in blocks
+                 for rr, c in zip(b.csr.row_of_edge(), b.csr.indices))
+    want = sorted(zip(g.row_of_edge().tolist(), g.indices.tolist()))
+    assert got == want

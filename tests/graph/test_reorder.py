@@ -1,0 +1,112 @@
+"""Graph-reordering tests: semantics preserved, locality improved."""
+
+import numpy as np
+import pytest
+
+from repro.graph.reorder import apply_vertex_order, degree_order, rcm_order
+from repro.graph.sparse import from_edges
+from repro.hwsim.cache import CacheSim
+
+
+def _graph(n=60, m=800, seed=0):
+    r = np.random.default_rng(seed)
+    return from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m)), r
+
+
+class TestDegreeOrder:
+    def test_is_permutation(self):
+        adj, _ = _graph()
+        order = degree_order(adj)
+        assert np.array_equal(np.sort(order), np.arange(60))
+
+    def test_hot_vertices_first(self):
+        adj, _ = _graph(seed=1)
+        deg = adj.col_degrees()
+        order = degree_order(adj, by="src")
+        assert np.all(np.diff(deg[order]) <= 0)
+
+    def test_dst_variant(self):
+        adj, _ = _graph(seed=2)
+        order = degree_order(adj, by="dst")
+        assert np.all(np.diff(adj.row_degrees()[order]) <= 0)
+
+    def test_invalid_by(self):
+        adj, _ = _graph()
+        with pytest.raises(ValueError):
+            degree_order(adj, by="edge")
+
+
+class TestRCM:
+    def test_is_permutation(self):
+        adj, _ = _graph(seed=3)
+        order = rcm_order(adj)
+        assert np.array_equal(np.sort(order), np.arange(60))
+
+    def test_reduces_bandwidth_on_banded_graph(self):
+        """A shuffled path graph: RCM must recover a low-bandwidth order."""
+        n = 200
+        rng = np.random.default_rng(4)
+        shuffle = rng.permutation(n)
+        src = shuffle[np.arange(n - 1)]
+        dst = shuffle[np.arange(1, n)]
+        adj = from_edges(n, n, src, dst)
+        order = rcm_order(adj)
+        new_adj, _ = apply_vertex_order(adj, order)
+        band = np.abs(new_adj.row_of_edge() - new_adj.indices).max()
+        orig_band = np.abs(adj.row_of_edge() - adj.indices).max()
+        assert band <= 2
+        assert band < orig_band
+
+    def test_handles_disconnected_graphs(self):
+        adj = from_edges(8, 8, np.array([0, 1, 4, 5]),
+                         np.array([1, 2, 5, 6]))
+        order = rcm_order(adj)
+        assert np.array_equal(np.sort(order), np.arange(8))
+
+    def test_nonsquare_rejected(self):
+        adj = from_edges(4, 5, np.array([0]), np.array([0]))
+        with pytest.raises(ValueError):
+            rcm_order(adj)
+
+
+class TestApplyVertexOrder:
+    def test_aggregation_equivariant(self):
+        """Aggregating on the reordered graph with reordered features equals
+        reordering the original aggregation."""
+        adj, r = _graph(seed=5)
+        x = r.random((60, 8)).astype(np.float32)
+        order = degree_order(adj)
+        new_adj, new_x = apply_vertex_order(adj, order, x)
+        ref = np.zeros((60, 8), np.float32)
+        np.add.at(ref, adj.row_of_edge(), x[adj.indices])
+        got = np.zeros((60, 8), np.float32)
+        np.add.at(got, new_adj.row_of_edge(), new_x[new_adj.indices])
+        assert np.allclose(got, ref[order], atol=1e-4)
+
+    def test_edge_count_preserved(self):
+        adj, r = _graph(seed=6)
+        new_adj, _ = apply_vertex_order(adj, r.permutation(60))
+        assert new_adj.nnz == adj.nnz
+
+    def test_invalid_order_rejected(self):
+        adj, _ = _graph()
+        with pytest.raises(ValueError):
+            apply_vertex_order(adj, np.zeros(60, dtype=np.int64))
+
+    def test_degree_order_improves_cache_hits_on_skewed_graph(self):
+        """On a hub-heavy graph, packing hot rows first lifts the trace-sim
+        hit rate for a cache that holds only a few rows."""
+        from repro.graph.datasets import reddit_like
+
+        ds = reddit_like(scale=1 / 512, seed=7)
+        adj = ds.adj
+        order = degree_order(adj)
+        new_adj, _ = apply_vertex_order(adj, order)
+        row_bytes = 512  # one cache line per 8 rows at 64B lines
+
+        def hit_rate(a):
+            sim = CacheSim(16 * 1024)
+            sim.access_array(a.indices * row_bytes)
+            return sim.hit_rate
+
+        assert hit_rate(new_adj) > hit_rate(adj)

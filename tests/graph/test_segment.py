@@ -1,0 +1,167 @@
+"""Segment reduction tests (the numerical core of aggregation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.segment import (
+    segment_reduce,
+    segment_reduce_unsorted,
+    segment_softmax,
+)
+
+
+def _indptr_from_sizes(sizes):
+    indptr = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    return indptr
+
+
+class TestSegmentReduce:
+    def test_sum_matches_loop(self):
+        sizes = [3, 0, 2, 5]
+        indptr = _indptr_from_sizes(sizes)
+        vals = np.random.default_rng(0).random((10, 4)).astype(np.float32)
+        out = segment_reduce(vals, indptr, "sum")
+        for i in range(4):
+            assert np.allclose(out[i], vals[indptr[i]:indptr[i + 1]].sum(axis=0),
+                               atol=1e-5)
+
+    def test_empty_segment_is_zero(self):
+        indptr = _indptr_from_sizes([2, 0, 1])
+        vals = np.ones((3, 2), dtype=np.float32)
+        out = segment_reduce(vals, indptr, "max")
+        assert np.all(out[1] == 0)
+
+    def test_trailing_empty_segment(self):
+        indptr = _indptr_from_sizes([3, 0])
+        vals = np.ones((3, 2), dtype=np.float32)
+        out = segment_reduce(vals, indptr, "sum")
+        assert np.all(out[1] == 0)
+
+    def test_max_with_negative_values(self):
+        indptr = _indptr_from_sizes([2, 3])
+        vals = -np.arange(1, 6, dtype=np.float32).reshape(5, 1)
+        out = segment_reduce(vals, indptr, "max")
+        assert out[0, 0] == -1 and out[1, 0] == -3
+
+    def test_min_and_prod(self):
+        indptr = _indptr_from_sizes([2, 2])
+        vals = np.array([[2.0], [3.0], [4.0], [5.0]], dtype=np.float32)
+        assert segment_reduce(vals, indptr, "min")[1, 0] == 4
+        assert segment_reduce(vals, indptr, "prod")[0, 0] == 6
+
+    def test_mean(self):
+        indptr = _indptr_from_sizes([4, 0, 1])
+        vals = np.arange(5, dtype=np.float32).reshape(5, 1)
+        out = segment_reduce(vals, indptr, "mean")
+        assert out[0, 0] == pytest.approx(1.5)
+        assert out[1, 0] == 0
+        assert out[2, 0] == 4
+
+    def test_scalar_values(self):
+        indptr = _indptr_from_sizes([2, 1])
+        vals = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        out = segment_reduce(vals, indptr, "sum")
+        assert np.allclose(out, [3.0, 3.0])
+
+    def test_wrong_value_count_rejected(self):
+        indptr = _indptr_from_sizes([2, 1])
+        with pytest.raises(ValueError):
+            segment_reduce(np.ones((5, 1), np.float32), indptr, "sum")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            segment_reduce(np.ones((1, 1), np.float32),
+                           _indptr_from_sizes([1]), "median")
+
+    def test_all_empty(self):
+        indptr = _indptr_from_sizes([0, 0, 0])
+        out = segment_reduce(np.empty((0, 3), np.float32), indptr, "sum")
+        assert out.shape == (3, 3) and np.all(out == 0)
+
+
+class TestSegmentReduceUnsorted:
+    def test_matches_sorted_version(self):
+        rng = np.random.default_rng(1)
+        ids = rng.integers(0, 6, 50)
+        vals = rng.random((50, 3)).astype(np.float32)
+        got = segment_reduce_unsorted(vals, ids, 6, "sum")
+        order = np.argsort(ids, kind="stable")
+        sizes = np.bincount(ids, minlength=6)
+        ref = segment_reduce(vals[order], _indptr_from_sizes(sizes), "sum")
+        assert np.allclose(got, ref, atol=1e-5)
+
+    def test_accumulate_merges_partitions(self):
+        rng = np.random.default_rng(2)
+        ids = rng.integers(0, 4, 40)
+        vals = rng.random((40, 2)).astype(np.float32)
+        full = segment_reduce_unsorted(vals, ids, 4, "sum")
+        out = np.zeros((4, 2), dtype=np.float32)
+        segment_reduce_unsorted(vals[:20], ids[:20], 4, "sum", out=out,
+                                accumulate=True)
+        segment_reduce_unsorted(vals[20:], ids[20:], 4, "sum", out=out,
+                                accumulate=True)
+        assert np.allclose(out, full, atol=1e-5)
+
+    def test_accumulate_requires_out(self):
+        with pytest.raises(ValueError):
+            segment_reduce_unsorted(np.ones((1, 1), np.float32),
+                                    np.array([0]), 1, "sum", accumulate=True)
+
+    def test_untouched_rows_zero(self):
+        vals = np.ones((2, 1), dtype=np.float32)
+        out = segment_reduce_unsorted(vals, np.array([0, 0]), 3, "max")
+        assert out[1, 0] == 0 and out[2, 0] == 0
+
+    def test_mean_unsorted(self):
+        vals = np.array([[2.0], [4.0], [6.0]], dtype=np.float32)
+        out = segment_reduce_unsorted(vals, np.array([1, 1, 0]), 2, "mean")
+        assert out[1, 0] == 3 and out[0, 0] == 6
+
+
+class TestSegmentSoftmax:
+    def test_rows_sum_to_one(self):
+        indptr = _indptr_from_sizes([3, 2, 4])
+        vals = np.random.default_rng(3).standard_normal(9).astype(np.float32)
+        sm = segment_softmax(vals, indptr)
+        assert sm[0:3].sum() == pytest.approx(1, abs=1e-5)
+        assert sm[3:5].sum() == pytest.approx(1, abs=1e-5)
+        assert sm[5:9].sum() == pytest.approx(1, abs=1e-5)
+
+    def test_stability_with_large_scores(self):
+        indptr = _indptr_from_sizes([2])
+        sm = segment_softmax(np.array([1000.0, 1000.0], np.float32), indptr)
+        assert np.allclose(sm, [0.5, 0.5])
+
+    def test_multidim_scores(self):
+        indptr = _indptr_from_sizes([2, 1])
+        vals = np.random.default_rng(4).standard_normal((3, 4)).astype(np.float32)
+        sm = segment_softmax(vals, indptr)
+        assert np.allclose(sm[:2].sum(axis=0), 1, atol=1e-5)
+        assert np.allclose(sm[2], 1, atol=1e-5)
+
+    def test_empty_segments_tolerated(self):
+        indptr = _indptr_from_sizes([0, 2, 0])
+        vals = np.array([0.0, 0.0], np.float32)
+        sm = segment_softmax(vals, indptr)
+        assert np.allclose(sm, [0.5, 0.5])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(0, 10), min_size=1, max_size=15),
+    op=st.sampled_from(["sum", "max", "min", "mean"]),
+    seed=st.integers(0, 10_000),
+)
+def test_segment_reduce_matches_python_loop(sizes, op, seed):
+    """Property: vectorized segment reduction equals the obvious loop."""
+    indptr = _indptr_from_sizes(sizes)
+    total = int(indptr[-1])
+    vals = np.random.default_rng(seed).standard_normal((total, 2)).astype(np.float32)
+    got = segment_reduce(vals, indptr, op)
+    fn = {"sum": np.sum, "max": np.max, "min": np.min, "mean": np.mean}[op]
+    for i, size in enumerate(sizes):
+        seg = vals[indptr[i]:indptr[i + 1]]
+        expected = np.zeros(2, np.float32) if size == 0 else fn(seg, axis=0)
+        assert np.allclose(got[i], expected, atol=1e-4), (i, op)

@@ -1,0 +1,171 @@
+"""CSR/COO structure tests, including property-based round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.sparse import COOMatrix, CSRMatrix, from_edges
+
+
+def _random_graph(n_src, n_dst, m, seed=0):
+    r = np.random.default_rng(seed)
+    return from_edges(n_src, n_dst, r.integers(0, n_src, m), r.integers(0, n_dst, m))
+
+
+class TestCOO:
+    def test_basic_construction(self):
+        coo = COOMatrix((3, 4), np.array([0, 2]), np.array([1, 3]))
+        assert coo.nnz == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((3, 4), np.array([0, 1]), np.array([1]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((3, 4), np.array([3]), np.array([0]))
+        with pytest.raises(ValueError):
+            COOMatrix((3, 4), np.array([0]), np.array([4]))
+
+    def test_transpose_swaps_shape(self):
+        coo = COOMatrix((3, 4), np.array([0]), np.array([1]))
+        t = coo.transpose()
+        assert t.shape == (4, 3) and t.row[0] == 1 and t.col[0] == 0
+
+    def test_to_csr_sorts_rows(self):
+        coo = COOMatrix((3, 3), np.array([2, 0, 1]), np.array([0, 1, 2]))
+        csr = coo.to_csr()
+        assert np.array_equal(csr.indptr, [0, 1, 2, 3])
+        assert np.array_equal(csr.indices, [1, 2, 0])
+
+    def test_to_csr_preserves_edge_ids(self):
+        coo = COOMatrix((3, 3), np.array([2, 0, 1]), np.array([0, 1, 2]))
+        csr = coo.to_csr()
+        # edge at row 0 was original index 1
+        assert csr.edge_ids[0] == 1
+
+
+class TestCSR:
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 2]), np.array([0, 1]))  # wrong len
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0, 1]))  # decreasing
+
+    def test_validation_rejects_bad_columns(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 2]), np.array([0, 5]))
+
+    def test_degrees(self):
+        g = _random_graph(10, 10, 100)
+        assert g.row_degrees().sum() == 100
+        assert g.col_degrees().sum() == 100
+
+    def test_row_of_edge_matches_indptr(self):
+        g = _random_graph(10, 10, 100)
+        rows = g.row_of_edge()
+        for r in range(10):
+            assert np.all(rows[g.indptr[r]:g.indptr[r + 1]] == r)
+
+    def test_transpose_is_involution_on_dense(self):
+        g = _random_graph(8, 6, 30, seed=1)
+        assert np.array_equal(g.transpose().transpose().to_dense(), g.to_dense())
+
+    def test_select_columns_partition_of_nnz(self):
+        g = _random_graph(20, 20, 300, seed=2)
+        left = g.select_columns(0, 10)
+        right = g.select_columns(10, 20)
+        assert left.nnz + right.nnz == g.nnz
+        assert left.indices.max(initial=-1) < 10
+        assert right.indices.min(initial=99) >= 10
+
+    def test_select_columns_keeps_row_structure(self):
+        g = _random_graph(20, 20, 300, seed=3)
+        sub = g.select_columns(5, 15)
+        dense = g.to_dense()
+        dense_masked = dense.copy()
+        dense_masked[:, :5] = 0
+        dense_masked[:, 15:] = 0
+        # multigraph: compare multiplicity-aware counts
+        rows_full = np.zeros((20, 20))
+        np.add.at(rows_full, (g.row_of_edge(), g.indices), 1)
+        rows_sub = np.zeros((20, 20))
+        np.add.at(rows_sub, (sub.row_of_edge(), sub.indices), 1)
+        rows_full[:, :5] = 0
+        rows_full[:, 15:] = 0
+        assert np.array_equal(rows_sub, rows_full)
+
+    def test_select_columns_edge_ids_subset(self):
+        g = _random_graph(20, 20, 300, seed=4)
+        sub = g.select_columns(0, 7)
+        assert set(sub.edge_ids) <= set(g.edge_ids)
+
+    def test_permute_rows(self):
+        g = _random_graph(6, 6, 40, seed=5)
+        perm = np.array([5, 4, 3, 2, 1, 0])
+        p = g.permute_rows(perm)
+        assert np.array_equal(p.to_dense(), g.to_dense()[perm])
+
+    def test_permute_rows_invalid(self):
+        g = _random_graph(6, 6, 40, seed=6)
+        with pytest.raises(ValueError):
+            g.permute_rows(np.array([0, 0, 1, 2, 3, 4]))
+
+    def test_edge_ids_length_checked(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 2]), np.array([0, 1]),
+                      edge_ids=np.array([0]))
+
+
+class TestFromEdges:
+    def test_edge_ids_recover_original_order(self):
+        src = np.array([3, 1, 2])
+        dst = np.array([0, 2, 1])
+        g = from_edges(4, 3, src, dst)
+        # edge i's (src, dst) must match the original arrays when read back
+        rows = g.row_of_edge()
+        for pos in range(g.nnz):
+            orig = g.edge_ids[pos]
+            assert g.indices[pos] == src[orig]
+            assert rows[pos] == dst[orig]
+
+    def test_empty_graph(self):
+        g = from_edges(5, 5, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert g.nnz == 0
+        g.validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_src=st.integers(1, 20),
+    n_dst=st.integers(1, 20),
+    m=st.integers(0, 200),
+    seed=st.integers(0, 10_000),
+)
+def test_csr_coo_roundtrip_property(n_src, n_dst, m, seed):
+    """Property: CSR -> COO -> CSR preserves the multigraph exactly."""
+    r = np.random.default_rng(seed)
+    g = from_edges(n_src, n_dst, r.integers(0, n_src, m), r.integers(0, n_dst, m))
+    g2 = g.to_coo().to_csr()
+    assert np.array_equal(g.indptr, g2.indptr)
+    assert np.array_equal(g.indices, g2.indices)
+    g2.validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 15),
+    m=st.integers(0, 120),
+    parts=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_transpose_preserves_edge_multiset(n, m, parts, seed):
+    """Property: transposition preserves the (src, dst) multiset."""
+    r = np.random.default_rng(seed)
+    src = r.integers(0, n, m)
+    dst = r.integers(0, n, m)
+    g = from_edges(n, n, src, dst)
+    t = g.transpose()
+    fwd = sorted(zip(g.row_of_edge().tolist(), g.indices.tolist()))
+    rev = sorted(zip(t.indices.tolist(), t.row_of_edge().tolist()))
+    assert fwd == rev

@@ -1,0 +1,178 @@
+"""CPU machine-model tests: every paper mechanism must move the modeled
+time in the documented direction."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import paper_stats
+from repro.hwsim import cpu
+from repro.hwsim.spec import XEON_8124M
+
+SPEC = XEON_8124M
+
+
+@pytest.fixture(scope="module")
+def reddit():
+    return paper_stats("reddit")
+
+
+@pytest.fixture(scope="module")
+def proteins():
+    return paper_stats("ogbn-proteins")
+
+
+class TestFrameOrdering:
+    """The Table III ordering: FeatGraph < MKL and FeatGraph < Ligra."""
+
+    @pytest.mark.parametrize("f", [32, 128, 512])
+    def test_featgraph_beats_ligra_gcn(self, reddit, f):
+        fg = cpu.spmm_time(SPEC, reddit, f, frame=cpu.FEATGRAPH_CPU,
+                           num_graph_partitions=16,
+                           num_feature_partitions=max(1, f // 32))
+        lig = cpu.spmm_time(SPEC, reddit, f, frame=cpu.LIGRA_CPU)
+        assert 1.3 < lig.seconds / fg.seconds < 8.0
+
+    @pytest.mark.parametrize("f", [128, 256, 512])
+    def test_featgraph_beats_mkl_at_large_f(self, reddit, f):
+        fg = cpu.spmm_time(SPEC, reddit, f, frame=cpu.FEATGRAPH_CPU,
+                           num_graph_partitions=16,
+                           num_feature_partitions=max(1, f // 32))
+        mkl = cpu.spmm_time(SPEC, reddit, f, frame=cpu.MKL_CPU)
+        assert mkl.seconds > fg.seconds
+
+    def test_mkl_gap_grows_with_feature_length(self, reddit):
+        """Paper: 'higher speedup with a larger feature length' vs MKL."""
+        def ratio(f):
+            fg = cpu.spmm_time(SPEC, reddit, f, frame=cpu.FEATGRAPH_CPU,
+                               num_graph_partitions=16,
+                               num_feature_partitions=max(1, f // 32))
+            mkl = cpu.spmm_time(SPEC, reddit, f, frame=cpu.MKL_CPU)
+            return mkl.seconds / fg.seconds
+
+        assert ratio(512) > ratio(32)
+
+    def test_ligra_mlp_gap_is_large(self, proteins):
+        """Paper: 4.4x-5.5x on MLP aggregation (scalar vs SIMD UDF)."""
+        f = 128
+        lig = cpu.spmm_time(SPEC, proteins, f, frame=cpu.LIGRA_CPU,
+                            udf_flops_per_edge=2 * 8 * f, reads_dst=True)
+        fg = cpu.spmm_time(SPEC, proteins, f, frame=cpu.FEATGRAPH_CPU,
+                           udf_flops_per_edge=2 * 8 * f, reads_dst=True,
+                           num_graph_partitions=8,
+                           num_feature_partitions=4)
+        assert 3.0 < lig.seconds / fg.seconds < 8.0
+
+
+class TestPartitioningMechanism:
+    def test_partitioning_reduces_stall(self, reddit):
+        f = 512
+        base = cpu.spmm_time(SPEC, reddit, f, frame=cpu.FEATGRAPH_CPU,
+                             num_graph_partitions=1, num_feature_partitions=1)
+        part = cpu.spmm_time(SPEC, reddit, f, frame=cpu.FEATGRAPH_CPU,
+                             num_graph_partitions=16, num_feature_partitions=16)
+        assert part.stall_seconds < base.stall_seconds
+        assert part.seconds < base.seconds
+
+    def test_merge_cost_grows_with_partitions(self, reddit):
+        a = cpu.spmm_time(SPEC, reddit, 128, frame=cpu.FEATGRAPH_CPU,
+                          num_graph_partitions=4, num_feature_partitions=4)
+        b = cpu.spmm_time(SPEC, reddit, 128, frame=cpu.FEATGRAPH_CPU,
+                          num_graph_partitions=64, num_feature_partitions=4)
+        assert b.detail["bytes_out_merge"] > a.detail["bytes_out_merge"]
+
+    def test_tiling_rereads_adjacency(self, reddit):
+        a = cpu.spmm_time(SPEC, reddit, 128, frame=cpu.FEATGRAPH_CPU,
+                          num_graph_partitions=16, num_feature_partitions=1)
+        b = cpu.spmm_time(SPEC, reddit, 128, frame=cpu.FEATGRAPH_CPU,
+                          num_graph_partitions=16, num_feature_partitions=8)
+        assert b.detail["bytes_adj"] == pytest.approx(
+            8 * a.detail["bytes_adj"], rel=0.01)
+
+    def test_over_partitioning_eventually_hurts(self, reddit):
+        """The Fig. 14 bowl: some middle configuration beats both extremes."""
+        f = 128
+        times = {}
+        for np_parts in (1, 16, 4096):
+            times[np_parts] = cpu.spmm_time(
+                SPEC, reddit, f, frame=cpu.FEATGRAPH_CPU,
+                num_graph_partitions=np_parts, num_feature_partitions=4,
+            ).seconds
+        assert times[16] < times[1]
+        assert times[16] < times[4096]
+
+    def test_hit_probability_bounds(self, reddit):
+        for rows in (1, 1000, 10**7):
+            p = cpu.row_hit_probability(SPEC, reddit, rows, 128)
+            assert 0.0 <= p <= 1.0
+
+    def test_hit_probability_monotone_in_working_set(self, reddit):
+        ps = [cpu.row_hit_probability(SPEC, reddit, rows, 512)
+              for rows in (100, 10_000, 1_000_000)]
+        assert ps[0] >= ps[1] >= ps[2]
+
+
+class TestThreading:
+    def test_cooperative_scales_better(self, reddit):
+        """Fig. 10: FeatGraph's cooperative threading scales past the
+        cache-divided baselines."""
+        f = 512
+
+        def speedup(frame, **kw):
+            t1 = cpu.spmm_time(SPEC, reddit, f, frame=frame, threads=1, **kw).seconds
+            t16 = cpu.spmm_time(SPEC, reddit, f, frame=frame, threads=16, **kw).seconds
+            return t1 / t16
+
+        fg = speedup(cpu.FEATGRAPH_CPU, num_graph_partitions=16,
+                     num_feature_partitions=16)
+        lig = speedup(cpu.LIGRA_CPU)
+        mkl = speedup(cpu.MKL_CPU)
+        assert fg > lig and fg > mkl
+        assert 8 < fg <= 16
+
+    def test_speedup_monotone_in_threads(self, reddit):
+        ts = [cpu.spmm_time(SPEC, reddit, 512, frame=cpu.FEATGRAPH_CPU,
+                            num_graph_partitions=16, num_feature_partitions=16,
+                            threads=t).seconds for t in (1, 2, 4, 8, 16)]
+        assert all(a > b for a, b in zip(ts, ts[1:]))
+
+
+class TestSDDMM:
+    def test_hilbert_reduces_time_when_thrashing(self, reddit):
+        base = cpu.sddmm_time(SPEC, reddit, 512, frame=cpu.FEATGRAPH_CPU,
+                              hilbert=False)
+        hil = cpu.sddmm_time(SPEC, reddit, 512, frame=cpu.FEATGRAPH_CPU,
+                             hilbert=True)
+        assert hil.seconds <= base.seconds
+
+    def test_attention_gap_vs_ligra(self, proteins):
+        """Paper: 4.3x-6.0x on dot-product attention."""
+        f = 128
+        lig = cpu.sddmm_time(SPEC, proteins, f, frame=cpu.LIGRA_CPU)
+        fg = cpu.sddmm_time(SPEC, proteins, f, frame=cpu.FEATGRAPH_CPU,
+                            hilbert=True, num_feature_partitions=2)
+        assert 2.0 < lig.seconds / fg.seconds < 9.0
+
+    def test_out_width_adds_traffic(self, reddit):
+        a = cpu.sddmm_time(SPEC, reddit, 64, frame=cpu.FEATGRAPH_CPU, out_width=1)
+        b = cpu.sddmm_time(SPEC, reddit, 64, frame=cpu.FEATGRAPH_CPU, out_width=8)
+        assert b.dram_bytes > a.dram_bytes
+
+
+class TestReportInvariants:
+    @pytest.mark.parametrize("f", [32, 512])
+    def test_nonnegative_components(self, reddit, f):
+        rep = cpu.spmm_time(SPEC, reddit, f, frame=cpu.FEATGRAPH_CPU)
+        assert rep.seconds > 0
+        assert rep.compute_seconds >= 0 and rep.memory_seconds >= 0
+        assert rep.dram_bytes > 0 and rep.flops > 0
+
+    def test_report_add_and_scale(self, reddit):
+        rep = cpu.spmm_time(SPEC, reddit, 32, frame=cpu.FEATGRAPH_CPU)
+        double = rep + rep
+        assert double.seconds == pytest.approx(2 * rep.seconds)
+        assert rep.scaled(3).dram_bytes == pytest.approx(3 * rep.dram_bytes)
+
+    def test_time_monotone_in_feature_length(self, reddit):
+        ts = [cpu.spmm_time(SPEC, reddit, f, frame=cpu.FEATGRAPH_CPU).seconds
+              for f in (32, 64, 128, 256, 512)]
+        assert all(a < b for a, b in zip(ts, ts[1:]))

@@ -1,0 +1,135 @@
+"""GPU machine-model tests."""
+
+import pytest
+
+from repro.graph.datasets import paper_stats
+from repro.hwsim import gpu
+from repro.hwsim.spec import TESLA_V100
+
+SPEC = TESLA_V100
+
+
+@pytest.fixture(scope="module")
+def reddit():
+    return paper_stats("reddit")
+
+
+@pytest.fixture(scope="module")
+def rand100k():
+    return paper_stats("rand-100K")
+
+
+@pytest.fixture(scope="module")
+def proteins():
+    return paper_stats("ogbn-proteins")
+
+
+class TestSpMMOrdering:
+    @pytest.mark.parametrize("f", [32, 128, 512])
+    def test_gunrock_much_slower_on_gcn(self, reddit, f):
+        """Paper Table IV: 24x-206x on GCN aggregation."""
+        gr = gpu.spmm_edge_parallel_time(SPEC, reddit, f)
+        fg = gpu.spmm_row_block_time(SPEC, reddit, f, kernel_efficiency=0.92)
+        assert gr.seconds / fg.seconds > 15
+
+    def test_gunrock_gap_grows_with_f(self, reddit):
+        r32 = (gpu.spmm_edge_parallel_time(SPEC, reddit, 32).seconds
+               / gpu.spmm_row_block_time(SPEC, reddit, 32).seconds)
+        r512 = (gpu.spmm_edge_parallel_time(SPEC, reddit, 512).seconds
+                / gpu.spmm_row_block_time(SPEC, reddit, 512).seconds)
+        assert r512 > r32
+
+    def test_featgraph_on_par_with_cusparse(self, reddit):
+        """Paper: within ~20% of cuSPARSE either way."""
+        for f in (32, 128, 512):
+            fg = gpu.spmm_row_block_time(SPEC, reddit, f, kernel_efficiency=0.92,
+                                         hybrid_partitioning=True)
+            cs = gpu.spmm_row_block_time(SPEC, reddit, f)
+            assert 0.6 < fg.seconds / cs.seconds < 1.4
+
+    def test_contention_hits_skewed_graphs(self, reddit, rand100k):
+        gr_r = gpu.spmm_edge_parallel_time(SPEC, reddit, 32)
+        gr_k = gpu.spmm_edge_parallel_time(SPEC, rand100k, 32)
+        # reddit (skewed) suffers more atomic contention per edge
+        per_edge_r = gr_r.seconds / reddit.n_edges
+        per_edge_k = gr_k.seconds / rand100k.n_edges
+        assert per_edge_r > per_edge_k
+        assert gr_r.detail["contention"] > 1.0
+
+
+class TestHybridPartitioning:
+    def test_hybrid_improves_l2_story_on_rand100k(self, rand100k):
+        """Fig. 13: 10%-20% boost on the bimodal-degree graph."""
+        for f in (128, 256, 512):
+            base = gpu.spmm_row_block_time(SPEC, rand100k, f)
+            hyb = gpu.spmm_row_block_time(SPEC, rand100k, f,
+                                          hybrid_partitioning=True)
+            assert hyb.detail["l2_hit"] >= base.detail["l2_hit"]
+            assert hyb.seconds <= base.seconds
+
+    def test_hit_rate_bounds(self, rand100k):
+        for f in (32, 512):
+            h = gpu.l2_hit_rate(SPEC, rand100k, f * 4)
+            assert 0.0 <= h <= 0.95
+
+    def test_bigger_rows_lower_hit(self, reddit):
+        assert (gpu.l2_hit_rate(SPEC, reddit, 128)
+                >= gpu.l2_hit_rate(SPEC, reddit, 2048))
+
+
+class TestTreeReduction:
+    @pytest.mark.parametrize("f", [128, 256, 512])
+    def test_tree_reduce_wins_at_large_f(self, rand100k, f):
+        """Fig. 12: tree reduction boosts dot attention up to ~2x."""
+        with_tree = gpu.sddmm_coop_time(SPEC, rand100k, f, tree_reduce=True)
+        without = gpu.sddmm_coop_time(SPEC, rand100k, f, tree_reduce=False)
+        assert 1.2 < without.seconds / with_tree.seconds < 3.5
+
+    def test_featgraph_beats_gunrock_attention_modestly(self, rand100k):
+        """Paper: 1.2x-3.1x on dot-product attention."""
+        for f in (32, 128, 512):
+            gr = gpu.sddmm_thread_per_edge_time(SPEC, rand100k, f)
+            fg = gpu.sddmm_coop_time(SPEC, rand100k, f, tree_reduce=True)
+            assert 1.0 < gr.seconds / fg.seconds < 4.0
+
+    def test_no_tree_close_to_gunrock(self, rand100k):
+        gr = gpu.sddmm_thread_per_edge_time(SPEC, rand100k, 64)
+        fgn = gpu.sddmm_coop_time(SPEC, rand100k, 64, tree_reduce=False)
+        assert 0.5 < gr.seconds / fgn.seconds < 2.0
+
+
+class TestLaunchGeometry:
+    def test_launch_efficiency_monotone_in_blocks(self):
+        effs = [gpu.launch_efficiency(SPEC, b, 128)
+                for b in (256, 1024, 4096, 16384, 65536)]
+        assert all(a < b for a, b in zip(effs, effs[1:]))
+        assert effs[-1] > 0.9
+
+    def test_fig15_shape(self, reddit):
+        """More CUDA blocks => faster, flattening out (Fig. 15)."""
+        times = [gpu.spmm_row_block_time(SPEC, reddit, 128, num_blocks=b).seconds
+                 for b in (256, 4096, 262144)]
+        assert times[0] > times[1] > times[2]
+        assert times[0] / times[2] < 3.0  # flattens, not unbounded
+
+    def test_zero_blocks_guarded(self, reddit):
+        t = gpu.spmm_row_block_time(SPEC, reddit, 128, num_blocks=0)
+        assert t.seconds > 0
+
+
+class TestMLPAggregation:
+    def test_gunrock_gap_on_mlp(self, proteins):
+        """Paper: 18x-96x faster than Gunrock on MLP aggregation."""
+        for f in (32, 512):
+            gr = gpu.spmm_edge_parallel_time(SPEC, proteins, f,
+                                             udf_flops_per_edge=2 * 8 * f)
+            fg = gpu.spmm_row_block_time(SPEC, proteins, f,
+                                         udf_flops_per_edge=2 * 8 * f,
+                                         kernel_efficiency=0.92)
+            assert gr.seconds / fg.seconds > 10
+
+    def test_udf_flops_increase_time(self, proteins):
+        a = gpu.spmm_row_block_time(SPEC, proteins, 128)
+        b = gpu.spmm_row_block_time(SPEC, proteins, 128,
+                                    udf_flops_per_edge=2 * 8 * 128)
+        assert b.seconds > a.seconds

@@ -1,0 +1,68 @@
+"""GPU model regime tests: the roofline boundary behaves physically."""
+
+import pytest
+
+from repro.graph.datasets import paper_stats
+from repro.hwsim import gpu
+from repro.hwsim.spec import TESLA_V100
+
+
+@pytest.fixture(scope="module")
+def reddit():
+    return paper_stats("reddit")
+
+
+class TestRegimes:
+    def test_vanilla_spmm_is_memory_bound(self, reddit):
+        rep = gpu.spmm_row_block_time(TESLA_V100, reddit, 256)
+        assert rep.memory_seconds > rep.compute_seconds
+
+    def test_heavy_udf_flips_to_compute_bound(self, reddit):
+        rep = gpu.spmm_row_block_time(TESLA_V100, reddit, 256,
+                                      udf_flops_per_edge=2 * 64 * 256)
+        assert rep.compute_seconds > rep.memory_seconds
+
+    def test_bandwidth_scaling_until_compute_roofline(self, reddit):
+        fast = TESLA_V100.with_(dram_bw=TESLA_V100.dram_bw * 4)
+        base = gpu.spmm_row_block_time(TESLA_V100, reddit, 256)
+        boosted = gpu.spmm_row_block_time(fast, reddit, 256)
+        # faster memory helps...
+        assert boosted.seconds < base.seconds
+        # ...until the kernel hits the compute roofline
+        assert boosted.seconds == pytest.approx(
+            boosted.compute_seconds + TESLA_V100.launch_overhead_s, rel=1e-6)
+        compute_base = gpu.spmm_row_block_time(
+            TESLA_V100, reddit, 256, udf_flops_per_edge=2 * 64 * 256)
+        compute_fast = gpu.spmm_row_block_time(
+            fast, reddit, 256, udf_flops_per_edge=2 * 64 * 256)
+        # compute-bound time barely moves with bandwidth
+        assert compute_fast.seconds > compute_base.seconds * 0.9
+
+    def test_bigger_l2_improves_hit_rate(self, reddit):
+        big = TESLA_V100.with_(l2_bytes=TESLA_V100.l2_bytes * 8)
+        small_hit = gpu.l2_hit_rate(TESLA_V100, reddit, 512)
+        big_hit = gpu.l2_hit_rate(big, reddit, 512)
+        assert big_hit > small_hit
+
+    def test_spec_with_returns_new_frozen_instance(self):
+        fast = TESLA_V100.with_(dram_bw=1e12)
+        assert fast is not TESLA_V100
+        assert TESLA_V100.dram_bw == 900e9
+        with pytest.raises(Exception):
+            fast.dram_bw = 1.0  # frozen dataclass
+
+    def test_launch_overhead_floors_tiny_kernels(self):
+        import numpy as np
+
+        from repro.hwsim.stats import GraphStats
+
+        tiny = GraphStats(8, 8, 8, np.ones(8, dtype=np.int64),
+                          np.ones(8, dtype=np.int64))
+        rep = gpu.spmm_row_block_time(TESLA_V100, tiny, 4)
+        assert rep.seconds >= TESLA_V100.launch_overhead_s
+
+    def test_atomic_throughput_scales_edge_parallel_time(self, reddit):
+        fast = TESLA_V100.with_(atomic_throughput=TESLA_V100.atomic_throughput * 4)
+        base = gpu.spmm_edge_parallel_time(TESLA_V100, reddit, 128)
+        improved = gpu.spmm_edge_parallel_time(fast, reddit, 128)
+        assert improved.seconds < base.seconds

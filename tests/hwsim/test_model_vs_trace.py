@@ -1,0 +1,91 @@
+"""Cross-validation: the analytic cache-hit estimates against the
+trace-driven simulator on real (scaled) graphs.
+
+The machine models stand in for hardware, so the tests keep them honest: for
+the knobs the paper turns (graph partitions, feature tiles), the analytic
+hit probability and the simulated LRU hit rate must move *together*."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import reddit_like
+from repro.graph.partition import partition_1d
+from repro.hwsim.cache import CacheSim
+from repro.hwsim.cpu import row_hit_probability
+from repro.hwsim.spec import CPUSpec
+from repro.hwsim.stats import GraphStats
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = reddit_like(scale=1 / 512, seed=42)
+    stats = ds.stats()
+    # scale the spec's caches like the graph so regimes match
+    spec = CPUSpec().with_(llc_bytes=25 * 1024 * 1024 // 512,
+                           l2_bytes=1024 * 1024 // 512)
+    return ds, stats, spec
+
+
+def _trace_hit_rate(adj, num_parts: int, row_bytes: int, cache_bytes: int) -> float:
+    """Simulate row accesses: one line per row, capacity scaled so the cache
+    holds ``cache_bytes / row_bytes`` rows (a full row occupies row_bytes)."""
+    eff_capacity = max(int(cache_bytes * 64 / row_bytes), 1024)
+    sim = CacheSim(eff_capacity)
+    for p in partition_1d(adj, num_parts):
+        sim.access_array(p.csr.indices * 64)
+    return sim.hit_rate
+
+
+class TestPartitionSweepAgreement:
+    def test_hit_rates_increase_with_partitions_in_both(self, setup):
+        ds, stats, spec = setup
+        row_bytes = 512 * 4
+        analytic, simulated = [], []
+        for parts in (1, 4, 16):
+            analytic.append(row_hit_probability(
+                spec, stats, stats.n_src / parts, row_bytes))
+            simulated.append(_trace_hit_rate(ds.adj, parts, row_bytes,
+                                             spec.llc_bytes))
+        assert analytic == sorted(analytic)
+        assert simulated == sorted(simulated)
+
+    def test_tiling_sweep_agreement(self, setup):
+        ds, stats, spec = setup
+        analytic, simulated = [], []
+        for row_bytes in (2048, 512, 128):
+            analytic.append(row_hit_probability(spec, stats, stats.n_src,
+                                                row_bytes))
+            simulated.append(_trace_hit_rate(ds.adj, 1, row_bytes,
+                                             spec.llc_bytes))
+        assert analytic == sorted(analytic)
+        assert simulated == sorted(simulated)
+
+    def test_rank_correlation_over_grid(self, setup):
+        """Spearman rank correlation > 0.7 over the (parts x tile) grid."""
+        from scipy.stats import spearmanr
+
+        ds, stats, spec = setup
+        analytic, simulated = [], []
+        for parts in (1, 4, 16):
+            for row_bytes in (2048, 512, 128):
+                analytic.append(row_hit_probability(
+                    spec, stats, stats.n_src / parts, row_bytes))
+                simulated.append(_trace_hit_rate(ds.adj, parts, row_bytes,
+                                                 spec.llc_bytes))
+        rho, _ = spearmanr(analytic, simulated)
+        assert rho > 0.7, (analytic, simulated)
+
+    def test_fitting_working_set_agrees_at_extremes(self, setup):
+        ds, stats, spec = setup
+        # everything fits: both near 1
+        tiny_rows = 16
+        a = row_hit_probability(spec, stats, tiny_rows, 64)
+        assert a > 0.95
+        # capacity-starved: both well below the fitting regime; the analytic
+        # estimate is conservative about LRU's hot-row retention, so it lower
+        # bounds the simulated rate
+        starved = spec.with_(llc_bytes=64 * 1024, l2_bytes=4 * 1024)
+        a2 = row_hit_probability(starved, stats, stats.n_src, 4096)
+        s2 = _trace_hit_rate(ds.adj, 1, 4096, 64 * 1024)
+        assert a2 < 0.5 and s2 < 0.8
+        assert a2 <= s2 + 0.05

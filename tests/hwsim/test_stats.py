@@ -1,0 +1,71 @@
+"""GraphStats tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.sparse import from_edges
+from repro.hwsim.stats import GraphStats
+
+
+def _stats(n=20, m=200, seed=0):
+    r = np.random.default_rng(seed)
+    g = from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m))
+    return GraphStats.from_csr(g.indptr, g.indices, n), g
+
+
+class TestConstruction:
+    def test_from_csr_consistency(self):
+        st, g = _stats()
+        assert st.n_edges == g.nnz
+        assert st.avg_src_degree == pytest.approx(g.nnz / 20)
+
+    def test_degree_sum_validation(self):
+        with pytest.raises(ValueError):
+            GraphStats(2, 2, 5, np.array([1, 1]), np.array([2, 3]))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            GraphStats(0, 2, 0, np.array([]), np.array([0, 0]))
+
+
+class TestCoverage:
+    def test_zero_and_full(self):
+        st, _ = _stats()
+        assert st.coverage_src(0) == 0.0
+        assert st.coverage_src(10**9) == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self):
+        st, _ = _stats(seed=3)
+        vals = [st.coverage_src(k) for k in range(0, 25)]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_top1_equals_max_degree_fraction(self):
+        st, g = _stats(seed=4)
+        expected = g.col_degrees().max() / g.nnz
+        assert st.coverage_src(1) == pytest.approx(expected)
+
+    def test_dst_coverage_uses_in_degrees(self):
+        st, g = _stats(seed=5)
+        expected = g.row_degrees().max() / g.nnz
+        assert st.coverage_dst(1) == pytest.approx(expected)
+
+    def test_skewed_graph_has_concentrated_coverage(self):
+        # star graph into one hub: one source feeds one destination
+        n = 50
+        src = np.zeros(100, dtype=np.int64)
+        dst = np.zeros(100, dtype=np.int64)
+        g = from_edges(n, n, src, dst)
+        st = GraphStats.from_csr(g.indptr, g.indices, n)
+        assert st.coverage_src(1) == pytest.approx(1.0)
+        # all edges land on one destination: maximal atomic-contention skew
+        assert st.degree_skew() == pytest.approx(n)
+
+
+class TestDerived:
+    def test_sparsity(self):
+        st, g = _stats()
+        assert st.sparsity() == pytest.approx(1 - g.nnz / (20 * 20))
+
+    def test_degree_skew_uniform_close_to_small(self):
+        st, _ = _stats(n=100, m=10_000, seed=6)
+        assert st.degree_skew() < 3

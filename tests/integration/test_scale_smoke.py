@@ -1,0 +1,81 @@
+"""Scale smoke tests: the full pipeline on the largest graphs the test
+suite touches (1/256-scale paper datasets, hundreds of thousands of edges).
+
+These guard against quadratic blowups and memory surprises in the template
+execution paths that the small unit tests cannot see."""
+
+import numpy as np
+import pytest
+
+from repro.bench.timing import measure
+from repro.core import kernels
+from repro.core.backend import FeatGraphBackend
+from repro.graph.datasets import load
+
+
+@pytest.fixture(scope="module")
+def reddit_scaled():
+    return load("reddit", scale=1 / 256)
+
+
+class TestScaleSmoke:
+    def test_dataset_size(self, reddit_scaled):
+        assert reddit_scaled.num_edges > 200_000
+
+    def test_gcn_kernel_throughput(self, reddit_scaled):
+        ds = reddit_scaled
+        x = np.random.default_rng(0).random((ds.num_vertices, 64),
+                                            dtype=np.float32)
+        k = kernels.gcn_aggregation(ds.adj, ds.num_vertices, 64)
+        m = measure(lambda: k.run({"XV": x}), runs=2, warmup=1)
+        # > 3M edge-features/ms would be absurdly slow for vectorized numpy;
+        # this is a regression tripwire, not a performance claim
+        rate = ds.num_edges * 64 / m.mean_seconds
+        assert rate > 3e7, f"{rate:.2e} edge-elements/s"
+
+    def test_all_three_kernels_run_and_agree_with_ligra(self, reddit_scaled):
+        from repro.baselines import LigraBackend
+
+        ds = reddit_scaled
+        rng = np.random.default_rng(1)
+        fg = FeatGraphBackend("cpu")
+        lig = LigraBackend()
+        x = rng.random((ds.num_vertices, 32), dtype=np.float32)
+        assert np.allclose(fg.gcn_aggregation(ds.adj, x),
+                           lig.gcn_aggregation(ds.adj, x), atol=1e-2)
+        scores_fg = fg.dot_attention(ds.adj, x)
+        scores_lig = lig.dot_attention(ds.adj, x)
+        assert np.allclose(scores_fg, scores_lig, atol=1e-2)
+
+    def test_partitioned_execution_at_scale(self, reddit_scaled):
+        ds = reddit_scaled
+        x = np.random.default_rng(2).random((ds.num_vertices, 32),
+                                            dtype=np.float32)
+        k_base = kernels.gcn_aggregation(ds.adj, ds.num_vertices, 32,
+                                         num_graph_partitions=1,
+                                         num_feature_partitions=1)
+        k_part = kernels.gcn_aggregation(ds.adj, ds.num_vertices, 32,
+                                         num_graph_partitions=8,
+                                         num_feature_partitions=4)
+        assert np.allclose(k_base.run({"XV": x}), k_part.run({"XV": x}),
+                           atol=1e-2)
+
+    def test_memory_stays_bounded(self, reddit_scaled):
+        """Chunked execution must not materialize an (m, f) message tensor."""
+        import tracemalloc
+
+        ds = reddit_scaled
+        f = 64
+        x = np.random.default_rng(3).random((ds.num_vertices, f),
+                                            dtype=np.float32)
+        k = kernels.gcn_aggregation(ds.adj, ds.num_vertices, f,
+                                    chunk_edges=1 << 15)
+        k.run({"XV": x})  # warm caches/partitions
+        tracemalloc.start()
+        k.run({"XV": x})
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        full_messages = ds.num_edges * f * 4
+        assert peak < 0.6 * full_messages, (
+            f"peak {peak / 1e6:.1f} MB vs materialized "
+            f"{full_messages / 1e6:.1f} MB")

@@ -1,0 +1,140 @@
+"""Property-based autograd tests: random op chains against numeric
+gradients, and algebraic invariants of differentiation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minidgl.autograd import Tensor, no_grad
+
+OPS = ("add", "mul", "relu", "elu", "tanh_like", "scale", "matmul_small")
+
+
+def _apply(op: str, x: Tensor, rng: np.random.Generator) -> Tensor:
+    if op == "add":
+        return x + Tensor(rng.standard_normal(x.shape).astype(np.float32))
+    if op == "mul":
+        return x * Tensor((rng.random(x.shape) + 0.5).astype(np.float32))
+    if op == "relu":
+        return x.relu()
+    if op == "elu":
+        return x.elu()
+    if op == "tanh_like":
+        # smooth composite: exp / (1 + exp)
+        return x.exp() / (x.exp() + 1.0)
+    if op == "scale":
+        return x * 0.7 + 0.1
+    if op == "matmul_small":
+        w = Tensor(rng.standard_normal((x.shape[-1], x.shape[-1])).astype(
+            np.float32) * 0.3)
+        return x @ w
+    raise ValueError(op)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chain=st.lists(st.sampled_from(OPS), min_size=1, max_size=4),
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_random_chain_matches_numeric_gradient(chain, rows, cols, seed):
+    """Property: d(sum(f(x)))/dx from the tape equals central differences
+    for arbitrary compositions of supported ops."""
+    rng = np.random.default_rng(seed)
+    # avoid relu/elu kinks in the numeric check by keeping values away from 0
+    base = rng.standard_normal((rows, cols)).astype(np.float32)
+    base = np.where(np.abs(base) < 0.15, 0.3, base)
+    x = Tensor(base.copy(), requires_grad=True)
+
+    # freeze rng state for the op constants so every call builds the same fn
+    def forward():
+        local = np.random.default_rng(seed + 1)
+        t = x
+        for op in chain:
+            t = _apply(op, t, local)
+        return t
+
+    forward().sum().backward()
+    analytic = x.grad.copy()
+
+    eps = 1e-3
+    numeric = np.zeros_like(base, dtype=np.float64)
+    it = np.nditer(base, flags=["multi_index"])
+    while not it.finished:
+        ix = it.multi_index
+        orig = x.data[ix]
+        with no_grad():
+            x.data[ix] = orig + eps
+            fp = float(forward().data.sum())
+            x.data[ix] = orig - eps
+            fm = float(forward().data.sum())
+        x.data[ix] = orig
+        numeric[ix] = (fp - fm) / (2 * eps)
+        it.iternext()
+    assert np.allclose(analytic, numeric, atol=5e-2), (
+        chain, np.abs(analytic - numeric).max())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    a=st.floats(-3, 3),
+    b=st.floats(-3, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_linearity_of_gradient(rows, cols, a, b, seed):
+    """Property: grad(a*f + b*g) == a*grad(f) + b*grad(g)."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((rows, cols)).astype(np.float32)
+    c1 = Tensor(rng.standard_normal((rows, cols)).astype(np.float32))
+    c2 = Tensor(rng.standard_normal((rows, cols)).astype(np.float32))
+
+    def grad_of(scale_f, scale_g):
+        x = Tensor(data.copy(), requires_grad=True)
+        ((x * c1).sum() * scale_f + (x * c2).sum() * scale_g).backward()
+        return x.grad
+
+    combined = grad_of(a, b)
+    separate = a * grad_of(1.0, 0.0) + b * grad_of(0.0, 1.0)
+    assert np.allclose(combined, separate, atol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_log_softmax_gradient_rows_sum_to_zero(n, seed):
+    """Property: softmax-gradient rows sum to ~0 when upstream grad is
+    uniform within a row (shift invariance of log-softmax)."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((n, 4)).astype(np.float32),
+               requires_grad=True)
+    x.log_softmax(axis=-1).sum().backward()
+    assert np.allclose(x.grad.sum(axis=-1), 0, atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(2, 6),
+    k=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_gather_scatter_adjoint(rows, k, seed):
+    """Property: gather's backward is scatter-add -- <gather(x), y> ==
+    <x, scatter(y)> (adjoint identity)."""
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, rows, k)
+    x_data = rng.standard_normal((rows, 3)).astype(np.float32)
+    y = rng.standard_normal((k, 3)).astype(np.float32)
+
+    x = Tensor(x_data, requires_grad=True)
+    (x.gather_rows(idx) * Tensor(y)).sum().backward()
+    scatter = np.zeros_like(x_data)
+    np.add.at(scatter, idx, y)
+    lhs = (x_data[idx] * y).sum()
+    rhs = (x_data * scatter).sum()
+    assert np.allclose(lhs, rhs, atol=1e-3)
+    assert np.allclose(x.grad, scatter, atol=1e-5)

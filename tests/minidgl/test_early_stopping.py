@@ -1,0 +1,46 @@
+"""Early-stopping tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import planted_partition
+from repro.minidgl.backends import get_backend
+from repro.minidgl.models import GCN
+from repro.minidgl.train import train_model
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return planted_partition(n=250, num_classes=4, feature_dim=16,
+                             avg_degree=10, seed=0)
+
+
+class TestEarlyStopping:
+    def test_stops_before_epoch_budget(self, dataset):
+        """An easy task saturates validation accuracy quickly; patience must
+        cut training well short of the budget."""
+        model = GCN(16, 4, hidden=16, dropout=0.0, seed=1)
+        res = train_model(model, dataset, get_backend("featgraph"),
+                          epochs=200, lr=0.05, patience=3)
+        assert len(res.train_losses) < 200
+        assert res.test_accuracy > 0.8
+
+    def test_no_patience_runs_full_budget(self, dataset):
+        model = GCN(16, 4, hidden=8, dropout=0.0, seed=2)
+        res = train_model(model, dataset, get_backend("featgraph"),
+                          epochs=7, lr=0.02)
+        assert len(res.train_losses) == 7
+
+    def test_patience_validation(self, dataset):
+        with pytest.raises(ValueError):
+            train_model(GCN(16, 4, hidden=8), dataset,
+                        get_backend("featgraph"), patience=0)
+
+    def test_early_stop_accuracy_close_to_full_run(self, dataset):
+        full = train_model(GCN(16, 4, hidden=16, dropout=0.0, seed=3),
+                           dataset, get_backend("featgraph"), epochs=60,
+                           lr=0.03)
+        early = train_model(GCN(16, 4, hidden=16, dropout=0.0, seed=3),
+                            dataset, get_backend("featgraph"), epochs=60,
+                            lr=0.03, patience=5)
+        assert early.test_accuracy >= full.test_accuracy - 0.08

@@ -1,0 +1,92 @@
+"""Multi-GPU (NeuGraph-style) extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import paper_stats
+from repro.graph.sparse import from_edges
+from repro.minidgl.multigpu import LinkSpec, MultiGPUSpMM
+
+
+@pytest.fixture()
+def setup():
+    r = np.random.default_rng(0)
+    n, m, f = 120, 3000, 16
+    g = from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m))
+    x = r.random((n, f), dtype=np.float32)
+    ref = np.zeros((n, f), np.float32)
+    np.add.at(ref, g.row_of_edge(), x[g.indices])
+    return g, x, ref, f
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("gpus", [1, 2, 3, 8])
+    def test_matches_single_device(self, setup, gpus):
+        g, x, ref, f = setup
+        mg = MultiGPUSpMM(g, num_gpus=gpus, feature_len=f)
+        assert np.allclose(mg.run(x), ref, atol=1e-4)
+
+    def test_shape_validation(self, setup):
+        g, x, ref, f = setup
+        mg = MultiGPUSpMM(g, num_gpus=2, feature_len=f)
+        with pytest.raises(ValueError):
+            mg.run(x[:, :f - 1])
+
+    def test_invalid_construction(self, setup):
+        g, *_ = setup
+        with pytest.raises(ValueError):
+            MultiGPUSpMM(g, num_gpus=0, feature_len=8)
+        with pytest.raises(ValueError):
+            MultiGPUSpMM(g, num_gpus=2, feature_len=0)
+
+    def test_owner_round_robin(self, setup):
+        g, *_ = setup
+        mg = MultiGPUSpMM(g, num_gpus=3, feature_len=8)
+        assert set(mg.owner) == {0, 1, 2}
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def reddit(self):
+        return paper_stats("reddit")
+
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        r = np.random.default_rng(1)
+        g = from_edges(60, 60, r.integers(0, 60, 500), r.integers(0, 60, 500))
+        return g
+
+    def test_chain_beats_host_to_all(self, kernel, reddit):
+        for gpus in (2, 4, 8):
+            mg = MultiGPUSpMM(kernel, num_gpus=gpus, feature_len=512)
+            chain = mg.cost(reddit, schedule="chain").seconds
+            naive = mg.cost(reddit, schedule="host-to-all").seconds
+            assert chain < naive, gpus
+
+    def test_chain_scales_with_gpus(self, kernel, reddit):
+        speedups = [MultiGPUSpMM(kernel, num_gpus=g, feature_len=512)
+                    .speedup_over_single(reddit, "chain")
+                    for g in (1, 2, 4, 8)]
+        assert speedups[1] > 1.3
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+
+    def test_host_to_all_saturates(self, kernel, reddit):
+        """The naive broadcast schedule stops scaling: PCIe is shared."""
+        s4 = MultiGPUSpMM(kernel, num_gpus=4, feature_len=512) \
+            .speedup_over_single(reddit, "host-to-all")
+        s8 = MultiGPUSpMM(kernel, num_gpus=8, feature_len=512) \
+            .speedup_over_single(reddit, "host-to-all")
+        assert s8 <= s4 * 1.1
+
+    def test_faster_links_help_chain(self, kernel, reddit):
+        slow = MultiGPUSpMM(kernel, num_gpus=4, feature_len=512,
+                            links=LinkSpec(pcie_bw=6e9, peer_bw=12e9))
+        fast = MultiGPUSpMM(kernel, num_gpus=4, feature_len=512,
+                            links=LinkSpec(pcie_bw=12e9, peer_bw=48e9))
+        assert (fast.cost(reddit, "chain").seconds
+                < slow.cost(reddit, "chain").seconds)
+
+    def test_unknown_schedule(self, kernel, reddit):
+        mg = MultiGPUSpMM(kernel, num_gpus=2, feature_len=64)
+        with pytest.raises(ValueError):
+            mg.cost(reddit, schedule="ring")

@@ -1,0 +1,139 @@
+"""Layer and model tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.sparse import from_edges
+from repro.minidgl.autograd import Tensor
+from repro.minidgl.backends import get_backend
+from repro.minidgl.graph import Graph
+from repro.minidgl.models import GAT, GCN, GraphSage, MODELS
+from repro.minidgl.nn import Dropout, GATConv, GCNConv, Linear, SAGEConv
+
+
+@pytest.fixture()
+def graph():
+    r = np.random.default_rng(0)
+    n, m = 40, 300
+    return Graph(from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m)))
+
+
+@pytest.fixture()
+def backend():
+    return get_backend("featgraph")
+
+
+class TestLinear:
+    def test_shapes(self):
+        lin = Linear(8, 5)
+        x = Tensor(np.ones((3, 8), np.float32))
+        assert lin(x).shape == (3, 5)
+
+    def test_parameters_discovered(self):
+        lin = Linear(8, 5)
+        assert len(lin.parameters()) == 2
+        assert len(Linear(8, 5, bias=False).parameters()) == 1
+
+    def test_glorot_scale(self):
+        lin = Linear(100, 100, rng=np.random.default_rng(1))
+        bound = np.sqrt(6 / 200)
+        assert np.abs(lin.weight.data).max() <= bound + 1e-6
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        d = Dropout(0.5).eval()
+        x = Tensor(np.ones((10, 10), np.float32))
+        assert np.array_equal(d(x).data, x.data)
+
+    def test_train_mode_scales(self):
+        d = Dropout(0.5, rng=np.random.default_rng(2))
+        x = Tensor(np.ones((1000, 10), np.float32))
+        out = d(x).data
+        kept = out != 0
+        assert np.allclose(out[kept], 2.0)
+        assert 0.4 < kept.mean() < 0.6
+
+    def test_zero_p_identity(self):
+        d = Dropout(0.0)
+        x = Tensor(np.ones((4, 4), np.float32))
+        assert np.array_equal(d(x).data, x.data)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestConvLayers:
+    def test_gcnconv_normalizes_by_degree(self, graph, backend):
+        conv = GCNConv(6, 4, rng=np.random.default_rng(3))
+        x = Tensor(np.random.default_rng(4).random((40, 6)).astype(np.float32))
+        out = conv(graph, x, backend)
+        assert out.shape == (40, 4)
+        # isolated vertices (if any) produce zero rows
+        deg = graph.in_degrees()
+        if (deg == 0).any():
+            assert np.allclose(out.data[deg == 0], conv.linear.bias.data * 0, atol=1)
+
+    def test_sageconv_self_term(self, graph, backend):
+        conv = SAGEConv(6, 4, rng=np.random.default_rng(5))
+        x = Tensor(np.random.default_rng(6).random((40, 6)).astype(np.float32))
+        out = conv(graph, x, backend)
+        assert out.shape == (40, 4)
+
+    def test_gatconv_shapes_and_heads(self, graph, backend):
+        conv = GATConv(6, 8, num_heads=4, rng=np.random.default_rng(7))
+        x = Tensor(np.random.default_rng(8).random((40, 6)).astype(np.float32))
+        out = conv(graph, x, backend)
+        assert out.shape == (40, 8)
+        assert conv.head_dim == 2
+
+    def test_gatconv_head_divisibility(self):
+        with pytest.raises(ValueError):
+            GATConv(6, 7, num_heads=2)
+
+    def test_conv_layers_backprop(self, graph, backend):
+        for conv in (GCNConv(6, 4), SAGEConv(6, 4), GATConv(6, 4, num_heads=2)):
+            x = Tensor(np.random.default_rng(9).random((40, 6)).astype(np.float32),
+                       requires_grad=True)
+            conv(graph, x, backend).sum().backward()
+            assert x.grad is not None
+            for p in conv.parameters():
+                assert p.grad is not None, type(conv).__name__
+
+
+class TestModels:
+    @pytest.mark.parametrize("name", list(MODELS))
+    def test_forward_shapes(self, graph, backend, name):
+        model = MODELS[name](in_dim=6, num_classes=3, hidden=8)
+        x = Tensor(np.random.default_rng(10).random((40, 6)).astype(np.float32))
+        logits = model(graph, x, backend)
+        assert logits.shape == (40, 3)
+
+    def test_paper_hidden_sizes(self):
+        assert GCN.paper_hidden == 512
+        assert GraphSage.paper_hidden == 256
+        assert GAT.paper_hidden == 256
+
+    def test_train_eval_mode_propagates(self, graph, backend):
+        model = GCN(6, 3, hidden=8, dropout=0.5)
+        model.eval()
+        assert not model.dropout.training
+        model.train()
+        assert model.dropout.training
+
+    def test_eval_deterministic(self, graph, backend):
+        model = GCN(6, 3, hidden=8, dropout=0.5)
+        model.eval()
+        x = Tensor(np.random.default_rng(11).random((40, 6)).astype(np.float32))
+        a = model(graph, x, backend).data
+        b = model(graph, x, backend).data
+        assert np.array_equal(a, b)
+
+    def test_parameter_counts(self):
+        gcn = GCN(10, 4, hidden=16)
+        # conv1: W(10x16)+b, conv2: W(16x4)+b
+        assert len(gcn.parameters()) == 4
+        gat = GAT(10, 4, hidden=16, num_heads=4)
+        # per layer: fc W, attn_l, attn_r
+        assert len(gat.parameters()) == 6

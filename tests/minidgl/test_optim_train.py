@@ -1,0 +1,107 @@
+"""Optimizer and training-loop tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import planted_partition
+from repro.minidgl.autograd import Tensor
+from repro.minidgl.backends import get_backend
+from repro.minidgl.models import GCN
+from repro.minidgl.optim import SGD, Adam
+from repro.minidgl.train import accuracy, cross_entropy, train_model
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, opt_cls, **kw):
+        # minimize ||x - 3||^2
+        x = Tensor(np.zeros(4, np.float32), requires_grad=True)
+        opt = opt_cls([x], **kw)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = ((x - 3.0) * (x - 3.0)).sum()
+            loss.backward()
+            opt.step()
+        return x.data
+
+    def test_sgd_converges(self):
+        assert np.allclose(self._quadratic_descent(SGD, lr=0.1), 3.0, atol=1e-2)
+
+    def test_sgd_momentum_converges(self):
+        assert np.allclose(self._quadratic_descent(SGD, lr=0.05, momentum=0.9),
+                           3.0, atol=1e-2)
+
+    def test_adam_converges(self):
+        assert np.allclose(self._quadratic_descent(Adam, lr=0.1), 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        plain = self._quadratic_descent(Adam, lr=0.1)
+        decayed = self._quadratic_descent(Adam, lr=0.1, weight_decay=1.0)
+        assert np.all(np.abs(decayed) < np.abs(plain))
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.zeros(1), requires_grad=True)], lr=0)
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.zeros(1), requires_grad=True)], lr=-1)
+
+    def test_skips_parameters_without_grad(self):
+        x = Tensor(np.zeros(2, np.float32), requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        opt.step()  # no grad yet: must not crash
+        assert np.all(x.data == 0)
+
+
+class TestLossAndMetrics:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3), np.float32), requires_grad=True)
+        labels = np.array([0, 1, 2, 0])
+        mask = np.ones(4, bool)
+        loss = cross_entropy(logits, labels, mask)
+        assert loss.data == pytest.approx(np.log(3), abs=1e-5)
+
+    def test_cross_entropy_respects_mask(self):
+        logits = Tensor(np.array([[10.0, 0], [0, 10.0]], np.float32),
+                        requires_grad=True)
+        labels = np.array([0, 0])  # second one wrong
+        only_first = np.array([True, False])
+        loss = cross_entropy(logits, labels, only_first)
+        assert loss.data < 0.01
+
+    def test_cross_entropy_empty_mask(self):
+        logits = Tensor(np.zeros((2, 2), np.float32), requires_grad=True)
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.array([0, 1]), np.zeros(2, bool))
+
+    def test_accuracy(self):
+        logits = np.array([[1, 0], [0, 1], [1, 0]], np.float32)
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels, np.ones(3, bool)) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_mask_nan(self):
+        out = accuracy(np.zeros((2, 2)), np.array([0, 1]), np.zeros(2, bool))
+        assert np.isnan(out)
+
+
+class TestTrainModel:
+    def test_learns_planted_partition(self):
+        ds = planted_partition(n=300, num_classes=4, feature_dim=16,
+                               avg_degree=10, seed=0)
+        model = GCN(16, 4, hidden=24, dropout=0.0, seed=1)
+        res = train_model(model, ds, get_backend("featgraph"),
+                          epochs=40, lr=0.02)
+        assert res.test_accuracy > 0.7
+        assert res.train_losses[-1] < res.train_losses[0]
+
+    def test_records_epoch_times(self):
+        ds = planted_partition(n=120, num_classes=3, feature_dim=8,
+                               avg_degree=6, seed=2)
+        model = GCN(8, 3, hidden=8, seed=3)
+        res = train_model(model, ds, get_backend("minigun"), epochs=3)
+        assert len(res.epoch_seconds) == 3
+        assert res.mean_epoch_seconds > 0
+
+    def test_requires_labeled_dataset(self):
+        from repro.graph.datasets import uniform_random
+        ds = uniform_random(50, 0.05)
+        with pytest.raises(ValueError):
+            train_model(GCN(4, 2, hidden=4), ds, get_backend("minigun"))

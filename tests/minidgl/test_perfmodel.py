@@ -1,0 +1,118 @@
+"""Table VI epoch-cost model tests."""
+
+import pytest
+
+from repro.graph.datasets import paper_stats
+from repro.minidgl import perfmodel
+from repro.minidgl.perfmodel import OOM, epoch_calls, epoch_cost
+
+
+@pytest.fixture(scope="module")
+def reddit():
+    return paper_stats("reddit")
+
+
+IN_DIM, CLASSES = 602, 41
+
+
+class TestEpochCalls:
+    def test_training_has_backward_calls(self, reddit):
+        fwd = epoch_calls("GCN", reddit, IN_DIM, CLASSES, training=False)
+        full = epoch_calls("GCN", reddit, IN_DIM, CLASSES, training=True)
+        assert len(full) > len(fwd)
+
+    def test_gcn_spmm_widths_follow_hidden(self, reddit):
+        calls = epoch_calls("GCN", reddit, IN_DIM, CLASSES, training=False)
+        widths = [c.feature_len for c in calls if c.kind == "spmm"]
+        assert widths == [512, CLASSES]
+
+    def test_gat_has_sddmm_and_softmax(self, reddit):
+        kinds = {c.kind for c in epoch_calls("GAT", reddit, IN_DIM, CLASSES)}
+        assert {"spmm", "sddmm", "softmax", "dense"} <= kinds
+
+    def test_gat_weighted_spmm_not_builtin(self, reddit):
+        calls = epoch_calls("GAT", reddit, IN_DIM, CLASSES)
+        weighted = [c for c in calls if c.kind == "spmm"]
+        assert all(c.weighted and not c.builtin for c in weighted)
+
+    def test_gcn_all_builtin(self, reddit):
+        calls = epoch_calls("GCN", reddit, IN_DIM, CLASSES)
+        assert all(c.builtin for c in calls)
+
+    def test_unknown_model(self, reddit):
+        with pytest.raises(KeyError):
+            epoch_calls("GIN", reddit, IN_DIM, CLASSES)
+
+
+class TestEpochCost:
+    @pytest.mark.parametrize("model", ["GCN", "GraphSage"])
+    @pytest.mark.parametrize("platform", ["cpu", "gpu"])
+    @pytest.mark.parametrize("training", [True, False])
+    def test_featgraph_always_faster(self, reddit, model, platform, training):
+        wo = epoch_cost(model, reddit, IN_DIM, CLASSES, backend="minigun",
+                        platform=platform, training=training)
+        w = epoch_cost(model, reddit, IN_DIM, CLASSES, backend="featgraph",
+                       platform=platform, training=training)
+        assert wo > w
+
+    def test_cpu_speedups_in_paper_band(self, reddit):
+        """Paper: >20x on CPU for all three models (we accept 10x-60x)."""
+        for model in ("GCN", "GraphSage", "GAT"):
+            wo = epoch_cost(model, reddit, IN_DIM, CLASSES, backend="minigun",
+                            platform="cpu", training=True)
+            w = epoch_cost(model, reddit, IN_DIM, CLASSES, backend="featgraph",
+                           platform="cpu", training=True)
+            assert 10 < wo / w < 60, model
+
+    def test_gpu_speedups_moderate(self, reddit):
+        """Paper: 2.1x-2.9x GPU training speedups for GCN/GraphSage."""
+        for model in ("GCN", "GraphSage"):
+            wo = epoch_cost(model, reddit, IN_DIM, CLASSES, backend="minigun",
+                            platform="gpu", training=True)
+            w = epoch_cost(model, reddit, IN_DIM, CLASSES, backend="featgraph",
+                           platform="gpu", training=True)
+            assert 1.2 < wo / w < 6, model
+
+    def test_gat_gpu_training_ooms_without_featgraph(self, reddit):
+        """The starred N/A of Table VI."""
+        with pytest.raises(OOM):
+            epoch_cost("GAT", reddit, IN_DIM, CLASSES, backend="minigun",
+                       platform="gpu", training=True)
+
+    def test_gat_gpu_inference_does_not_oom(self, reddit):
+        t = epoch_cost("GAT", reddit, IN_DIM, CLASSES, backend="minigun",
+                       platform="gpu", training=False)
+        assert t > 0
+
+    def test_gat_gpu_training_fine_with_featgraph(self, reddit):
+        t = epoch_cost("GAT", reddit, IN_DIM, CLASSES, backend="featgraph",
+                       platform="gpu", training=True)
+        assert 0 < t < 30
+
+    def test_gat_highest_cpu_speedup(self, reddit):
+        """Paper: 'The highest speedup is achieved on GAT'."""
+        def speedup(model):
+            wo = epoch_cost(model, reddit, IN_DIM, CLASSES, backend="minigun",
+                            platform="cpu", training=True)
+            w = epoch_cost(model, reddit, IN_DIM, CLASSES, backend="featgraph",
+                           platform="cpu", training=True)
+            return wo / w
+
+        assert speedup("GAT") > speedup("GCN")
+        assert speedup("GAT") > speedup("GraphSage")
+
+    def test_inference_cheaper_than_training(self, reddit):
+        for backend in ("minigun", "featgraph"):
+            tr = epoch_cost("GCN", reddit, IN_DIM, CLASSES, backend=backend,
+                            platform="cpu", training=True)
+            inf = epoch_cost("GCN", reddit, IN_DIM, CLASSES, backend=backend,
+                             platform="cpu", training=False)
+            assert inf < tr
+
+    def test_invalid_args(self, reddit):
+        with pytest.raises(KeyError):
+            epoch_cost("GCN", reddit, IN_DIM, CLASSES, backend="tf",
+                       platform="cpu")
+        with pytest.raises(KeyError):
+            epoch_cost("GCN", reddit, IN_DIM, CLASSES, backend="minigun",
+                       platform="tpu")

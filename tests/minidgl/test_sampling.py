@@ -1,0 +1,168 @@
+"""Neighbor-sampling and mini-batch tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.sparse import from_edges
+from repro.minidgl.sampling import Block, build_blocks, minibatches, sample_neighbors
+
+
+@pytest.fixture()
+def graph():
+    r = np.random.default_rng(0)
+    n, m = 100, 2000
+    return from_edges(n, n, r.integers(0, n, m), r.integers(0, n, m))
+
+
+class TestSampleNeighbors:
+    def test_fanout_respected(self, graph):
+        rng = np.random.default_rng(1)
+        seeds = np.arange(20)
+        block = sample_neighbors(graph, seeds, fanout=5, rng=rng)
+        deg = np.diff(block.adj.indptr)
+        assert deg.max() <= 5
+
+    def test_low_degree_vertices_keep_all_edges(self):
+        adj = from_edges(10, 10, np.array([1, 2]), np.array([0, 0]))
+        block = sample_neighbors(adj, np.array([0]), fanout=8,
+                                 rng=np.random.default_rng(2))
+        assert block.adj.nnz == 2
+
+    def test_sampled_edges_exist_in_graph(self, graph):
+        rng = np.random.default_rng(3)
+        seeds = np.arange(10, 30)
+        block = sample_neighbors(graph, seeds, fanout=4, rng=rng)
+        real = set(zip(graph.row_of_edge().tolist(), graph.indices.tolist()))
+        for lr, lc in zip(block.adj.row_of_edge(), block.adj.indices):
+            g_dst = block.dst_ids[lr]
+            g_src = block.src_ids[lc]
+            assert (int(g_dst), int(g_src)) in real
+
+    def test_seeds_prefix_of_sources(self, graph):
+        rng = np.random.default_rng(4)
+        seeds = np.array([7, 3, 50])
+        block = sample_neighbors(graph, seeds, fanout=3, rng=rng)
+        assert np.array_equal(block.src_ids[:3], seeds)
+        assert np.array_equal(block.dst_ids, seeds)
+
+    def test_no_replacement(self, graph):
+        rng = np.random.default_rng(5)
+        block = sample_neighbors(graph, np.arange(50), fanout=10, rng=rng)
+        # within one destination, sampled (dst, position) pairs are distinct
+        # edge slots; degree never exceeds the true degree
+        true_deg = np.diff(graph.indptr)[:50]
+        got_deg = np.diff(block.adj.indptr)
+        assert np.all(got_deg <= np.minimum(true_deg, 10))
+
+    def test_duplicate_seeds_rejected(self, graph):
+        with pytest.raises(ValueError):
+            sample_neighbors(graph, np.array([1, 1]), 2,
+                             np.random.default_rng(0))
+
+    def test_invalid_fanout(self, graph):
+        with pytest.raises(ValueError):
+            sample_neighbors(graph, np.array([0]), 0, np.random.default_rng(0))
+
+    def test_isolated_seed(self):
+        adj = from_edges(5, 5, np.array([0]), np.array([1]))
+        block = sample_neighbors(adj, np.array([3]), 4,
+                                 np.random.default_rng(1))
+        assert block.adj.nnz == 0
+        assert block.num_dst == 1
+
+
+class TestBuildBlocks:
+    def test_layer_count_and_order(self, graph):
+        rng = np.random.default_rng(6)
+        seeds = np.arange(8)
+        blocks = build_blocks(graph, seeds, fanouts=[4, 4], rng=rng)
+        assert len(blocks) == 2
+        # execution order: last block's destinations are the seeds
+        assert np.array_equal(blocks[-1].dst_ids, seeds)
+        # layer boundary: block i's sources are block i+1's... destinations
+        assert np.array_equal(blocks[0].dst_ids, blocks[1].src_ids)
+
+    def test_frontier_grows_inward(self, graph):
+        rng = np.random.default_rng(7)
+        blocks = build_blocks(graph, np.arange(5), fanouts=[8, 8], rng=rng)
+        assert blocks[0].num_src >= blocks[1].num_src
+
+    def test_sampled_sage_forward_matches_full_when_fanout_huge(self, graph):
+        """With fanout >= max degree, a sampled mean-aggregation equals the
+        full-graph one on the seeds."""
+        from repro.graph.segment import segment_reduce
+
+        rng = np.random.default_rng(8)
+        n = graph.shape[0]
+        x = rng.random((n, 6)).astype(np.float32)
+        seeds = np.arange(0, 40)
+        block = sample_neighbors(graph, seeds, fanout=10_000, rng=rng)
+        local_x = block.gather_src_features(x)
+        mean_block = segment_reduce(local_x[block.adj.indices],
+                                    block.adj.indptr, "mean")
+        full_mean = segment_reduce(x[graph.indices], graph.indptr, "mean")
+        assert np.allclose(mean_block, full_mean[seeds], atol=1e-4)
+
+
+class TestMinibatches:
+    def test_partitions_ids(self):
+        ids = np.arange(23)
+        batches = list(minibatches(ids, 5))
+        assert sum(len(b) for b in batches) == 23
+        assert sorted(np.concatenate(batches).tolist()) == list(range(23))
+
+    def test_shuffling(self):
+        ids = np.arange(100)
+        batches = list(minibatches(ids, 100, rng=np.random.default_rng(9)))
+        assert not np.array_equal(batches[0], ids)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(minibatches(np.arange(4), 0))
+
+
+class TestMinibatchTraining:
+    def test_sampled_graphsage_learns(self):
+        """End to end: minibatch GraphSage with sampled blocks reaches good
+        accuracy on the planted-partition task."""
+        from repro.graph.datasets import planted_partition
+        from repro.graph.segment import segment_reduce
+        from repro.minidgl.autograd import Tensor
+        from repro.minidgl.nn import Linear
+        from repro.minidgl.optim import Adam
+
+        ds = planted_partition(n=400, num_classes=4, feature_dim=16,
+                               avg_degree=12, seed=10)
+        rng = np.random.default_rng(11)
+        w_self = Linear(16, 4, rng=rng)
+        w_neigh = Linear(16, 4, bias=False, rng=rng)
+        opt = Adam(w_self.parameters() + w_neigh.parameters(), lr=0.05)
+        train_ids = np.nonzero(ds.train_mask)[0]
+
+        def forward(block):
+            local_x = block.gather_src_features(ds.features)
+            mean = segment_reduce(local_x[block.adj.indices],
+                                  block.adj.indptr, "mean")
+            return w_self(Tensor(local_x[: block.num_dst])) + \
+                w_neigh(Tensor(mean))
+
+        for epoch in range(25):
+            for batch in minibatches(train_ids, 128, rng=rng):
+                block = sample_neighbors(ds.adj, batch, fanout=8, rng=rng)
+                logits = forward(block)
+                idx = np.arange(block.num_dst)
+                labels = ds.labels[block.dst_ids]
+                logp = logits.log_softmax(axis=-1)
+                picked = logp * Tensor(np.eye(4, dtype=np.float32)[labels])
+                loss = -(picked.sum() * (1.0 / block.num_dst))
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+
+        # evaluate on the test vertices with full neighborhoods
+        test_ids = np.nonzero(ds.test_mask)[0]
+        block = sample_neighbors(ds.adj, test_ids, fanout=10_000,
+                                 rng=np.random.default_rng(12))
+        logits = forward(block).numpy()
+        acc = (logits.argmax(1) == ds.labels[test_ids]).mean()
+        assert acc > 0.7

@@ -1,0 +1,162 @@
+"""Vectorized and unrolled code generation."""
+
+import numpy as np
+import pytest
+
+from repro import tensorir as T
+
+
+def _build(t, args, schedule_fn=None):
+    s = T.create_schedule(t)
+    if schedule_fn:
+        schedule_fn(s, t)
+    return T.build(s, args)
+
+
+class TestVectorizedEmission:
+    def test_elementwise_becomes_slice(self):
+        X = T.placeholder((4, 8), name="X")
+        t = T.compute((4, 8), lambda i, j: X[i, j] * 2.0 + 1.0)
+
+        def sched(s, tt):
+            s[tt].vectorize(tt.op.axis[1])
+
+        kern = _build(t, [X], sched)
+        assert "vectorized over" in kern.source
+        assert "0:8" in kern.source
+        x = np.random.default_rng(0).random((4, 8)).astype(np.float32)
+        assert np.allclose(kern(x), x * 2 + 1, atol=1e-5)
+
+    def test_intrinsics_vectorize_to_numpy(self):
+        X = T.placeholder((3, 6), name="X")
+        t = T.compute((3, 6), lambda i, j: T.exp(X[i, j]))
+
+        def sched(s, tt):
+            s[tt].vectorize(tt.op.axis[1])
+
+        kern = _build(t, [X], sched)
+        assert "np.exp" in kern.source
+        x = np.random.default_rng(1).random((3, 6)).astype(np.float32)
+        assert np.allclose(kern(x), np.exp(x), atol=1e-5)
+
+    def test_max_vectorizes_to_np_maximum(self):
+        X = T.placeholder((5,), name="X")
+        t = T.compute((5,), lambda i: T.maximum(X[i], 0.0))
+
+        def sched(s, tt):
+            s[tt].vectorize(tt.op.axis[0])
+
+        kern = _build(t, [X], sched)
+        assert "np.maximum" in kern.source
+        x = np.random.default_rng(2).standard_normal(5).astype(np.float32)
+        assert np.allclose(kern(x), np.maximum(x, 0))
+
+    def test_non_trailing_index_falls_back_to_scalar(self):
+        """Vectorizing an axis used as a *leading* index (strided access)
+        must fall back to the scalar loop, still correct."""
+        X = T.placeholder((6, 4), name="X")
+        t = T.compute((4, 6), lambda i, j: X[j, i])
+
+        def sched(s, tt):
+            s[tt].vectorize(tt.op.axis[1])
+
+        kern = _build(t, [X], sched)
+        assert "scalar fallback" in kern.source
+        x = np.random.default_rng(3).random((6, 4)).astype(np.float32)
+        assert np.allclose(kern(x), x.T)
+
+    def test_reduction_store_not_vectorized(self):
+        """Combine-stores can't collapse to a slice assignment."""
+        X = T.placeholder((4, 8), name="X")
+        k = T.reduce_axis((0, 8), "k")
+        t = T.compute((4,), lambda i: T.sum_reduce(X[i, k], axis=k))
+
+        def sched(s, tt):
+            s[tt].vectorize(tt.op.reduce_axis[0])
+
+        kern = _build(t, [X], sched)
+        x = np.random.default_rng(4).random((4, 8)).astype(np.float32)
+        assert np.allclose(kern(x), x.sum(1), atol=1e-4)
+
+    def test_vectorized_after_split(self):
+        X = T.placeholder((16,), name="X")
+        t = T.compute((16,), lambda i: X[i] + 1.0)
+
+        def sched(s, tt):
+            o, i = s[tt].split(tt.op.axis[0], factor=4)
+            s[tt].vectorize(i)
+
+        kern = _build(t, [X], sched)
+        x = np.arange(16, dtype=np.float32)
+        assert np.allclose(kern(x), x + 1)
+
+
+class TestUnrolledEmission:
+    def test_unroll_repeats_body(self):
+        X = T.placeholder((4,), name="X")
+        t = T.compute((4,), lambda i: X[i] * 3.0)
+
+        def sched(s, tt):
+            s[tt].unroll(tt.op.axis[0])
+
+        kern = _build(t, [X], sched)
+        assert kern.source.count("# unrolled") == 4
+        assert "for " not in kern.source.split("def ")[1]
+        x = np.arange(4, dtype=np.float32)
+        assert np.allclose(kern(x), x * 3)
+
+    def test_unroll_inner_split(self):
+        X = T.placeholder((12,), name="X")
+        t = T.compute((12,), lambda i: X[i] - 1.0)
+
+        def sched(s, tt):
+            o, i = s[tt].split(tt.op.axis[0], factor=3)
+            s[tt].unroll(i)
+
+        kern = _build(t, [X], sched)
+        assert kern.source.count("# unrolled") == 3
+        x = np.arange(12, dtype=np.float32)
+        assert np.allclose(kern(x), x - 1)
+
+    def test_large_unroll_stays_a_loop(self):
+        X = T.placeholder((64,), name="X")
+        t = T.compute((64,), lambda i: X[i])
+
+        def sched(s, tt):
+            s[tt].unroll(tt.op.axis[0])
+
+        kern = _build(t, [X], sched)
+        assert "for " in kern.source  # 64 > unroll cap of 16
+        x = np.random.default_rng(5).random(64).astype(np.float32)
+        assert np.allclose(kern(x), x)
+
+    def test_unroll_with_reduction(self):
+        X = T.placeholder((4, 4), name="X")
+        k = T.reduce_axis((0, 4), "k")
+        t = T.compute((4,), lambda i: T.sum_reduce(X[i, k], axis=k))
+
+        def sched(s, tt):
+            s[tt].unroll(tt.op.reduce_axis[0])
+
+        kern = _build(t, [X], sched)
+        x = np.random.default_rng(6).random((4, 4)).astype(np.float32)
+        assert np.allclose(kern(x), x.sum(1), atol=1e-5)
+
+
+class TestCombinedSchedules:
+    def test_split_unroll_vectorize_pipeline(self):
+        """The full CPU optimization recipe on one elementwise kernel."""
+        X = T.placeholder((8, 32), name="X")
+        t = T.compute((8, 32), lambda i, j: T.relu(X[i, j] - 0.5))
+
+        def sched(s, tt):
+            io, ii = s[tt].split(tt.op.axis[0], factor=2)
+            s[tt].unroll(ii)
+            s[tt].vectorize(tt.op.axis[1])
+            return s
+
+        kern = _build(t, [X], sched)
+        assert "# unrolled" in kern.source
+        assert "vectorized over" in kern.source
+        x = np.random.default_rng(7).random((8, 32)).astype(np.float32)
+        assert np.allclose(kern(x), np.maximum(x - 0.5, 0), atol=1e-5)

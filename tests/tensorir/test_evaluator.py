@@ -1,0 +1,223 @@
+"""Tests of the vectorized expression evaluator, including property-based
+comparison with direct numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import tensorir as T
+from repro.tensorir.evaluator import evaluate, evaluate_batched
+
+
+class TestEvaluate:
+    def test_identity_copy(self):
+        X = T.placeholder((5, 3), name="X")
+        t = T.compute((5, 3), lambda i, j: X[i, j])
+        x = np.arange(15, dtype=np.float32).reshape(5, 3)
+        assert np.array_equal(evaluate(t, {"X": x}), x)
+
+    def test_transpose(self):
+        X = T.placeholder((4, 6), name="X")
+        t = T.compute((6, 4), lambda i, j: X[j, i])
+        x = np.random.default_rng(0).random((4, 6)).astype(np.float32)
+        assert np.allclose(evaluate(t, {"X": x}), x.T)
+
+    def test_elementwise_chain(self):
+        X = T.placeholder((8,), name="X")
+        t = T.compute((8,), lambda i: T.exp(X[i]) * 2.0 + 1.0)
+        x = np.linspace(-1, 1, 8).astype(np.float32)
+        assert np.allclose(evaluate(t, {"X": x}), np.exp(x) * 2 + 1, atol=1e-5)
+
+    def test_matmul_via_reduce(self):
+        A = T.placeholder((5, 4), name="A")
+        B = T.placeholder((4, 3), name="B")
+        k = T.reduce_axis((0, 4), "k")
+        t = T.compute((5, 3), lambda i, j: T.sum_reduce(A[i, k] * B[k, j], axis=k))
+        rng = np.random.default_rng(1)
+        a = rng.random((5, 4)).astype(np.float32)
+        b = rng.random((4, 3)).astype(np.float32)
+        assert np.allclose(evaluate(t, {"A": a, "B": b}), a @ b, atol=1e-5)
+
+    def test_max_reduce(self):
+        A = T.placeholder((6, 7), name="A")
+        k = T.reduce_axis((0, 7), "k")
+        t = T.compute((6,), lambda i: T.max_reduce(A[i, k], axis=k))
+        a = np.random.default_rng(2).standard_normal((6, 7)).astype(np.float32)
+        assert np.allclose(evaluate(t, {"A": a}), a.max(axis=1))
+
+    def test_min_and_prod_reduce(self):
+        A = T.placeholder((3, 4), name="A")
+        k = T.reduce_axis((0, 4), "k")
+        tmin = T.compute((3,), lambda i: T.min_reduce(A[i, k], axis=k))
+        tprod = T.compute((3,), lambda i: T.prod_reduce(A[i, k], axis=k))
+        a = (np.random.default_rng(3).random((3, 4)) + 0.5).astype(np.float32)
+        assert np.allclose(evaluate(tmin, {"A": a}), a.min(axis=1))
+        assert np.allclose(evaluate(tprod, {"A": a}), a.prod(axis=1), rtol=1e-5)
+
+    def test_nested_reduce_axes(self):
+        A = T.placeholder((2, 3, 4), name="A")
+        j = T.reduce_axis((0, 3), "j")
+        k = T.reduce_axis((0, 4), "k")
+        t = T.compute((2,), lambda i: T.Reduce("sum", A[i, j, k], (j, k)))
+        a = np.random.default_rng(4).random((2, 3, 4)).astype(np.float32)
+        assert np.allclose(evaluate(t, {"A": a}), a.sum(axis=(1, 2)), atol=1e-5)
+
+    def test_select(self):
+        X = T.placeholder((8,), name="X")
+        t = T.compute((8,), lambda i: T.select(X[i] > 0, X[i], 0.0))
+        x = np.linspace(-1, 1, 8).astype(np.float32)
+        assert np.allclose(evaluate(t, {"X": x}), np.maximum(x, 0))
+
+    def test_sigmoid_and_tanh(self):
+        X = T.placeholder((6,), name="X")
+        t = T.compute((6,), lambda i: T.sigmoid(X[i]) + T.tanh(X[i]))
+        x = np.linspace(-2, 2, 6).astype(np.float32)
+        ref = 1 / (1 + np.exp(-x)) + np.tanh(x)
+        assert np.allclose(evaluate(t, {"X": x}), ref, atol=1e-5)
+
+    def test_missing_binding_raises(self):
+        X = T.placeholder((4,), name="Xmissing")
+        t = T.compute((4,), lambda i: X[i])
+        with pytest.raises(KeyError, match="Xmissing"):
+            evaluate(t, {})
+
+    def test_integer_arithmetic_in_index(self):
+        X = T.placeholder((8,), name="X")
+        t = T.compute((4,), lambda i: X[i * 2])
+        x = np.arange(8, dtype=np.float32)
+        assert np.array_equal(evaluate(t, {"X": x}), x[::2])
+
+
+class TestEvaluateBatched:
+    def test_gather_rows(self):
+        X = T.placeholder((10, 4), name="X")
+        src = T.Var("src")
+        t = T.compute((4,), lambda i: X[src, i])
+        x = np.random.default_rng(5).random((10, 4)).astype(np.float32)
+        idx = np.array([2, 7, 7, 0])
+        out = evaluate_batched(t, {"X": x}, {"src": idx})
+        assert np.array_equal(out, x[idx])
+
+    def test_two_batch_vars(self):
+        X = T.placeholder((10, 4), name="X")
+        src, dst = T.Var("src"), T.Var("dst")
+        t = T.compute((4,), lambda i: X[src, i] + X[dst, i])
+        x = np.random.default_rng(6).random((10, 4)).astype(np.float32)
+        s = np.array([1, 2]); d = np.array([3, 4])
+        assert np.allclose(evaluate_batched(t, {"X": x}, {"src": s, "dst": d}),
+                           x[s] + x[d])
+
+    def test_eid_indexed_edge_feature(self):
+        XE = T.placeholder((20, 3), name="XE")
+        eid = T.Var("eid")
+        t = T.compute((3,), lambda i: XE[eid, i] * 2.0)
+        xe = np.random.default_rng(7).random((20, 3)).astype(np.float32)
+        ids = np.array([5, 0, 19])
+        assert np.allclose(evaluate_batched(t, {"XE": xe}, {"eid": ids}),
+                           xe[ids] * 2)
+
+    def test_batched_reduce(self):
+        X = T.placeholder((10, 4), name="X")
+        W = T.placeholder((4, 6), name="W")
+        src = T.Var("src")
+        k = T.reduce_axis((0, 4), "k")
+        t = T.compute((6,), lambda i: T.sum_reduce(X[src, k] * W[k, i], axis=k))
+        rng = np.random.default_rng(8)
+        x = rng.random((10, 4)).astype(np.float32)
+        w = rng.random((4, 6)).astype(np.float32)
+        s = np.array([0, 9, 4])
+        assert np.allclose(evaluate_batched(t, {"X": x, "W": w}, {"src": s}),
+                           x[s] @ w, atol=1e-5)
+
+    def test_axis_range_tiling(self):
+        X = T.placeholder((10, 8), name="X")
+        src = T.Var("src")
+        t = T.compute((8,), lambda i: X[src, i])
+        x = np.random.default_rng(9).random((10, 8)).astype(np.float32)
+        s = np.array([3, 1])
+        ax = t.op.axis[0].name
+        out = evaluate_batched(t, {"X": x}, {"src": s}, axis_ranges={ax: (2, 5)})
+        assert out.shape == (2, 3)
+        assert np.array_equal(out, x[s][:, 2:5])
+
+    def test_axis_range_out_of_domain_rejected(self):
+        X = T.placeholder((10, 8), name="X")
+        src = T.Var("src")
+        t = T.compute((8,), lambda i: X[src, i])
+        ax = t.op.axis[0].name
+        with pytest.raises(ValueError):
+            evaluate_batched(t, {"X": np.zeros((10, 8), np.float32)},
+                             {"src": np.array([0])}, axis_ranges={ax: (2, 12)})
+
+    def test_multidim_output(self):
+        X = T.placeholder((10, 3, 4), name="X")
+        src = T.Var("src")
+        t = T.compute((3, 4), lambda h, i: X[src, h, i])
+        x = np.random.default_rng(10).random((10, 3, 4)).astype(np.float32)
+        s = np.array([8, 2, 2])
+        assert np.array_equal(evaluate_batched(t, {"X": x}, {"src": s}), x[s])
+
+    def test_mismatched_batch_lengths_rejected(self):
+        X = T.placeholder((10, 4), name="X")
+        src, dst = T.Var("src"), T.Var("dst")
+        t = T.compute((4,), lambda i: X[src, i] + X[dst, i])
+        with pytest.raises(ValueError):
+            evaluate_batched(t, {"X": np.zeros((10, 4), np.float32)},
+                             {"src": np.array([1, 2]), "dst": np.array([1])})
+
+    def test_empty_batch(self):
+        X = T.placeholder((10, 4), name="X")
+        src = T.Var("src")
+        t = T.compute((4,), lambda i: X[src, i])
+        out = evaluate_batched(t, {"X": np.zeros((10, 4), np.float32)},
+                               {"src": np.empty(0, dtype=np.int64)})
+        assert out.shape == (0, 4)
+
+    def test_placeholder_tensor_rejected(self):
+        X = T.placeholder((10, 4), name="X")
+        with pytest.raises(TypeError):
+            evaluate_batched(X, {"X": np.zeros((10, 4))}, {"src": np.array([0])})
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 12),
+    d=st.integers(1, 6),
+    batch=st.integers(1, 8),
+    scale=st.floats(-2, 2),
+    seed=st.integers(0, 1000),
+)
+def test_affine_udf_matches_numpy(n, d, batch, scale, seed):
+    """Property: a scaled copy UDF equals the numpy gather for any shape."""
+    rng = np.random.default_rng(seed)
+    X = T.placeholder((n, d), name="X")
+    src = T.Var("src")
+    t = T.compute((d,), lambda i: X[src, i] * scale + 1.0)
+    x = rng.random((n, d)).astype(np.float32)
+    idx = rng.integers(0, n, batch)
+    out = evaluate_batched(t, {"X": x}, {"src": idx})
+    assert np.allclose(out, x[idx] * np.float32(scale) + 1.0, atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 10),
+    d1=st.integers(1, 5),
+    d2=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+)
+def test_mlp_udf_matches_numpy(n, d1, d2, seed):
+    """Property: the paper's Fig. 3b message function equals its numpy form."""
+    rng = np.random.default_rng(seed)
+    X = T.placeholder((n, d1), name="X")
+    W = T.placeholder((d1, d2), name="W")
+    src, dst = T.Var("src"), T.Var("dst")
+    k = T.reduce_axis((0, d1), "k")
+    t = T.compute((d2,), lambda i: T.maximum(
+        T.sum_reduce((X[src, k] + X[dst, k]) * W[k, i], axis=k), 0.0))
+    x = rng.standard_normal((n, d1)).astype(np.float32)
+    w = rng.standard_normal((d1, d2)).astype(np.float32)
+    s = rng.integers(0, n, 4)
+    d = rng.integers(0, n, 4)
+    out = evaluate_batched(t, {"X": x, "W": w}, {"src": s, "dst": d})
+    assert np.allclose(out, np.maximum((x[s] + x[d]) @ w, 0), atol=1e-4)

@@ -1,0 +1,107 @@
+"""Worker-pool tests."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.tensorir.runtime import WorkPool, default_pool
+
+
+class TestParallelFor:
+    def test_covers_range_exactly_once(self):
+        pool = WorkPool(4)
+        hits = np.zeros(1000, dtype=np.int64)
+        lock = threading.Lock()
+
+        def fn(lo, hi):
+            with lock:
+                hits[lo:hi] += 1
+
+        pool.parallel_for(1000, fn)
+        pool.shutdown()
+        assert np.all(hits == 1)
+
+    def test_empty_range_is_noop(self):
+        pool = WorkPool(2)
+        called = []
+        pool.parallel_for(0, lambda lo, hi: called.append((lo, hi)))
+        assert called == []
+        pool.shutdown()
+
+    def test_single_worker_runs_inline(self):
+        pool = WorkPool(1)
+        calls = []
+        pool.parallel_for(10, lambda lo, hi: calls.append((lo, hi)))
+        assert calls == [(0, 10)]
+
+    def test_custom_chunk_count(self):
+        pool = WorkPool(4)
+        calls = []
+        lock = threading.Lock()
+
+        def fn(lo, hi):
+            with lock:
+                calls.append((lo, hi))
+
+        pool.parallel_for(100, fn, num_chunks=10)
+        pool.shutdown()
+        assert len(calls) == 10
+        assert sorted(calls)[0][0] == 0 and sorted(calls)[-1][1] == 100
+
+    def test_sum_reduction_correct(self):
+        pool = WorkPool(8)
+        data = np.arange(10000, dtype=np.float64)
+        partial = []
+        lock = threading.Lock()
+
+        def fn(lo, hi):
+            s = data[lo:hi].sum()
+            with lock:
+                partial.append(s)
+
+        pool.parallel_for(len(data), fn)
+        pool.shutdown()
+        assert sum(partial) == data.sum()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkPool(0)
+
+
+class TestCooperativeFor:
+    def test_tasks_processed_in_order(self):
+        """All workers share one task at a time (LLC-contention avoidance)."""
+        pool = WorkPool(4)
+        events = []
+        lock = threading.Lock()
+
+        def fn(task, lo, hi):
+            with lock:
+                events.append(task)
+
+        pool.cooperative_for([0, 1, 2], n_of=lambda t: 50, fn=fn)
+        pool.shutdown()
+        # task t's chunks must all appear before any of task t+1's
+        last_seen = {}
+        for i, t in enumerate(events):
+            last_seen[t] = i
+        first_seen = {}
+        for i, t in reversed(list(enumerate(events))):
+            first_seen[t] = i
+        assert last_seen[0] < first_seen[1] < last_seen[1] < first_seen[2]
+
+
+class TestMap:
+    def test_map_preserves_order(self):
+        pool = WorkPool(4)
+        out = pool.map(lambda x: x * x, list(range(20)))
+        pool.shutdown()
+        assert out == [x * x for x in range(20)]
+
+    def test_context_manager(self):
+        with WorkPool(2) as pool:
+            assert pool.map(lambda x: -x, [1, 2]) == [-1, -2]
+
+    def test_default_pool_singleton(self):
+        assert default_pool() is default_pool()

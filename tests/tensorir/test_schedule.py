@@ -1,0 +1,186 @@
+"""Tests of schedule primitives and introspection."""
+
+import numpy as np
+import pytest
+
+from repro import tensorir as T
+from repro.tensorir.schedule import Schedule, create_schedule
+
+
+def _matmul(n=8, m=8, k=8):
+    A = T.placeholder((n, k), name="A")
+    B = T.placeholder((k, m), name="B")
+    kk = T.reduce_axis((0, k), "kk")
+    C = T.compute((n, m), lambda i, j: T.sum_reduce(A[i, kk] * B[kk, j], axis=kk),
+                  name="C")
+    return A, B, C
+
+
+class TestSplit:
+    def test_split_by_factor(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        o, i = s[C].split(C.op.axis[0], factor=4)
+        assert o.extent == 2 and i.extent == 4
+        assert s[C].leaf_iter_vars[0] is o and s[C].leaf_iter_vars[1] is i
+
+    def test_split_by_nparts(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        o, i = s[C].split(C.op.axis[0], nparts=2)
+        assert o.extent == 2 and i.extent == 4
+
+    def test_imperfect_split(self):
+        X = T.placeholder((10,), name="X")
+        t = T.compute((10,), lambda i: X[i])
+        s = create_schedule(t)
+        o, i = s[t].split(t.op.axis[0], factor=4)
+        assert o.extent == 3 and i.extent == 4  # 3*4 covers 10 with a guard
+
+    def test_split_requires_exactly_one_arg(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        with pytest.raises(ValueError):
+            s[C].split(C.op.axis[0])
+        with pytest.raises(ValueError):
+            s[C].split(C.op.axis[0], factor=2, nparts=2)
+
+    def test_split_nonleaf_rejected(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        o, i = s[C].split(C.op.axis[0], factor=4)
+        with pytest.raises(ValueError):
+            s[C].split(C.op.axis[0], factor=2)  # no longer a leaf
+
+    def test_split_reduce_axis(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        red = C.op.reduce_axis[0]
+        o, i = s[C].split(red, factor=2)
+        assert o.kind == i.kind == "reduce"
+
+    def test_nonpositive_factor_rejected(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        with pytest.raises(ValueError):
+            s[C].split(C.op.axis[0], factor=0)
+
+
+class TestFuseReorder:
+    def test_fuse_adjacent(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        fused = s[C].fuse(C.op.axis[0], C.op.axis[1])
+        assert fused.extent == 64
+        assert s[C].leaf_iter_vars[0] is fused
+
+    def test_fuse_nonadjacent_rejected(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        red = C.op.reduce_axis[0]
+        with pytest.raises(ValueError):
+            s[C].fuse(C.op.axis[0], red)  # axis[1] sits between
+
+    def test_reorder(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        i, j = C.op.axis
+        s[C].reorder(j, i)
+        assert s[C].leaf_iter_vars[:2] == [j, i]
+
+    def test_reorder_repeated_axis_rejected(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        i = C.op.axis[0]
+        with pytest.raises(ValueError):
+            s[C].reorder(i, i)
+
+    def test_tile(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        xo, yo, xi, yi = s[C].tile(C.op.axis[0], C.op.axis[1], 4, 2)
+        leaves = s[C].leaf_iter_vars
+        assert leaves[:4] == [xo, yo, xi, yi]
+        assert xi.extent == 4 and yi.extent == 2
+
+
+class TestAnnotations:
+    def test_bind_thread_tags(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        s[C].bind(C.op.axis[0], "block.x")
+        s[C].bind(C.op.axis[1], "thread.x")
+        assert s[C].binding_of("block.x") is C.op.axis[0]
+        assert s[C].binding_of("thread.x") is C.op.axis[1]
+
+    def test_bind_unknown_tag_rejected(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        with pytest.raises(ValueError):
+            s[C].bind(C.op.axis[0], "warp.q")
+
+    def test_tree_reduce_on_reduce_axis(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        s[C].tree_reduce(C.op.reduce_axis[0], "thread.x")
+        axes = s[C].tree_reduce_axes()
+        assert len(axes) == 1 and axes[0][1] == "thread.x"
+
+    def test_tree_reduce_on_data_axis_rejected(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        with pytest.raises(ValueError):
+            s[C].tree_reduce(C.op.axis[0], "thread.x")
+
+    def test_parallel_vectorize_unroll(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        s[C].parallel(C.op.axis[0])
+        s[C].vectorize(C.op.axis[1])
+        assert s[C].annotation_of(C.op.axis[0])["kind"] == "parallel"
+        assert s[C].annotation_of(C.op.axis[1])["kind"] == "vectorize"
+
+    def test_cache_read_scopes(self):
+        A, _, C = _matmul()
+        s = create_schedule(C)
+        s.cache_read(A, "shared", C)
+        assert s[C].cache_reads == [(A, "shared")]
+        with pytest.raises(ValueError):
+            s[C].cache_read(A, "l9")
+
+
+class TestIntrospection:
+    def test_tiling_of_tracks_factors(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        o, i = s[C].split(C.op.axis[0], factor=4)
+        s[C].split(i, factor=2)
+        assert s[C].tiling_of(C.op.axis[0]) == [4, 2]
+
+    def test_root_of_walks_relations(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        o, i = s[C].split(C.op.axis[0], factor=4)
+        oo, oi = s[C].split(o, factor=2)
+        assert s[C].root_of(oo) is C.op.axis[0]
+        assert s[C].root_of(i) is C.op.axis[0]
+
+    def test_schedule_collects_upstream_stages(self):
+        X = T.placeholder((4,), name="X")
+        mid = T.compute((4,), lambda i: X[i] * 2.0, name="mid")
+        out = T.compute((4,), lambda i: mid[i] + 1.0, name="outt")
+        s = create_schedule(out)
+        assert "mid" in s.stages and "outt" in s.stages
+
+    def test_stage_lookup_missing(self):
+        _, _, C = _matmul()
+        s = create_schedule(C)
+        other = T.compute((4,), lambda i: i + 0, name="other")
+        with pytest.raises(KeyError):
+            s[other]
+
+    def test_stage_requires_compute(self):
+        from repro.tensorir.schedule import Stage
+        X = T.placeholder((4,), name="X")
+        with pytest.raises(TypeError):
+            Stage(X)

@@ -1,0 +1,112 @@
+"""Expression-simplifier tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import tensorir as T
+from repro.tensorir import expr as E
+from repro.tensorir.evaluator import evaluate
+from repro.tensorir.simplify import simplify
+
+
+class TestConstantFolding:
+    def test_arith_folds(self):
+        out = simplify(E.const(2.0) * E.const(3.0) + E.const(1.0))
+        assert isinstance(out, E.FloatImm) and out.value == 7.0
+
+    def test_int_folds_stay_int(self):
+        out = simplify(E.const(7) // E.const(2))
+        assert isinstance(out, E.IntImm) and out.value == 3
+
+    def test_max_min_fold(self):
+        assert simplify(E.maximum(E.const(2.0), E.const(5.0))).value == 5.0
+        assert simplify(E.minimum(E.const(2.0), E.const(5.0))).value == 2.0
+
+    def test_select_on_const_condition(self):
+        x = E.Var("x", "float32")
+        out = simplify(E.select(E.const(1.0) > 0.0, x, E.const(9.0)))
+        assert out is x
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        x = E.Var("x", "float32")
+        assert simplify(x + 0.0) is x
+        assert simplify(0.0 + x) is x
+
+    def test_mul_one_and_zero(self):
+        x = E.Var("x", "float32")
+        assert simplify(x * 1.0) is x
+        out = simplify(x * 0.0)
+        assert isinstance(out, E.FloatImm) and out.value == 0.0
+
+    def test_div_floordiv_one(self):
+        x = E.Var("x", "int64")
+        assert simplify(x / 1) is x
+        assert simplify(x // 1) is x
+
+    def test_sub_zero(self):
+        x = E.Var("x", "float32")
+        assert simplify(x - 0.0) is x
+
+    def test_max_with_neg_inf(self):
+        x = E.Var("x", "float32")
+        assert simplify(E.maximum(x, float("-inf"))) is x
+
+    def test_split_index_arithmetic(self):
+        """The lowering pattern: outer*factor + inner with factor 1."""
+        o, i = E.Var("o", "int64"), E.Var("i", "int64")
+        out = simplify(o * 1 + i)
+        assert isinstance(out, E.BinOp) and out.a is o and out.b is i
+
+    def test_nested_cast_removed(self):
+        x = E.Var("x", "float32")
+        out = simplify(E.Cast(E.Cast(x, "float64"), "float32"))
+        assert out is x
+
+    def test_comparisons_fold_to_bool(self):
+        out = simplify(E.const(1.0) < E.const(2.0))
+        assert isinstance(out, E.IntImm) and out.dtype == "bool"
+        assert out.value == 1
+        assert simplify(E.const(3.0) < E.const(2.0)).value == 0
+
+
+class TestRecursion:
+    def test_simplifies_inside_tensor_index(self):
+        X = T.placeholder((8,), name="X")
+        elem = X[E.Var("i", "int64") + 0]
+        out = simplify(elem)
+        assert isinstance(out.indices[0], E.Var)
+
+    def test_simplifies_inside_reduce(self):
+        X = T.placeholder((4,), name="X")
+        k = T.reduce_axis((0, 4), "k")
+        node = E.Reduce("sum", X[k] * 1.0, (k,))
+        out = simplify(node)
+        assert isinstance(out.source, E.TensorElem)
+
+    def test_simplifies_call_args(self):
+        x = E.Var("x", "float32")
+        out = simplify(T.exp(x + 0.0))
+        assert out.args[0] is x
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.floats(-10, 10, allow_nan=False),
+    b=st.floats(-10, 10, allow_nan=False),
+    c=st.floats(-10, 10, allow_nan=False),
+    seed=st.integers(0, 100),
+)
+def test_simplify_preserves_value(a, b, c, seed):
+    """Property: simplification never changes the computed value."""
+    X = T.placeholder((4,), name="X")
+    t_raw = T.compute((4,), lambda i: (X[i] * a + b) * 1.0 + 0.0 + c)
+    body = t_raw.op.body
+    x = np.random.default_rng(seed).random(4).astype(np.float32)
+    from repro.tensorir.evaluator import eval_expr, _Env, _axis_grid
+    env = _Env({"X": x}).child(_axis_grid(t_raw.op.axis, 0))
+    raw = np.asarray(eval_expr(body, env), dtype=np.float64)
+    simp = np.asarray(eval_expr(simplify(body), env), dtype=np.float64)
+    assert np.allclose(raw, simp, rtol=1e-5, atol=1e-5, equal_nan=True)
