@@ -46,6 +46,11 @@ class SparseMat:
     def num_src(self) -> int:
         return self.csr.shape[1]
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the adjacency (see
+        :meth:`repro.graph.CSRMatrix.fingerprint`)."""
+        return self.csr.fingerprint()
+
     def stats(self) -> GraphStats:
         if self._stats is None:
             self._stats = GraphStats.from_csr(

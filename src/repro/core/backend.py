@@ -34,7 +34,10 @@ class FeatGraphBackend(Backend):
         self._cache: dict = {}
 
     def _kernel(self, kind: str, adj: CSRMatrix, *shape):
-        key = (kind, id(adj), shape)
+        # Key on the graph's content fingerprint, not id(adj): ids are
+        # recycled after garbage collection, so a new graph allocated at a
+        # freed graph's address would silently reuse the stale kernel.
+        key = (kind, adj.fingerprint(), shape)
         if key not in self._cache:
             n = adj.shape[1]
             opts = {}

@@ -21,6 +21,7 @@ from typing import Callable
 
 from repro.tensorir.expr import ComputeOp, Tensor
 from repro.tensorir.schedule import Schedule, create_schedule
+from repro.tensorir.validate import validate_schedule
 
 __all__ = [
     "FDS",
@@ -64,12 +65,19 @@ class FDS:
             raise TypeError("an FDS function must return a tensorir Schedule")
         return s
 
-    def inspect(self, out: Tensor) -> FDSInfo:
-        """Apply the schedule to ``out`` and summarize its decisions."""
+    def inspect(self, out: Tensor, target: str | None = None) -> FDSInfo:
+        """Apply the schedule to ``out`` and summarize its decisions.
+
+        With a ``target`` ("cpu" / "gpu") the schedule is legality-checked
+        against it, so e.g. a GPU thread-binding FDS paired with a CPU
+        kernel raises :class:`~repro.tensorir.validate.ScheduleError` at
+        kernel-construction time.
+        """
         if not isinstance(out.op, ComputeOp):
             raise TypeError("FDS applies to compute tensors")
         sched = self.apply(out)
         stage = sched[out]
+        validate_schedule(stage, target=target)
         info = FDSInfo()
         for pos, ax in enumerate(out.op.axis):
             factors = stage.tiling_of(ax)

@@ -73,7 +73,7 @@ class GeneralizedSDDMM:
         self.edge_out = out
         self.out_shape = out.shape
         self.out_width = int(np.prod(out.shape))
-        self.fds_info: FDSInfo = self.fds.inspect(out)
+        self.fds_info: FDSInfo = self.fds.inspect(out, target=target)
         self.udf_flops = cost_analysis.udf_flops_per_item(out)
         self.tree_reduce = self.fds_info.tree_reduce
         # Feature length read per endpoint: with a reduction (dot products)

@@ -116,7 +116,7 @@ class GeneralizedSpMM:
         self.msg = msg
         self.msg_shape = msg.shape
         self.feature_len = int(np.prod(msg.shape))
-        self.fds_info: FDSInfo = self.fds.inspect(msg)
+        self.fds_info: FDSInfo = self.fds.inspect(msg, target=target)
         self.reads_src = cost_analysis.reads_endpoint(msg, "src")
         self.reads_dst = cost_analysis.reads_endpoint(msg, "dst")
         self.udf_flops = cost_analysis.udf_flops_per_item(msg)

@@ -13,6 +13,8 @@ format conversions and reorderings (partitioning, Hilbert order).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 __all__ = ["CSRMatrix", "COOMatrix", "from_edges"]
@@ -90,6 +92,23 @@ class CSRMatrix:
     @property
     def n_cols(self) -> int:
         return self.shape[1]
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this matrix (shape, nnz, structure arrays).
+
+        Two CSRMatrix objects with identical structure hash identically, and
+        the hash survives garbage collection / re-construction -- unlike
+        ``id()``, which the kernel cache used to key on and which can be
+        recycled for a new matrix at the same address.
+        """
+        if getattr(self, "_fingerprint", None) is None:
+            h = hashlib.sha1()
+            h.update(f"{self.shape[0]}x{self.shape[1]}:{self.nnz}".encode())
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            h.update(self.edge_ids.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def row_degrees(self) -> np.ndarray:
         """Number of stored entries per row (in-degrees in pull layout)."""

@@ -19,6 +19,8 @@ listings exercise:
   by FeatGraph's sparse templates.
 - :mod:`repro.tensorir.runtime` -- a persistent worker pool modeled on TVM's
   customized thread pool.
+- :mod:`repro.tensorir.validate` -- schedule legality checking and
+  structural IR validation, run by :func:`lower` before/after lowering.
 """
 
 from repro.tensorir.expr import (
@@ -59,6 +61,12 @@ from repro.tensorir.evaluator import evaluate, evaluate_batched
 from repro.tensorir.lower import lower
 from repro.tensorir.codegen import build
 from repro.tensorir.runtime import WorkPool, default_pool
+from repro.tensorir.validate import (
+    IRValidationError,
+    ScheduleError,
+    validate_ir,
+    validate_schedule,
+)
 
 __all__ = [
     "Expr",
@@ -101,4 +109,8 @@ __all__ = [
     "build",
     "WorkPool",
     "default_pool",
+    "ScheduleError",
+    "IRValidationError",
+    "validate_schedule",
+    "validate_ir",
 ]

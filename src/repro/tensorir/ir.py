@@ -28,6 +28,8 @@ __all__ = [
     "BufferRef",
     "stmt_to_str",
     "walk",
+    "walk_with_path",
+    "loop_vars",
 ]
 
 
@@ -148,6 +150,24 @@ def walk(stmt: Stmt):
     yield stmt
     for c in stmt.children():
         yield from walk(c)
+
+
+def walk_with_path(stmt: Stmt, _path: tuple[Stmt, ...] = ()):
+    """Pre-order traversal yielding ``(node, path)`` pairs.
+
+    ``path`` is the tuple of ancestor statements from the root down to (but
+    excluding) ``node``, so validators and tests can reason about nesting
+    context (e.g. "is this store under a reduce loop?").
+    """
+    yield stmt, _path
+    child_path = _path + (stmt,)
+    for c in stmt.children():
+        yield from walk_with_path(c, child_path)
+
+
+def loop_vars(stmt: Stmt) -> list[IterVar]:
+    """All loop variables in pre-order, one entry per ``For`` node."""
+    return [node.var for node in walk(stmt) if isinstance(node, For)]
 
 
 def _expr_str(e) -> str:

@@ -18,6 +18,7 @@ from repro.tensorir import expr as E
 from repro.tensorir import ir as I
 from repro.tensorir.schedule import FuseRel, Schedule, SplitRel, Stage
 from repro.tensorir.simplify import simplify
+from repro.tensorir.validate import validate_ir, validate_schedule
 
 __all__ = ["lower", "substitute", "inline_computes"]
 
@@ -164,13 +165,22 @@ def _guarded(body: I.Stmt, guards) -> I.Stmt:
     return body
 
 
-def lower(schedule: Schedule, output: E.Tensor | None = None) -> I.Stmt:
-    """Lower the schedule of (one of) its output tensors to loop IR."""
+def lower(schedule: Schedule, output: E.Tensor | None = None, *,
+          validate: bool = True) -> I.Stmt:
+    """Lower the schedule of (one of) its output tensors to loop IR.
+
+    With ``validate=True`` (the default) the stage's schedule is legality-
+    checked before lowering and the produced loop nest is structurally
+    validated afterwards, so illegal programs raise :class:`ScheduleError` /
+    :class:`IRValidationError` here instead of failing deep inside codegen.
+    """
     if output is None:
         if len(schedule.outputs) != 1:
             raise ValueError("schedule has multiple outputs; pass output= explicitly")
         output = schedule.outputs[0]
     stage = schedule[output]
+    if validate:
+        validate_schedule(stage)
     op = stage.op
     out_buf = I.BufferRef(output.name, op.shape, output.dtype)
 
@@ -187,7 +197,10 @@ def lower(schedule: Schedule, output: E.Tensor | None = None) -> I.Stmt:
         value = simplify(substitute(body_expr, index_values))
         store = I.Store(out_buf, value, out_indices)
         stmt = _wrap_loops(_guarded(store, guards), leaves, stage)
-        return _attach_cache_reads(stmt, stage)
+        stmt = _attach_cache_reads(stmt, stage)
+        if validate:
+            validate_ir(stmt)
+        return stmt
 
     # Reduction: init nest over data leaves, accumulate nest over all leaves,
     # optional epilogue if the Reduce is wrapped in element-wise work.
@@ -211,7 +224,10 @@ def lower(schedule: Schedule, output: E.Tensor | None = None) -> I.Stmt:
         epilogue = I.Store(out_buf, epilogue_expr, out_indices)
         stmts.append(_wrap_loops(_guarded(epilogue, init_guards), data_leaves, stage))
     stmt = I.SeqStmt(stmts)
-    return _attach_cache_reads(stmt, stage)
+    stmt = _attach_cache_reads(stmt, stage)
+    if validate:
+        validate_ir(stmt)
+    return stmt
 
 
 def substitute_keep_reduce(node: E.Expr, mapping: Mapping[str, E.Expr]) -> E.Expr:

@@ -19,6 +19,7 @@ import math
 from typing import Sequence
 
 from repro.tensorir.expr import ComputeOp, IterVar, Tensor
+from repro.tensorir.validate import ScheduleError
 
 __all__ = ["Schedule", "Stage", "SplitRel", "FuseRel", "create_schedule", "THREAD_TAGS"]
 
@@ -87,17 +88,21 @@ class Stage:
         must be given.  Returns ``(outer, inner)``.
         """
         if (factor is None) == (nparts is None):
-            raise ValueError("give exactly one of factor= or nparts=")
+            raise ScheduleError("give exactly one of factor= or nparts=")
         extent = axis.extent
         if factor is not None:
             factor = int(factor)
             if factor <= 0:
-                raise ValueError("split factor must be positive")
+                raise ScheduleError(
+                    f"split factor must be positive (got {factor} for axis "
+                    f"{axis.name})")
             n_outer = math.ceil(extent / factor)
         else:
             nparts = int(nparts)
             if nparts <= 0:
-                raise ValueError("split nparts must be positive")
+                raise ScheduleError(
+                    f"split nparts must be positive (got {nparts} for axis "
+                    f"{axis.name})")
             factor = math.ceil(extent / nparts)
             n_outer = nparts
         outer = IterVar((0, n_outer), name=f"{axis.name}.outer", kind=axis.kind)
@@ -111,7 +116,9 @@ class Stage:
         pos_o = self.leaf_iter_vars.index(outer)
         pos_i = self.leaf_iter_vars.index(inner)
         if pos_i != pos_o + 1:
-            raise ValueError("fuse requires adjacent axes (outer immediately before inner)")
+            raise ScheduleError(
+                f"fuse requires adjacent axes (outer immediately before "
+                f"inner); got {outer.name} at {pos_o}, {inner.name} at {pos_i}")
         fused = IterVar(
             (0, outer.extent * inner.extent),
             name=f"{outer.name}.{inner.name}.fused",
@@ -122,12 +129,30 @@ class Stage:
         return fused
 
     def reorder(self, *axes: IterVar):
-        """Reorder the given leaf axes into the given relative order."""
+        """Reorder the given leaf axes into the given relative order.
+
+        Reordering a data axis across a ``tree_reduce``-annotated axis is
+        rejected: the tree reduction's cooperative-thread structure assumes
+        no data axis is nested inside it.
+        """
         positions = sorted(self.leaf_iter_vars.index(ax) for ax in axes)
         if len(set(positions)) != len(axes):
-            raise ValueError("reorder got a repeated axis")
+            raise ScheduleError("reorder got a repeated axis")
+        new_leaves = list(self.leaf_iter_vars)
         for pos, ax in zip(positions, axes):
-            self.leaf_iter_vars[pos] = ax
+            new_leaves[pos] = ax
+        for tpos, tax in enumerate(new_leaves):
+            if "tree_reduce" not in self.iter_attrs.get(tax.name, {}):
+                continue
+            old_tpos = self.leaf_iter_vars.index(tax)
+            for pos, ax in enumerate(new_leaves):
+                if ax.kind != IterVar.REDUCE:
+                    old_pos = self.leaf_iter_vars.index(ax)
+                    if (pos > tpos) != (old_pos > old_tpos):
+                        raise ScheduleError(
+                            f"cannot reorder data axis {ax.name} across "
+                            f"tree-reduced axis {tax.name}")
+        self.leaf_iter_vars = new_leaves
 
     def tile(self, x: IterVar, y: IterVar, x_factor: int, y_factor: int):
         """2-D tiling: split both axes and reorder to (xo, yo, xi, yi)."""
@@ -147,20 +172,35 @@ class Stage:
     def bind(self, axis: IterVar, tag: str):
         """Bind an axis to a GPU thread index (``block.x``, ``thread.x``, ...)."""
         if tag not in THREAD_TAGS:
-            raise ValueError(f"unknown thread tag {tag!r}; expected one of {THREAD_TAGS}")
+            raise ScheduleError(
+                f"unknown thread tag {tag!r}; expected one of {THREAD_TAGS}")
+        if axis.kind == IterVar.REDUCE:
+            raise ScheduleError(
+                f"reduce axis {axis.name} cannot be bound to {tag!r}; "
+                "use tree_reduce for cooperative reductions")
+        owner = self.binding_of(tag)
+        if owner is not None and owner is not axis:
+            raise ScheduleError(
+                f"thread tag {tag!r} is already bound to axis {owner.name}")
         self._attr(axis)["bind"] = tag
 
     def tree_reduce(self, axis: IterVar, tag: str):
         """Parallelize a reduction axis with a tree reduction across the
         threads named by ``tag`` (paper Fig. 4a line 15)."""
         if axis.kind != IterVar.REDUCE:
-            raise ValueError("tree_reduce applies to reduce axes only")
+            raise ScheduleError(
+                f"tree_reduce applies to reduce axes only; axis {axis.name} "
+                "is a data axis")
         if tag not in THREAD_TAGS:
-            raise ValueError(f"unknown thread tag {tag!r}")
+            raise ScheduleError(f"unknown thread tag {tag!r}")
         self._attr(axis)["tree_reduce"] = tag
 
     def parallel(self, axis: IterVar):
         """Mark an axis for multi-threaded execution (CPU)."""
+        if axis.kind == IterVar.REDUCE:
+            raise ScheduleError(
+                f"reduce axis {axis.name} cannot be marked parallel; "
+                "reductions race across parallel workers")
         self._attr(axis)["kind"] = "parallel"
 
     def vectorize(self, axis: IterVar):
@@ -175,7 +215,7 @@ class Stage:
         """Stage reads of ``tensor`` through a faster memory ``scope``
         (``"shared"`` on GPU, ``"cache"`` on CPU)."""
         if scope not in ("shared", "cache", "local"):
-            raise ValueError(f"unknown memory scope {scope!r}")
+            raise ScheduleError(f"unknown memory scope {scope!r}")
         self.cache_reads.append((tensor, scope))
 
     # ------------------------------------------------------------------

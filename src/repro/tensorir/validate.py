@@ -1,0 +1,255 @@
+"""IR and schedule legality validation.
+
+Illegal schedules used to fail deep inside codegen with an opaque traceback
+-- or worse, lower to a silently-wrong loop nest.  This module makes
+legality a first-class check with two entry points:
+
+- :func:`validate_schedule` -- checks a :class:`~repro.tensorir.schedule.Stage`
+  *before* lowering: split factors are positive and covering, ``bind`` /
+  ``parallel`` annotations sit on outermost-eligible axes, thread tags are
+  not double-booked, and no data axis has been reordered across a
+  ``tree_reduce`` axis.  With a ``target``, target-specific rules apply
+  (GPU thread bindings are rejected on a CPU kernel).
+
+- :func:`validate_ir` -- structural checks on a lowered loop nest: every
+  loop variable is bound exactly once along any path, every variable
+  referenced by a statement is bound by an enclosing loop (or is a declared
+  free variable such as ``src``/``dst``/``eid``), reduce axes appear only
+  inside combiner updates, and buffer store arity matches buffer rank.
+
+Both raise eagerly with the offending axis/variable named, so a bad FDS
+surfaces at :func:`repro.core.api.spmm` construction time rather than as a
+wrong answer at run time.  :func:`repro.tensorir.lower.lower` calls both by
+default.
+"""
+
+from __future__ import annotations
+
+from repro.tensorir import expr as E
+from repro.tensorir import ir as I
+
+__all__ = [
+    "ScheduleError",
+    "IRValidationError",
+    "validate_schedule",
+    "validate_ir",
+]
+
+
+class ScheduleError(ValueError):
+    """An illegal schedule transformation or annotation.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` from schedule primitives keep working.
+    """
+
+
+class IRValidationError(ValueError):
+    """A structurally invalid loop-nest IR tree."""
+
+
+_BLOCK_TAGS = ("block.x", "block.y", "block.z")
+_THREAD_TAGS = ("thread.x", "thread.y", "thread.z")
+
+
+# ----------------------------------------------------------------------
+# schedule legality
+# ----------------------------------------------------------------------
+
+def validate_schedule(stage, target: str | None = None) -> None:
+    """Check the legality of one stage's schedule state.
+
+    ``target`` ("cpu" / "gpu" / None) enables target-specific rules; with
+    ``None`` only target-independent structure is checked.
+    """
+    from repro.tensorir.schedule import SplitRel, THREAD_TAGS
+
+    op_name = stage.op.name
+    leaves = list(stage.leaf_iter_vars)
+    attrs = {ax.name: stage.iter_attrs.get(ax.name, {}) for ax in leaves}
+
+    # --- split relations: factors positive, splits covering -----------
+    for rel in stage.relations:
+        if isinstance(rel, SplitRel):
+            if rel.factor <= 0:
+                raise ScheduleError(
+                    f"split factor must be positive (got {rel.factor} for "
+                    f"axis {rel.parent.name} of {op_name})")
+            if rel.outer.extent * rel.factor < rel.parent.extent:
+                raise ScheduleError(
+                    f"split of axis {rel.parent.name} does not cover its "
+                    f"extent: {rel.outer.extent} * {rel.factor} < "
+                    f"{rel.parent.extent}")
+
+    # --- thread tags: unique, legal kinds, block-before-thread --------
+    tag_user: dict[str, E.IterVar] = {}
+    for ax in leaves:
+        a = attrs[ax.name]
+        for key in ("bind", "tree_reduce"):
+            tag = a.get(key)
+            if tag is None:
+                continue
+            if tag not in THREAD_TAGS:
+                raise ScheduleError(
+                    f"unknown thread tag {tag!r} on axis {ax.name}; "
+                    f"expected one of {THREAD_TAGS}")
+            if tag in tag_user:
+                raise ScheduleError(
+                    f"thread tag {tag!r} bound to both axis "
+                    f"{tag_user[tag].name} and axis {ax.name} of {op_name}")
+            tag_user[tag] = ax
+        if "bind" in a and ax.kind == E.IterVar.REDUCE:
+            raise ScheduleError(
+                f"reduce axis {ax.name} of {op_name} cannot be bound to "
+                f"{a['bind']!r}; use tree_reduce for cooperative reductions")
+        if "tree_reduce" in a:
+            if ax.kind != E.IterVar.REDUCE:
+                raise ScheduleError(
+                    f"tree_reduce applies to reduce axes only; axis "
+                    f"{ax.name} of {op_name} is a data axis")
+            if a["tree_reduce"] not in _THREAD_TAGS:
+                raise ScheduleError(
+                    f"tree_reduce on axis {ax.name} must target a thread.* "
+                    f"tag, got {a['tree_reduce']!r}")
+
+    # block.* bindings must sit outside thread.* bindings
+    bound_positions = {
+        tag: pos for pos, ax in enumerate(leaves)
+        for tag, owner in tag_user.items()
+        if owner is ax and attrs[ax.name].get("bind") == tag
+    }
+    block_pos = [p for t, p in bound_positions.items() if t in _BLOCK_TAGS]
+    thread_pos = [p for t, p in bound_positions.items() if t in _THREAD_TAGS]
+    if block_pos and thread_pos and max(block_pos) > min(thread_pos):
+        inner = leaves[max(block_pos)]
+        outer = leaves[min(thread_pos)]
+        raise ScheduleError(
+            f"block-bound axis {inner.name} is nested inside thread-bound "
+            f"axis {outer.name}; block.* bindings must be outermost")
+
+    # --- no data axis inside (after) a tree-reduced axis --------------
+    tree_positions = [pos for pos, ax in enumerate(leaves)
+                      if "tree_reduce" in attrs[ax.name]]
+    for tpos in tree_positions:
+        for pos in range(tpos + 1, len(leaves)):
+            if leaves[pos].kind == E.IterVar.DATA:
+                raise ScheduleError(
+                    f"data axis {leaves[pos].name} is ordered inside "
+                    f"tree-reduced axis {leaves[tpos].name} of {op_name}; "
+                    "reordering across a tree_reduce is illegal")
+
+    # --- parallel: outermost-eligible only ----------------------------
+    for pos, ax in enumerate(leaves):
+        if attrs[ax.name].get("kind") != "parallel":
+            continue
+        if ax.kind == E.IterVar.REDUCE:
+            raise ScheduleError(
+                f"reduce axis {ax.name} of {op_name} cannot be marked "
+                "parallel; reductions race across parallel workers")
+        for prev in leaves[:pos]:
+            pa = attrs[prev.name]
+            if pa.get("kind") != "parallel" and "bind" not in pa:
+                raise ScheduleError(
+                    f"parallel axis {ax.name} of {op_name} is nested inside "
+                    f"serial axis {prev.name}; parallel applies to "
+                    "outermost-eligible axes only")
+
+    # --- target-specific rules ----------------------------------------
+    if target == "cpu":
+        for ax in leaves:
+            a = attrs[ax.name]
+            if "bind" in a:
+                raise ScheduleError(
+                    f"axis {ax.name} of {op_name} is bound to GPU thread "
+                    f"tag {a['bind']!r} but the kernel target is 'cpu'")
+            if "tree_reduce" in a:
+                raise ScheduleError(
+                    f"axis {ax.name} of {op_name} requests a GPU tree "
+                    "reduction but the kernel target is 'cpu'")
+
+
+# ----------------------------------------------------------------------
+# IR structural validation
+# ----------------------------------------------------------------------
+
+def _expr_iter_vars(node: E.Expr, out: dict[str, E.IterVar]) -> None:
+    if isinstance(node, E.IterVar):
+        out.setdefault(node.name, node)
+    for c in node.children():
+        _expr_iter_vars(c, out)
+
+
+def _check_store(stmt: I.Stmt, bound: dict[str, E.IterVar],
+                 in_reduce_loop: bool) -> None:
+    if not isinstance(stmt, I.Store):
+        return
+    if len(stmt.indices) != len(stmt.buffer.shape):
+        raise IRValidationError(
+            f"store to buffer {stmt.buffer.name} uses {len(stmt.indices)} "
+            f"indices but the buffer has rank {len(stmt.buffer.shape)}")
+    used: dict[str, E.IterVar] = {}
+    for idx in stmt.indices:
+        _expr_iter_vars(idx, used)
+    _expr_iter_vars(stmt.value, used)
+    for name, var in used.items():
+        if name not in bound:
+            raise IRValidationError(
+                f"loop variable {name} is referenced by a store to "
+                f"{stmt.buffer.name} but not bound by any enclosing loop")
+        if stmt.combiner is None and var.kind == E.IterVar.REDUCE:
+            raise IRValidationError(
+                f"reduce axis {name} is referenced by a plain store to "
+                f"{stmt.buffer.name}; reduce axes may only feed combiner "
+                "updates")
+    if stmt.combiner is None and in_reduce_loop:
+        raise IRValidationError(
+            f"plain store to {stmt.buffer.name} appears inside a reduce "
+            "loop; only combiner updates are legal there")
+
+
+def _validate_stmt(stmt: I.Stmt, bound: dict[str, E.IterVar],
+                   in_reduce_loop: bool) -> None:
+    if isinstance(stmt, I.For):
+        name = stmt.var.name
+        if name in bound:
+            raise IRValidationError(
+                f"loop variable {name} is bound twice along one loop-nest "
+                "path")
+        if stmt.extent < 0:
+            raise IRValidationError(
+                f"loop over {name} has negative extent {stmt.extent}")
+        inner = dict(bound)
+        inner[name] = stmt.var
+        _validate_stmt(stmt.body, inner,
+                       in_reduce_loop or stmt.var.kind == E.IterVar.REDUCE)
+        return
+    if isinstance(stmt, I.Store):
+        _check_store(stmt, bound, in_reduce_loop)
+        return
+    if isinstance(stmt, I.IfThenElse):
+        used: dict[str, E.IterVar] = {}
+        _expr_iter_vars(stmt.cond, used)
+        for name in used:
+            if name not in bound:
+                raise IRValidationError(
+                    f"loop variable {name} is referenced by a guard but not "
+                    "bound by any enclosing loop")
+        _validate_stmt(stmt.then_body, bound, in_reduce_loop)
+        if stmt.else_body is not None:
+            _validate_stmt(stmt.else_body, bound, in_reduce_loop)
+        return
+    if isinstance(stmt, (I.SeqStmt,)):
+        for s in stmt.stmts:
+            _validate_stmt(s, bound, in_reduce_loop)
+        return
+    if isinstance(stmt, (I.Allocate, I.AttrStmt)):
+        _validate_stmt(stmt.body, bound, in_reduce_loop)
+        return
+    if isinstance(stmt, I.Evaluate):
+        return
+    raise IRValidationError(f"unknown statement type {type(stmt).__name__}")
+
+
+def validate_ir(stmt: I.Stmt) -> None:
+    """Structurally validate a lowered loop nest; raise on the first defect."""
+    _validate_stmt(stmt, {}, False)

@@ -1,0 +1,60 @@
+"""Differential correctness testing for the template + UDF + FDS pipeline.
+
+FeatGraph's promise is that any (graph, UDF, aggregation, FDS, target)
+combination produces the same numbers as the naive implementation, only
+faster.  This package exercises that promise systematically:
+
+- :mod:`repro.testing.generators` -- seeded random generators for graphs
+  (empty rows, self-loops, duplicate-free CSR, power-law skew), UDF families
+  (copy / mul / MLP-like / dot-attention), aggregations, and FDS schedules.
+  Every UDF family carries an *independent* numpy reference implementation,
+  so the cross-check does not share code with the kernel under test.
+- :mod:`repro.testing.differential` -- the trial driver: sample a config,
+  compile it through :func:`repro.core.api.spmm` / ``sddmm``, run it, and
+  cross-check against both the :mod:`repro.core.verify` oracle and the
+  family's numpy reference.  Failing configs are shrunk to a minimal repro
+  with a replayable seed.
+- :mod:`repro.testing.fuzz` -- the CLI:
+  ``python -m repro.testing.fuzz --trials N --seed S`` (and ``--replay`` to
+  re-run a printed failure verbatim).
+"""
+
+from repro.testing.differential import (
+    FuzzReport,
+    TrialConfig,
+    TrialResult,
+    replay_command,
+    run_trial,
+    run_trials,
+    sample_config,
+    shrink,
+)
+from repro.testing.generators import (
+    GRAPH_FAMILIES,
+    UDF_FAMILIES,
+    UDFFamily,
+    UDFInstance,
+    make_fds,
+    make_graph,
+    sample_fds_spec,
+    sample_graph_spec,
+)
+
+__all__ = [
+    "TrialConfig",
+    "TrialResult",
+    "FuzzReport",
+    "sample_config",
+    "run_trial",
+    "run_trials",
+    "shrink",
+    "replay_command",
+    "GRAPH_FAMILIES",
+    "UDF_FAMILIES",
+    "UDFFamily",
+    "UDFInstance",
+    "make_graph",
+    "make_fds",
+    "sample_graph_spec",
+    "sample_fds_spec",
+]

@@ -1,0 +1,340 @@
+"""Differential trial driver: sample, compile, run, cross-check, shrink.
+
+A :class:`TrialConfig` is a JSON-serializable description of one point in
+the (graph x UDF x aggregation x FDS x target) space.  :func:`run_trial`
+compiles it through :func:`repro.core.api.spmm` / ``sddmm``, runs the kernel,
+and compares the output against **two** references:
+
+1. the brute-force oracle of :mod:`repro.core.verify` (same expression
+   evaluator, naive scatter loop), and
+2. the UDF family's independent numpy reference combined by a plain Python
+   edge loop (:func:`aggregate_edges`) -- sharing no code with the kernel.
+
+:func:`shrink` greedily minimizes a failing config while it keeps failing,
+and :func:`replay_command` prints the exact CLI invocation that reproduces
+it (the config round-trips through JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import asdict, dataclass, field, replace
+
+import numpy as np
+
+from repro.core import verify as V
+from repro.core.api import sddmm, spmat, spmm
+from repro.testing import generators as G
+
+__all__ = [
+    "TrialConfig",
+    "TrialResult",
+    "FuzzReport",
+    "sample_config",
+    "build_bindings",
+    "aggregate_edges",
+    "run_trial",
+    "run_trials",
+    "shrink",
+    "replay_command",
+]
+
+DEFAULT_ATOL = 1e-5
+
+
+@dataclass
+class TrialConfig:
+    """One sampled point of the differential test space (JSON round-trips)."""
+
+    kind: str                      # "spmm" | "sddmm"
+    target: str                    # "cpu" | "gpu"
+    graph: dict                    # spec for generators.make_graph
+    udf: str                       # UDF family name
+    dims: dict                     # {"f": ..., "d": ..., "h": ...} as needed
+    aggregation: str | None        # spmm only; None for sddmm
+    fds: dict | None               # spec for generators.make_fds
+    options: dict = field(default_factory=dict)
+    data_seed: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrialConfig":
+        return cls(**json.loads(text))
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one trial."""
+
+    ok: bool
+    stage: str = "done"        # "build" | "run" | "oracle" | "reference"
+    max_abs_diff: float = 0.0
+    message: str = ""
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzzing run."""
+
+    trials: int
+    failures: list  # [(TrialConfig, TrialResult), ...]
+    coverage: dict  # {"udf": {...}, "target": {...}, "kind": {...}, "agg": {...}}
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ----------------------------------------------------------------------
+# sampling
+# ----------------------------------------------------------------------
+
+def sample_config(rnd: random.Random) -> TrialConfig:
+    """Sample one trial config from a seeded ``random.Random``."""
+    kind = rnd.choice(("spmm", "spmm", "sddmm"))  # spmm has the larger space
+    target = rnd.choice(("cpu", "gpu"))
+    families = [f for f in G.UDF_FAMILIES.values() if kind in f.kinds]
+    fam = rnd.choice(sorted(families, key=lambda f: f.name))
+    dims = {}
+    if "f" in fam.dims:
+        dims["f"] = rnd.randint(1, 6)
+    if "d" in fam.dims:
+        dims["d"] = rnd.randint(1, 5)
+    if "h" in fam.dims:
+        dims["h"] = rnd.randint(1, 3)
+    aggregation = rnd.choice(G.SPMM_AGGREGATIONS) if kind == "spmm" else None
+    fds = G.sample_fds_spec(rnd, target, fam.has_reduction)
+    options: dict = {}
+    if kind == "spmm":
+        if rnd.random() < 0.5:
+            options["num_graph_partitions"] = rnd.randint(1, 3)
+        if rnd.random() < 0.5:
+            options["num_feature_partitions"] = rnd.randint(1, 2)
+        if target == "gpu" and rnd.random() < 0.3:
+            options["hybrid_partitioning"] = True
+    else:
+        if rnd.random() < 0.5:
+            options["num_feature_partitions"] = rnd.randint(1, 2)
+        if rnd.random() < 0.5:
+            options["hilbert"] = rnd.random() < 0.5
+    if rnd.random() < 0.25:
+        options["chunk_edges"] = 8  # force multi-chunk execution
+    return _clamp_options(TrialConfig(
+        kind=kind, target=target, graph=sample_graph_spec(rnd),
+        udf=fam.name, dims=dims, aggregation=aggregation, fds=fds,
+        options=options, data_seed=rnd.randrange(2**31)))
+
+
+def _clamp_options(cfg: TrialConfig) -> TrialConfig:
+    """Keep sampled options inside the kernels' documented preconditions
+    (e.g. ``partition_1d`` refuses more partitions than source vertices)."""
+    opts = dict(cfg.options)
+    if "num_graph_partitions" in opts:
+        opts["num_graph_partitions"] = min(opts["num_graph_partitions"],
+                                           int(cfg.graph["n_src"]))
+    return replace(cfg, options=opts)
+
+
+def sample_graph_spec(rnd: random.Random) -> dict:
+    return G.sample_graph_spec(rnd)
+
+
+def build_bindings(instance: G.UDFInstance, aggregation: str | None,
+                   data_seed: int) -> dict:
+    """Seeded input arrays for a UDF instance.
+
+    ``prod`` aggregation gets values near 1 so products over high-degree
+    rows stay inside float32 precision at the harness tolerance.
+    """
+    rng = np.random.default_rng(int(data_seed))
+    out = {}
+    for name, shape in instance.placeholders.items():
+        if aggregation == "prod":
+            arr = 1.0 + 0.05 * rng.standard_normal(shape)
+        else:
+            arr = rng.standard_normal(shape)
+        out[name] = arr.astype(np.float32)
+    return out
+
+
+# ----------------------------------------------------------------------
+# independent reference aggregation (plain Python edge loop)
+# ----------------------------------------------------------------------
+
+_IDENTITY = {"sum": 0.0, "max": -math.inf, "min": math.inf, "prod": 1.0}
+_COMBINE = {
+    "sum": lambda a, b: a + b,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": lambda a, b: a * b,
+}
+
+
+def aggregate_edges(msgs: np.ndarray, rows: np.ndarray, n_dst: int,
+                    aggregation: str) -> np.ndarray:
+    """Combine per-edge messages into per-destination rows, one edge at a
+    time -- deliberately naive and independent of the kernel's vectorized
+    segmented combine."""
+    base = "sum" if aggregation == "mean" else aggregation
+    out = np.full((n_dst,) + msgs.shape[1:], _IDENTITY[base], dtype=np.float64)
+    combine = _COMBINE[base]
+    for r, v in zip(rows, msgs):
+        out[r] = combine(out[r], v.astype(np.float64))
+    deg = np.bincount(rows, minlength=n_dst)
+    out[deg == 0] = 0.0
+    if aggregation == "mean":
+        out /= np.maximum(deg, 1).reshape((-1,) + (1,) * (out.ndim - 1))
+    return out.astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# running one trial
+# ----------------------------------------------------------------------
+
+def _materialize(cfg: TrialConfig, registry=None):
+    registry = registry or G.UDF_FAMILIES
+    fam = registry[cfg.udf]
+    csr = G.make_graph(cfg.graph)
+    dims = dict(cfg.dims)
+    dims["n"] = max(int(cfg.graph["n_src"]), int(cfg.graph["n_dst"]))
+    dims["m"] = max(int(csr.nnz), 1)
+    instance = fam.make(dims)
+    return csr, instance
+
+
+def run_trial(cfg: TrialConfig, atol: float = DEFAULT_ATOL,
+              registry=None) -> TrialResult:
+    """Compile and run one config; cross-check against both references."""
+    try:
+        csr, instance = _materialize(cfg, registry)
+        adj = spmat(csr)
+        fds = G.make_fds(cfg.fds)
+        if cfg.kind == "spmm":
+            kernel = spmm(adj, instance.udf, aggregation=cfg.aggregation,
+                          target=cfg.target, fds=fds, **cfg.options)
+        else:
+            kernel = sddmm(adj, instance.udf, target=cfg.target, fds=fds,
+                           **cfg.options)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the fuzzer
+        return TrialResult(False, stage="build",
+                           message=f"{type(exc).__name__}: {exc}")
+
+    bindings = build_bindings(instance, cfg.aggregation, cfg.data_seed)
+    try:
+        got = kernel.run(bindings)
+    except Exception as exc:  # noqa: BLE001
+        return TrialResult(False, stage="run",
+                           message=f"{type(exc).__name__}: {exc}")
+
+    # 1) brute-force oracle (shared evaluator, naive combine)
+    if cfg.kind == "spmm":
+        oracle = V.reference_spmm(kernel, bindings)
+    else:
+        oracle = V.reference_sddmm(kernel, bindings)
+    if not np.allclose(got, oracle, atol=atol, rtol=atol, equal_nan=True):
+        worst = float(np.nanmax(np.abs(got - oracle)))
+        return TrialResult(False, stage="oracle", max_abs_diff=worst,
+                           message=f"kernel vs verify oracle: max abs diff "
+                                   f"{worst:.3g} > atol {atol:g}")
+
+    # 2) independent numpy reference (no shared code with the kernel)
+    rows = csr.row_of_edge()
+    msgs = instance.reference(bindings, csr.indices, rows, csr.edge_ids)
+    msgs = np.asarray(msgs, dtype=np.float32).reshape(
+        (csr.nnz,) + instance.out_shape)
+    if cfg.kind == "spmm":
+        ref = aggregate_edges(msgs, rows, csr.shape[0], cfg.aggregation)
+    else:
+        ref = np.zeros((csr.nnz,) + instance.out_shape, dtype=np.float32)
+        ref[csr.edge_ids] = msgs
+    if not np.allclose(got, ref, atol=atol, rtol=atol, equal_nan=True):
+        worst = float(np.nanmax(np.abs(got - ref))) if got.size else 0.0
+        return TrialResult(False, stage="reference", max_abs_diff=worst,
+                           message=f"kernel vs independent reference: max abs "
+                                   f"diff {worst:.3g} > atol {atol:g}")
+    return TrialResult(True)
+
+
+def run_trials(trials: int, seed: int, atol: float = DEFAULT_ATOL,
+               registry=None, on_failure=None) -> FuzzReport:
+    """Run ``trials`` sampled configs; collect failures and coverage."""
+    rnd = random.Random(seed)
+    failures = []
+    coverage = {"udf": {}, "target": {}, "kind": {}, "agg": {}}
+    for _ in range(trials):
+        cfg = sample_config(rnd)
+        res = run_trial(cfg, atol=atol, registry=registry)
+        coverage["udf"][cfg.udf] = coverage["udf"].get(cfg.udf, 0) + 1
+        coverage["target"][cfg.target] = coverage["target"].get(cfg.target, 0) + 1
+        coverage["kind"][cfg.kind] = coverage["kind"].get(cfg.kind, 0) + 1
+        agg = cfg.aggregation or "-"
+        coverage["agg"][agg] = coverage["agg"].get(agg, 0) + 1
+        if not res.ok:
+            failures.append((cfg, res))
+            if on_failure is not None:
+                on_failure(cfg, res)
+    return FuzzReport(trials=trials, failures=failures, coverage=coverage)
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+def _shrink_candidates(cfg: TrialConfig):
+    """Yield simplified variants of ``cfg``, most aggressive first."""
+    if cfg.fds is not None:
+        yield replace(cfg, fds=None)
+    if cfg.options:
+        yield replace(cfg, options={})
+    if cfg.kind == "spmm" and cfg.aggregation != "sum":
+        yield replace(cfg, aggregation="sum")
+    if cfg.target != "cpu":
+        yield replace(cfg, target="cpu", fds=None)
+    if cfg.data_seed != 0:
+        yield replace(cfg, data_seed=0)
+    g = cfg.graph
+    if g["family"] != "random":
+        yield replace(cfg, graph={**g, "family": "random"})
+    if g["seed"] != 0:
+        yield replace(cfg, graph={**g, "seed": 0})
+    if g["m"] > 0:
+        yield replace(cfg, graph={**g, "m": g["m"] // 2})
+    for key in ("n_src", "n_dst"):
+        if g[key] > 1:
+            yield _clamp_options(
+                replace(cfg, graph={**g, key: max(1, g[key] // 2)}))
+    for dim, val in cfg.dims.items():
+        if val > 1:
+            yield replace(cfg, dims={**cfg.dims, dim: max(1, val // 2)})
+
+
+def shrink(cfg: TrialConfig, fails, max_evals: int = 200) -> TrialConfig:
+    """Greedily minimize ``cfg`` while ``fails(candidate)`` stays True.
+
+    ``fails`` is a predicate (e.g. ``lambda c: not run_trial(c).ok``).
+    Deterministic: candidates are tried in a fixed order until a full pass
+    accepts none, or the evaluation budget runs out.
+    """
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for cand in _shrink_candidates(cfg):
+            if evals >= max_evals:
+                break
+            evals += 1
+            if fails(cand):
+                cfg = cand
+                improved = True
+                break
+    return cfg
+
+
+def replay_command(cfg: TrialConfig) -> str:
+    """The CLI invocation that re-runs exactly this config."""
+    return ("PYTHONPATH=src python -m repro.testing.fuzz --replay "
+            f"'{cfg.to_json()}'")

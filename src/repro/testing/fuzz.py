@@ -1,0 +1,86 @@
+"""Differential fuzzing CLI.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.testing.fuzz --trials 200 --seed 0
+    PYTHONPATH=src python -m repro.testing.fuzz --replay '{"kind": ...}'
+
+Runs ``--trials`` sampled (graph, UDF, aggregation, FDS, target) configs and
+cross-checks each against the brute-force oracle and an independent numpy
+reference.  On failure the config is shrunk to a minimal repro and the exact
+``--replay`` command is printed; the process exits nonzero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.testing.differential import (
+    DEFAULT_ATOL,
+    TrialConfig,
+    replay_command,
+    run_trial,
+    run_trials,
+    shrink,
+)
+
+__all__ = ["main"]
+
+
+def _print_coverage(coverage: dict, out=sys.stdout) -> None:
+    for axis in ("kind", "target", "agg", "udf"):
+        counts = coverage.get(axis, {})
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"  {axis:7s} {parts}", file=out)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.testing.fuzz",
+        description="Differential fuzzing of the template+UDF+FDS pipeline.")
+    ap.add_argument("--trials", type=int, default=200,
+                    help="number of sampled configs (default 200)")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="PRNG seed; same seed + trials = same configs")
+    ap.add_argument("--atol", type=float, default=DEFAULT_ATOL,
+                    help="comparison tolerance (default %(default)g)")
+    ap.add_argument("--replay", metavar="JSON", default=None,
+                    help="re-run one config from its printed JSON")
+    ap.add_argument("--no-shrink", action="store_true",
+                    help="report failures without minimizing them")
+    args = ap.parse_args(argv)
+
+    if args.replay is not None:
+        try:
+            cfg = TrialConfig.from_json(args.replay)
+        except (ValueError, TypeError) as exc:
+            print(f"error: invalid --replay payload: {exc}", file=sys.stderr)
+            return 2
+        res = run_trial(cfg, atol=args.atol)
+        if res.ok:
+            print("replay PASSED")
+            return 0
+        print(f"replay FAILED at stage {res.stage}: {res.message}")
+        return 1
+
+    report = run_trials(args.trials, args.seed, atol=args.atol)
+    print(f"{report.trials} trials, {len(report.failures)} failures "
+          f"(seed {args.seed}, atol {args.atol:g})")
+    _print_coverage(report.coverage)
+    if report.ok:
+        return 0
+
+    for cfg, res in report.failures[:5]:
+        print(f"\nFAIL [{res.stage}] {res.message}")
+        if not args.no_shrink:
+            cfg = shrink(cfg, lambda c: not run_trial(c, atol=args.atol).ok)
+            print("minimal repro:")
+        print(f"  {replay_command(cfg)}")
+    if len(report.failures) > 5:
+        print(f"\n... and {len(report.failures) - 5} more failures")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

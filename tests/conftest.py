@@ -1,6 +1,17 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Every test runs with deterministically seeded global PRNGs: an autouse
+fixture derives a per-test seed from the test's node id (stable across runs
+and across ``-k`` selections) and seeds both :mod:`random` and the legacy
+``numpy.random`` state.  Tests that need their own generator should take the
+function-scoped ``rng`` fixture instead of calling
+``np.random.default_rng(...)`` inline -- same determinism, no ad-hoc seeds.
+"""
 
 from __future__ import annotations
+
+import random
+import zlib
 
 import numpy as np
 import pytest
@@ -9,9 +20,25 @@ from repro.graph import from_edges
 from repro.graph.sparse import CSRMatrix
 
 
-@pytest.fixture(scope="session")
-def rng() -> np.random.Generator:
-    return np.random.default_rng(12345)
+def _seed_for(nodeid: str) -> int:
+    """Stable per-test seed: crc32 of the pytest node id."""
+    return zlib.crc32(nodeid.encode()) & 0x7FFFFFFF
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_seeds(request):
+    """Seed the global PRNGs per test so order/selection never changes
+    results, and one test's draws can't leak into another's."""
+    seed = _seed_for(request.node.nodeid)
+    random.seed(seed)
+    np.random.seed(seed % (2**32 - 1))
+    yield
+
+
+@pytest.fixture()
+def rng(request) -> np.random.Generator:
+    """A per-test numpy Generator, seeded from the test's node id."""
+    return np.random.default_rng(_seed_for(request.node.nodeid))
 
 
 def make_graph(n_src: int, n_dst: int, m: int, seed: int = 0) -> CSRMatrix:

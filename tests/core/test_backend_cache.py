@@ -1,0 +1,74 @@
+"""FeatGraphBackend kernel-cache keying.
+
+Regression: the cache used to key on ``id(adj)``.  CPython recycles ids
+after garbage collection, so a new graph allocated at a freed graph's
+address silently reused the stale kernel -- wrong topology, wrong numbers.
+Keys are now content fingerprints.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import FeatGraphBackend
+from repro.graph.sparse import from_edges
+
+
+def _graph(seed, n=8, m=20):
+    rng = np.random.default_rng(seed)
+    return from_edges(n, n, rng.integers(0, n, m), rng.integers(0, n, m))
+
+
+class TestKernelCacheKeying:
+    def test_cache_key_is_content_not_identity(self):
+        backend = FeatGraphBackend("cpu")
+        adj = _graph(0)
+        backend._kernel("gcn", adj, 4)
+        (key,) = backend._cache.keys()
+        assert id(adj) not in key
+        assert adj.fingerprint() in key
+
+    def test_equal_graphs_share_a_kernel(self):
+        backend = FeatGraphBackend("cpu")
+        a, b = _graph(0), _graph(0)  # same content, distinct objects
+        assert a is not b
+        k1 = backend._kernel("gcn", a, 4)
+        k2 = backend._kernel("gcn", b, 4)
+        assert k1 is k2
+        assert len(backend._cache) == 1
+
+    def test_different_graphs_get_distinct_kernels(self):
+        backend = FeatGraphBackend("cpu")
+        k1 = backend._kernel("gcn", _graph(0), 4)
+        k2 = backend._kernel("gcn", _graph(1), 4)
+        assert k1 is not k2
+        assert len(backend._cache) == 2
+
+    def test_recycled_object_address_cannot_alias(self):
+        """The id()-reuse scenario: a dead graph's address is reused by a
+        different graph.  With content keys the second graph must compute
+        its own (correct) result."""
+        backend = FeatGraphBackend("cpu")
+        feats = np.random.default_rng(3).standard_normal((8, 4)).astype(np.float32)
+
+        out_a = backend.gcn_aggregation(_graph(0), feats)
+        # a fresh, different graph -- regardless of what address it landed on
+        out_b = backend.gcn_aggregation(_graph(1), feats)
+
+        # reference: plain scatter-add per graph
+        def ref(adj):
+            out = np.zeros((8, 4), dtype=np.float32)
+            np.add.at(out, adj.row_of_edge(), feats[adj.indices])
+            return out
+
+        np.testing.assert_allclose(out_a, ref(_graph(0)), rtol=1e-5, atol=1e-5)
+        np.testing.assert_allclose(out_b, ref(_graph(1)), rtol=1e-5, atol=1e-5)
+
+    def test_fingerprint_stability_and_sensitivity(self):
+        a = _graph(0)
+        assert a.fingerprint() == _graph(0).fingerprint()
+        assert a.fingerprint() == a.fingerprint()  # cached, stable
+        assert a.fingerprint() != _graph(1).fingerprint()
+        # shape participates even with identical nnz layout
+        e = from_edges(4, 4, [0, 1], [1, 2])
+        wider = from_edges(5, 4, [0, 1], [1, 2])
+        assert e.fingerprint() != wider.fingerprint()

@@ -18,17 +18,16 @@ def _reference(adj, scores):
 
 
 class TestEdgeSoftmax:
-    def test_matches_segment_softmax(self, edge_list_graph):
+    def test_matches_segment_softmax(self, edge_list_graph, rng):
         adj, src, dst = edge_list_graph
-        scores = np.random.default_rng(0).standard_normal(adj.nnz).astype(np.float32)
+        scores = rng.standard_normal(adj.nnz).astype(np.float32)
         sm = EdgeSoftmax(adj)
         assert np.allclose(sm.run(scores), _reference(adj, scores), atol=1e-4)
 
-    def test_multihead(self, edge_list_graph):
+    def test_multihead(self, edge_list_graph, rng):
         adj, src, dst = edge_list_graph
         h = 4
-        scores = np.random.default_rng(1).standard_normal(
-            (adj.nnz, h)).astype(np.float32)
+        scores = rng.standard_normal((adj.nnz, h)).astype(np.float32)
         sm = EdgeSoftmax(adj, num_heads=h)
         alpha = sm.run(scores)
         assert alpha.shape == (adj.nnz, h)
@@ -68,8 +67,55 @@ class TestEdgeSoftmax:
         with pytest.raises(ValueError):
             EdgeSoftmax(adj, num_heads=0)
 
-    def test_gpu_target(self, edge_list_graph):
+    def test_gpu_target(self, edge_list_graph, rng):
         adj, *_ = edge_list_graph
-        scores = np.random.default_rng(2).standard_normal(adj.nnz).astype(np.float32)
+        scores = rng.standard_normal(adj.nnz).astype(np.float32)
         sm = EdgeSoftmax(adj, target="gpu")
         assert np.allclose(sm.run(scores), _reference(adj, scores), atol=1e-4)
+
+
+class TestDegenerateRowStability:
+    """Rows with 0 and 1 edges, mixed in one graph, under extreme scores."""
+
+    def _mixed_graph(self):
+        # dst 0: two edges; dst 1: one edge; dst 2..5: empty
+        return from_edges(6, 6, np.array([0, 1, 2]), np.array([0, 0, 1]))
+
+    def test_mixed_zero_and_one_edge_rows(self):
+        adj = self._mixed_graph()
+        scores = np.array([1e4, -1e4, 3.0], np.float32)
+        alpha = EdgeSoftmax(adj).run(scores)
+        assert np.isfinite(alpha).all()
+        # the 1-edge row normalizes to exactly 1 regardless of its score
+        assert alpha[2] == pytest.approx(1.0, abs=1e-6)
+        # the 2-edge row sums to 1 and is dominated by the large score
+        assert alpha[0] + alpha[1] == pytest.approx(1.0, abs=1e-5)
+        assert alpha[0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_multihead_mixed_rows(self, rng):
+        adj = self._mixed_graph()
+        h = 3
+        scores = (rng.standard_normal((adj.nnz, h)) * 50).astype(np.float32)
+        alpha = EdgeSoftmax(adj, num_heads=h).run(scores)
+        assert np.isfinite(alpha).all()
+        assert np.allclose(alpha[2], 1.0, atol=1e-5)
+        assert np.allclose(alpha[0] + alpha[1], 1.0, atol=1e-4)
+
+    def test_empty_graph_runs(self):
+        adj = from_edges(4, 4, np.array([], dtype=np.int64),
+                         np.array([], dtype=np.int64))
+        alpha = EdgeSoftmax(adj).run(np.empty(0, np.float32))
+        assert alpha.shape == (0,)
+
+    def test_all_single_edge_rows_extreme_scores(self):
+        adj = from_edges(4, 4, np.arange(4), np.arange(4))
+        scores = np.array([-1e4, -1.0, 1.0, 1e4], np.float32)
+        alpha = EdgeSoftmax(adj).run(scores)
+        assert np.allclose(alpha, 1.0, atol=1e-6)
+
+    def test_gpu_target_mixed_rows(self):
+        adj = self._mixed_graph()
+        scores = np.array([100.0, -100.0, 0.0], np.float32)
+        alpha = EdgeSoftmax(adj, target="gpu").run(scores)
+        assert np.isfinite(alpha).all()
+        assert alpha[2] == pytest.approx(1.0, abs=1e-6)

@@ -115,3 +115,57 @@ class TestTuningCache:
         cache = TuningCache(tmp_path / "tune.json")
         assert cache.get("spmm-gcn", 1000, 64) is None
         assert len(cache) == 0
+
+
+class TestSnapAndDerived:
+    def test_snap_is_log_scale(self):
+        from repro.core.transfer import _snap
+
+        # 3 is log-closer to 4 than to 1 on (1, 4, 16)
+        assert _snap(3, (1, 4, 16)) == 4
+        # 60 is log-closer to 64 than to 256
+        assert _snap(60, (1, 64, 256)) == 64
+        # values below every candidate clamp to the smallest
+        assert _snap(0.01, (2, 8)) == 2
+
+    def test_working_set_bytes(self):
+        cfg = TunedConfig(graph_partitions=4, feature_partitions=2,
+                          n_src=1000, feature_len=64)
+        assert cfg.tile_width == 32
+        assert cfg.partition_rows == pytest.approx(250.0)
+        assert cfg.working_set_bytes == pytest.approx(250 * 32 * 4)
+
+    def test_transfer_config_respects_candidate_sets(self, reddit):
+        cfg = TunedConfig(graph_partitions=8, feature_partitions=4,
+                          n_src=reddit.n_src, feature_len=128)
+        out = transfer_config(cfg, reddit, 512,
+                              graph_candidates=(2, 16),
+                              feature_candidates=(1, 8))
+        assert out["graph"] in (2, 16)
+        assert out["feature"] in (1, 8)
+
+
+class TestTuningCachePersistence:
+    def test_survives_reload_and_len(self, tmp_path):
+        from repro.core.transfer import TuningCache
+
+        path = tmp_path / "cache" / "tuned.json"
+        c1 = TuningCache(path)
+        assert len(c1) == 0
+        c1.put("spmm", TunedConfig(4, 2, 1000, 64))
+        c1.put("sddmm", TunedConfig(2, 8, 1000, 64))
+        assert len(c1) == 2
+
+        c2 = TuningCache(path)  # fresh instance reads the JSON back
+        got = c2.get("spmm", 1000, 64)
+        assert got == TunedConfig(4, 2, 1000, 64)
+        assert len(c2) == 2
+
+    def test_put_overwrites_same_key(self, tmp_path):
+        from repro.core.transfer import TuningCache
+
+        c = TuningCache(tmp_path / "t.json")
+        c.put("spmm", TunedConfig(4, 2, 1000, 64))
+        c.put("spmm", TunedConfig(16, 8, 1000, 64))  # same bucket/key
+        assert len(c) == 1
+        assert c.get("spmm", 1000, 64).graph_partitions == 16

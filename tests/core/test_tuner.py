@@ -62,3 +62,60 @@ class TestGridTuner:
                         evaluate).tune()
         # the optimum must be an interior-ish point, not the unpartitioned corner
         assert res.best_config != {"graph": 1, "feature": 1}
+
+
+class TestTunerDeterminism:
+    """Fixed seed => identical trial sequence and result, for every tuner."""
+
+    def _space(self):
+        return {"a": [1, 2, 3, 4, 5, 6, 8], "b": [1, 2, 3, 4]}
+
+    def test_grid_trial_order_is_stable(self):
+        r1 = GridTuner(self._space(), _quadratic).tune()
+        r2 = GridTuner(self._space(), _quadratic).tune()
+        assert r1.trials == r2.trials
+        assert r1.best_config == r2.best_config
+
+    def test_random_tuner_same_seed_same_trials(self):
+        from repro.core.tuner import RandomTuner
+
+        r1 = RandomTuner(self._space(), _quadratic, num_trials=12, seed=9).tune()
+        r2 = RandomTuner(self._space(), _quadratic, num_trials=12, seed=9).tune()
+        assert r1.trials == r2.trials
+        assert r1.best_config == r2.best_config
+        assert r1.best_cost.seconds == r2.best_cost.seconds
+
+    def test_random_tuner_seed_changes_trials(self):
+        from repro.core.tuner import RandomTuner
+
+        r1 = RandomTuner(self._space(), _quadratic, num_trials=12, seed=0).tune()
+        r2 = RandomTuner(self._space(), _quadratic, num_trials=12, seed=1).tune()
+        assert r1.trials != r2.trials
+
+    def test_annealing_tuner_same_seed_same_walk(self):
+        from repro.core.tuner import AnnealingTuner
+
+        r1 = AnnealingTuner(self._space(), _quadratic, num_trials=20, seed=5).tune()
+        r2 = AnnealingTuner(self._space(), _quadratic, num_trials=20, seed=5).tune()
+        assert r1.trials == r2.trials
+        assert r1.best_config == r2.best_config
+
+    def test_annealing_tuner_seed_changes_walk(self):
+        from repro.core.tuner import AnnealingTuner
+
+        r1 = AnnealingTuner(self._space(), _quadratic, num_trials=20, seed=5).tune()
+        r2 = AnnealingTuner(self._space(), _quadratic, num_trials=20, seed=6).tune()
+        assert r1.trials != r2.trials
+
+    def test_landscape_from_stochastic_trials(self):
+        from repro.core.tuner import AnnealingTuner, RandomTuner
+
+        for tuner in (RandomTuner(self._space(), _quadratic, num_trials=16, seed=2),
+                      AnnealingTuner(self._space(), _quadratic, num_trials=16, seed=2)):
+            res = tuner.tune()
+            land = res.landscape("a", "b")
+            assert land  # projection is non-empty
+            # every projected point matches the quadratic it came from
+            for (a, b), secs in land.items():
+                assert secs == pytest.approx((a - 4) ** 2 + (b - 2) ** 2 + 1.0)
+            assert min(land.values()) == pytest.approx(res.best_cost.seconds)

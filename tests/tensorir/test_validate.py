@@ -1,0 +1,244 @@
+"""Schedule legality and IR structural validation.
+
+Illegal schedules must fail at :func:`validate_schedule` / :func:`lower`
+with the offending axis named -- not as a deep codegen traceback.
+"""
+
+import pytest
+
+from repro import tensorir as T
+from repro.tensorir import ir as I
+from repro.tensorir.validate import (
+    IRValidationError,
+    ScheduleError,
+    validate_ir,
+    validate_schedule,
+)
+
+
+def _matmul():
+    A = T.placeholder((8, 8), name="A")
+    B = T.placeholder((8, 8), name="B")
+    k = T.reduce_axis((0, 8), name="k")
+    C = T.compute((8, 8), lambda i, j: T.sum_reduce(A[i, k] * B[k, j], axis=k),
+                  name="C")
+    return C
+
+
+def _vec():
+    A = T.placeholder((16,), name="A")
+    return T.compute((16,), lambda i: A[i] * 2.0, name="V")
+
+
+# ----------------------------------------------------------------------
+# schedule legality
+# ----------------------------------------------------------------------
+
+class TestScheduleLegality:
+    def test_split_factor_zero_names_axis(self):
+        V = _vec()
+        s = T.create_schedule(V)
+        with pytest.raises(ScheduleError, match="V_i0"):
+            s[V].split(V.op.axis[0], factor=0)
+
+    def test_split_negative_nparts(self):
+        V = _vec()
+        s = T.create_schedule(V)
+        with pytest.raises(ScheduleError, match="positive"):
+            s[V].split(V.op.axis[0], nparts=-3)
+
+    def test_schedule_error_is_value_error(self):
+        assert issubclass(ScheduleError, ValueError)
+        assert issubclass(IRValidationError, ValueError)
+
+    def test_reorder_across_tree_reduce_names_both_axes(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        i, j = C.op.axis
+        (k,) = C.op.reduce_axis
+        s[C].tree_reduce(k, "thread.x")
+        with pytest.raises(ScheduleError,
+                           match=r"data axis C_i1 .*tree-reduced axis k"):
+            s[C].reorder(k, j)
+
+    def test_reorder_without_tree_reduce_is_fine(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        i, j = C.op.axis
+        (k,) = C.op.reduce_axis
+        s[C].reorder(k, j)  # plain reduce axis: reordering is legal
+        assert [ax.name for ax in s[C].leaf_iter_vars] == ["C_i0", "k", "C_i1"]
+
+    def test_bind_reduce_axis_rejected(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        (k,) = C.op.reduce_axis
+        with pytest.raises(ScheduleError, match="reduce axis k"):
+            s[C].bind(k, "thread.x")
+
+    def test_double_bind_same_tag_rejected(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        i, j = C.op.axis
+        s[C].bind(i, "thread.x")
+        with pytest.raises(ScheduleError, match="already bound"):
+            s[C].bind(j, "thread.x")
+
+    def test_tree_reduce_on_data_axis_rejected(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        with pytest.raises(ScheduleError, match="data axis"):
+            s[C].tree_reduce(C.op.axis[0], "thread.x")
+
+    def test_parallel_reduce_axis_rejected(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        (k,) = C.op.reduce_axis
+        with pytest.raises(ScheduleError, match="reduce axis k"):
+            s[C].parallel(k)
+
+    def test_parallel_inside_serial_axis_rejected(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        i, j = C.op.axis
+        s[C].parallel(j)  # i stays serial outside j
+        with pytest.raises(ScheduleError, match="nested inside serial axis C_i0"):
+            validate_schedule(s[C])
+
+    def test_parallel_outermost_is_legal(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        s[C].parallel(C.op.axis[0])
+        validate_schedule(s[C])
+
+    def test_block_inside_thread_rejected(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        i, j = C.op.axis
+        s[C].bind(i, "thread.x")
+        s[C].bind(j, "block.x")
+        with pytest.raises(ScheduleError, match="block.*outermost"):
+            validate_schedule(s[C])
+
+    def test_cpu_target_rejects_gpu_binding(self):
+        V = _vec()
+        s = T.create_schedule(V)
+        s[V].bind(V.op.axis[0], "thread.x")
+        with pytest.raises(ScheduleError, match="target is 'cpu'"):
+            validate_schedule(s[V], target="cpu")
+        validate_schedule(s[V], target="gpu")  # fine on gpu
+
+    def test_cpu_target_rejects_tree_reduce(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        (k,) = C.op.reduce_axis
+        s[C].tree_reduce(k, "thread.x")
+        with pytest.raises(ScheduleError, match="tree"):
+            validate_schedule(s[C], target="cpu")
+
+    def test_lower_validates_schedule(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        i, j = C.op.axis
+        s[C].parallel(j)
+        with pytest.raises(ScheduleError):
+            T.lower(s)
+        stmt = T.lower(s, validate=False)  # opt-out still lowers
+        assert isinstance(stmt, I.Stmt)
+
+    def test_legal_schedules_lower_clean(self):
+        C = _matmul()
+        s = T.create_schedule(C)
+        i, j = C.op.axis
+        io, ii = s[C].split(i, factor=4)
+        s[C].parallel(io)
+        s[C].vectorize(j)
+        stmt = T.lower(s)
+        validate_ir(stmt)
+
+
+# ----------------------------------------------------------------------
+# IR structural validation
+# ----------------------------------------------------------------------
+
+def _iv(name, extent, kind=T.IterVar.DATA):
+    return T.IterVar((0, extent), name=name, kind=kind)
+
+
+class TestIRValidation:
+    def test_lowered_ir_passes(self):
+        C = _matmul()
+        validate_ir(T.lower(T.create_schedule(C)))
+
+    def test_double_bound_loop_var(self):
+        i = _iv("i", 4)
+        buf = I.BufferRef("out", (4,))
+        store = I.Store(buf, T.const(1.0), [i])
+        nest = I.For(i, 4, I.For(i, 4, store))
+        with pytest.raises(IRValidationError, match="bound twice"):
+            validate_ir(nest)
+
+    def test_unbound_loop_var_in_store(self):
+        i = _iv("i", 4)
+        j = _iv("j", 4)
+        buf = I.BufferRef("out", (4,))
+        nest = I.For(i, 4, I.Store(buf, T.const(0.0), [j]))
+        with pytest.raises(IRValidationError, match="j"):
+            validate_ir(nest)
+
+    def test_store_arity_mismatch(self):
+        i = _iv("i", 4)
+        buf = I.BufferRef("out", (4, 4))  # rank 2, indexed with 1
+        nest = I.For(i, 4, I.Store(buf, T.const(0.0), [i]))
+        with pytest.raises(IRValidationError, match="rank"):
+            validate_ir(nest)
+
+    def test_plain_store_of_reduce_axis_rejected(self):
+        i = _iv("i", 4)
+        k = _iv("k", 4, kind=T.IterVar.REDUCE)
+        buf = I.BufferRef("out", (4,))
+        nest = I.For(i, 4, I.For(k, 4, I.Store(buf, k, [i])))
+        with pytest.raises(IRValidationError, match="reduce"):
+            validate_ir(nest)
+
+    def test_combiner_store_in_reduce_loop_ok(self):
+        i = _iv("i", 4)
+        k = _iv("k", 4, kind=T.IterVar.REDUCE)
+        buf = I.BufferRef("out", (4,))
+        nest = I.For(i, 4, I.For(k, 4, I.Store(buf, k, [i], combiner="sum")))
+        validate_ir(nest)
+
+    def test_negative_extent(self):
+        i = _iv("i", 4)
+        buf = I.BufferRef("out", (4,))
+        nest = I.For(i, -1, I.Store(buf, T.const(0.0), [i]))
+        with pytest.raises(IRValidationError, match="negative extent"):
+            validate_ir(nest)
+
+    def test_guard_with_unbound_var(self):
+        i = _iv("i", 4)
+        j = _iv("j", 4)
+        buf = I.BufferRef("out", (4,))
+        guarded = I.IfThenElse(j < T.const(2), I.Store(buf, T.const(0.0), [i]))
+        with pytest.raises(IRValidationError, match="guard"):
+            validate_ir(I.For(i, 4, guarded))
+
+
+class TestWalkHelpers:
+    def test_walk_with_path_tracks_ancestry(self):
+        C = _matmul()
+        stmt = T.lower(T.create_schedule(C))
+        for node, path in I.walk_with_path(stmt):
+            if isinstance(node, I.Store) and node.combiner is not None:
+                kinds = [p.var.kind for p in path if isinstance(p, I.For)]
+                assert T.IterVar.REDUCE in kinds
+                break
+        else:
+            pytest.fail("no combiner store found in lowered reduction")
+
+    def test_loop_vars_lists_every_for(self):
+        C = _matmul()
+        stmt = T.lower(T.create_schedule(C))
+        names = [v.name for v in I.loop_vars(stmt)]
+        assert names.count("k") == 1  # reduce loop appears once (acc nest)
+        assert names.count("C_i0") == 2  # init nest + acc nest
