@@ -27,3 +27,22 @@ def ratio_str(a: float | None, b: float | None) -> str:
     if not a or not b:
         return "-"
     return f"{a / b:.2f}x"
+
+
+def compile_cache_stats() -> dict:
+    """Snapshot of the process-wide kernel cache's accounting.
+
+    Benches attach this to their payloads so a run records how much of its
+    wall-clock went to compilation and how well the amortization worked.
+    """
+    from repro.core.compile import get_kernel_cache
+
+    return get_kernel_cache().stats()
+
+
+def reset_compile_cache() -> None:
+    """Empty the process-wide kernel cache and zero its counters (so one
+    bench's hit-rate numbers don't include kernels compiled by another)."""
+    from repro.core.compile import get_kernel_cache
+
+    get_kernel_cache().clear()

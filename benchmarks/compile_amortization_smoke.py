@@ -1,0 +1,86 @@
+"""Compile-amortization smoke check (CI gate).
+
+FeatGraph's integration story (paper Sec. IV-B) is that kernel compilation
+happens once per graph topology and is amortized across message-passing
+calls.  This script runs a tiny two-backend workload twice against the
+process-wide kernel cache and asserts that the second run is compile-free:
+
+- second-run cache hit rate >= 90%,
+- zero second-run misses and pipeline runs (so compile time is ~0).
+
+Run with ``PYTHONPATH=src python benchmarks/compile_amortization_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import compile_cache_stats, reset_compile_cache  # noqa: E402
+
+from repro.core.backend import FeatGraphBackend  # noqa: E402
+from repro.graph.sparse import from_edges  # noqa: E402
+from repro.minidgl.backends import FeatGraphDGLBackend  # noqa: E402
+
+
+def workload() -> None:
+    """A small mixed workload: both backends, SpMM and SDDMM patterns."""
+    rng = np.random.default_rng(0)
+    m = 256
+    adj = from_edges(64, 64, rng.integers(0, 64, m), rng.integers(0, 64, m))
+    x = rng.standard_normal((64, 32)).astype(np.float32)
+    w = rng.standard_normal((32, 8)).astype(np.float32)
+
+    backend = FeatGraphBackend("cpu")
+    backend.gcn_aggregation(adj, x)
+    backend.mlp_aggregation(adj, x, w)
+    backend.dot_attention(adj, x)
+
+    dgl = FeatGraphDGLBackend("cpu")
+    dgl.spmm_copy_sum(adj, x)
+    dgl.sddmm_dot(adj, x, x)
+    dgl.edge_softmax(adj, rng.standard_normal(adj.nnz).astype(np.float32))
+
+
+def main() -> int:
+    reset_compile_cache()
+
+    workload()
+    first = compile_cache_stats()
+    if first["pipeline_runs"] == 0:
+        print("FAIL: first run compiled nothing -- workload is broken")
+        return 1
+
+    cache_stats = compile_cache_stats  # alias for symmetry below
+    from repro.core.compile import get_kernel_cache
+
+    get_kernel_cache().reset_stats()
+    workload()
+    second = cache_stats()
+
+    hit_rate = second["hit_rate"]
+    print(f"first run : {first['pipeline_runs']} pipeline runs, "
+          f"{first['compile_seconds'] * 1e3:.2f} ms compiling")
+    print(f"second run: hit rate {hit_rate:.0%}, {second['misses']} misses, "
+          f"{second['pipeline_runs']} pipeline runs, "
+          f"{second['compile_seconds'] * 1e3:.2f} ms compiling")
+
+    ok = True
+    if hit_rate < 0.9:
+        print(f"FAIL: second-run hit rate {hit_rate:.0%} < 90%")
+        ok = False
+    if second["misses"] != 0 or second["pipeline_runs"] != 0:
+        print("FAIL: second run recompiled kernels; compilation is not "
+              "amortized")
+        ok = False
+    if ok:
+        print("OK: compilation fully amortized on the second run")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

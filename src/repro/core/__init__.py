@@ -27,8 +27,13 @@ Submodules:
   FDS factories for CPU tiling / GPU thread binding / tree reduction.
 - :mod:`repro.core.spmm` -- the generalized SpMM template (vertex-wise).
 - :mod:`repro.core.sddmm` -- the generalized SDDMM template (edge-wise).
+- :mod:`repro.core.compile` -- the unified compile pipeline: ``KernelSpec``
+  kernel identity, named compile passes, and the process-wide instrumented
+  ``KernelCache``.
 - :mod:`repro.core.kernels` -- prebuilt GNN kernels (GCN aggregation, MLP
   aggregation, dot-product attention, DGL builtin message functions).
+- :mod:`repro.core.builtins` -- the single registry of DGL builtin
+  message/edge function factories.
 - :mod:`repro.core.tuner` -- grid-search tuning of scheduling parameters.
 - :mod:`repro.core.cost` -- UDF flop analysis feeding the machine models.
 """
@@ -42,17 +47,29 @@ from repro.core.fds import (
     gpu_tree_reduce_fds,
     gpu_multilevel_fds,
     default_fds,
+    default_fds_for,
 )
 from repro.core.spmm import GeneralizedSpMM
 from repro.core.sddmm import GeneralizedSDDMM
+from repro.core import builtins
 from repro.core import kernels
-from repro.core.tuner import GridTuner, TuneResult
+from repro.core.tuner import AnnealingTuner, GridTuner, RandomTuner, TuneResult
 
 from repro.core.softmax import EdgeSoftmax
 from repro.core.program import KernelProgram
 from repro.core.transfer import TunedConfig, TuningCache, transfer_config
 from repro.core.verify import verify_sddmm, verify_spmm
 from repro.core.bindings import BindingError
+from repro.core.compile import (
+    CompilePipeline,
+    KernelCache,
+    KernelSpec,
+    compile_sddmm,
+    compile_spmm,
+    get_kernel_cache,
+    set_kernel_cache,
+    use_kernel_cache,
+)
 
 # Bind the entry-point functions *after* the submodule imports above: the
 # `repro.core.spmm` / `repro.core.sddmm` module objects would otherwise
@@ -71,11 +88,23 @@ __all__ = [
     "gpu_tree_reduce_fds",
     "gpu_multilevel_fds",
     "default_fds",
+    "default_fds_for",
     "GeneralizedSpMM",
     "GeneralizedSDDMM",
+    "builtins",
     "kernels",
     "GridTuner",
+    "RandomTuner",
+    "AnnealingTuner",
     "TuneResult",
+    "CompilePipeline",
+    "KernelCache",
+    "KernelSpec",
+    "compile_spmm",
+    "compile_sddmm",
+    "get_kernel_cache",
+    "set_kernel_cache",
+    "use_kernel_cache",
     "EdgeSoftmax",
     "KernelProgram",
     "TunedConfig",

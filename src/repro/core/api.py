@@ -91,15 +91,24 @@ def spmm(A, msgfunc: Callable, aggregation="sum", target: str = "cpu",
     reduction builders), the target, and an FDS.  Extra options (graph
     partitions, hybrid partitioning, CUDA blocks) pass through to
     :class:`~repro.core.spmm.GeneralizedSpMM`.
-    """
-    from repro.core.spmm import GeneralizedSpMM
 
-    return GeneralizedSpMM(spmat(A), msgfunc, aggregation=aggregation,
-                           target=target, fds=fds, **options)
+    Compilation runs through :func:`repro.core.compile.compile_spmm`, so an
+    identical (graph, UDF, FDS, target, shapes) kernel is fetched from the
+    shared :class:`~repro.core.compile.KernelCache` instead of re-lowered;
+    pass ``cache=`` to target a private cache.
+    """
+    from repro.core.compile import compile_spmm
+
+    return compile_spmm(A, msgfunc, aggregation=aggregation, target=target,
+                        fds=fds, **options)
 
 
 def sddmm(A, edgefunc: Callable, target: str = "cpu", fds=None, **options):
-    """Build a generalized-SDDMM kernel (paper Fig. 4a line 21)."""
-    from repro.core.sddmm import GeneralizedSDDMM
+    """Build a generalized-SDDMM kernel (paper Fig. 4a line 21).
 
-    return GeneralizedSDDMM(spmat(A), edgefunc, target=target, fds=fds, **options)
+    Compiled through :func:`repro.core.compile.compile_sddmm` and the shared
+    kernel cache, like :func:`spmm`.
+    """
+    from repro.core.compile import compile_sddmm
+
+    return compile_sddmm(A, edgefunc, target=target, fds=fds, **options)

@@ -31,30 +31,28 @@ class FeatGraphBackend(Backend):
         self.platform = target
         self.name = f"FeatGraph-{target.upper()}"
         self.hybrid = (target == "gpu") if hybrid_partitioning is None else hybrid_partitioning
-        self._cache: dict = {}
 
     def _kernel(self, kind: str, adj: CSRMatrix, *shape):
-        # Key on the graph's content fingerprint, not id(adj): ids are
-        # recycled after garbage collection, so a new graph allocated at a
-        # freed graph's address would silently reuse the stale kernel.
-        key = (kind, adj.fingerprint(), shape)
-        if key not in self._cache:
-            n = adj.shape[1]
-            opts = {}
-            if self.platform == "gpu":
-                opts["hybrid_partitioning"] = self.hybrid
-            if kind == "gcn":
-                self._cache[key] = kernels.gcn_aggregation(
-                    adj, n, shape[0], target=self.platform, **opts)
-            elif kind == "mlp":
-                self._cache[key] = kernels.mlp_aggregation(
-                    adj, n, shape[0], shape[1], target=self.platform, **opts)
-            elif kind == "attn":
-                self._cache[key] = kernels.dot_attention(
-                    adj, n, shape[0], target=self.platform)
-            else:
-                raise ValueError(kind)
-        return self._cache[key]
+        # No per-backend kernel dict: the builders compile through
+        # repro.core.compile, whose process-wide KernelCache keys on the
+        # graph's *content* fingerprint (not id(adj) -- ids are recycled
+        # after garbage collection, so a new graph allocated at a freed
+        # graph's address would silently reuse a stale kernel).  A repeated
+        # (kind, graph, shape) request returns the same kernel object.
+        n = adj.shape[1]
+        opts = {}
+        if self.platform == "gpu":
+            opts["hybrid_partitioning"] = self.hybrid
+        if kind == "gcn":
+            return kernels.gcn_aggregation(
+                adj, n, shape[0], target=self.platform, **opts)
+        if kind == "mlp":
+            return kernels.mlp_aggregation(
+                adj, n, shape[0], shape[1], target=self.platform, **opts)
+        if kind == "attn":
+            return kernels.dot_attention(
+                adj, n, shape[0], target=self.platform)
+        raise ValueError(kind)
 
     def gcn_aggregation(self, adj: CSRMatrix, features: np.ndarray) -> np.ndarray:
         k = self._kernel("gcn", adj, features.shape[1])

@@ -1,0 +1,148 @@
+"""Shared registry of DGL builtin message/edge functions (Sec. IV-B).
+
+The DGL integration surface (``copy_u``, ``copy_e``, ``u_add_v``,
+``u_mul_e``, ``u_dot_v``, ...) used to be defined twice -- once by the
+prebuilt kernel builders in :mod:`repro.core.kernels` and once inline by
+:mod:`repro.minidgl.backends`.  The duplicated traces produced structurally
+identical UDFs under different compute names, which defeated cross-backend
+sharing of compiled kernels.  This module is the single source of truth:
+each factory takes the placeholder tensors and returns the ``msgfunc`` /
+``edgefunc`` closure the sparse templates trace.
+
+Both :mod:`repro.core.kernels` and :mod:`repro.minidgl.backends` import
+from here, so the same builtin compiled from either layer yields the same
+:class:`~repro.core.compile.KernelSpec`.
+"""
+
+from __future__ import annotations
+
+from repro import tensorir as T
+
+__all__ = [
+    "copy_u_msg",
+    "copy_e_msg",
+    "u_add_v_msg",
+    "u_sub_v_msg",
+    "u_mul_v_msg",
+    "u_mul_e_msg",
+    "u_dot_v_edge",
+    "BUILTIN_MESSAGE_FUNCTIONS",
+    "BUILTIN_EDGE_FUNCTIONS",
+]
+
+
+def copy_u_msg(XV: T.Tensor):
+    """``copy_u``: message = source vertex feature.  ``XV`` is ``(n, *f)``."""
+    feat_shape = XV.shape[1:]
+
+    def msgfunc(src, dst, eid):
+        return T.compute(feat_shape, lambda *ix: XV[(src,) + ix],
+                         name="copy_u_msg")
+
+    return msgfunc
+
+
+def copy_e_msg(XE: T.Tensor):
+    """``copy_e``: message = edge feature.  ``XE`` is ``(m, *f)`` or ``(m,)``
+    (scalar edge data yields a width-1 message)."""
+    if XE.ndim == 1:
+        def msgfunc(src, dst, eid):
+            return T.compute((1,), lambda i: XE[eid], name="copy_e_msg")
+    else:
+        feat_shape = XE.shape[1:]
+
+        def msgfunc(src, dst, eid):
+            return T.compute(feat_shape, lambda *ix: XE[(eid,) + ix],
+                             name="copy_e_msg")
+
+    return msgfunc
+
+
+def _binary_uv_msg(opname: str, XV: T.Tensor):
+    feat_shape = XV.shape[1:]
+
+    def msgfunc(src, dst, eid):
+        def body(*ix):
+            a, b = XV[(src,) + ix], XV[(dst,) + ix]
+            if opname == "add":
+                return a + b
+            if opname == "sub":
+                return a - b
+            return a * b
+
+        return T.compute(feat_shape, body, name=f"u_{opname}_v_msg")
+
+    return msgfunc
+
+
+def u_add_v_msg(XV: T.Tensor):
+    """``u_add_v``: element-wise sum of endpoint features."""
+    return _binary_uv_msg("add", XV)
+
+
+def u_sub_v_msg(XV: T.Tensor):
+    """``u_sub_v``: element-wise difference of endpoint features."""
+    return _binary_uv_msg("sub", XV)
+
+
+def u_mul_v_msg(XV: T.Tensor):
+    """``u_mul_v``: element-wise product of endpoint features."""
+    return _binary_uv_msg("mul", XV)
+
+
+def u_mul_e_msg(XV: T.Tensor, EW: T.Tensor):
+    """``u_mul_e``: source feature scaled by the edge feature.
+
+    ``EW`` broadcasts over the trailing feature dimensions: with ``XV`` of
+    shape ``(n, *f)``, ``EW`` may be ``(m,)`` (scalar weight per edge, the
+    GAT pattern) up to ``(m, *f)`` (full element-wise product).
+    """
+    w_dims = EW.ndim - 1
+
+    def msgfunc(src, dst, eid):
+        def body(*ix):
+            return XV[(src,) + ix] * EW[(eid,) + ix[:w_dims]]
+
+        return T.compute(XV.shape[1:], body, name="u_mul_e_msg")
+
+    return msgfunc
+
+
+def u_dot_v_edge(XA: T.Tensor, XB: T.Tensor):
+    """``u_dot_v``: per-edge dot product of endpoint features along the last
+    dimension (the attention-score SDDMM).  With multi-head inputs
+    ``(n, h, d)`` the output keeps the head dimension; 1-D features yield a
+    width-1 output."""
+    feat_shape = XA.shape[1:]
+    d = feat_shape[-1]
+    head_shape = feat_shape[:-1] or (1,)
+
+    def edgefunc(src, dst, eid):
+        k = T.reduce_axis((0, d), name="k")
+        if len(feat_shape) == 1:
+            return T.compute(
+                (1,), lambda i: T.sum_reduce(XA[src, k] * XB[dst, k], axis=k),
+                name="u_dot_v")
+        return T.compute(
+            head_shape,
+            lambda *hx: T.sum_reduce(
+                XA[(src,) + hx + (k,)] * XB[(dst,) + hx + (k,)], axis=k),
+            name="u_dot_v")
+
+    return edgefunc
+
+
+#: message-function factories by DGL builtin name (SpMM pattern)
+BUILTIN_MESSAGE_FUNCTIONS = {
+    "copy_u": copy_u_msg,
+    "copy_e": copy_e_msg,
+    "u_add_v": u_add_v_msg,
+    "u_sub_v": u_sub_v_msg,
+    "u_mul_v": u_mul_v_msg,
+    "u_mul_e": u_mul_e_msg,
+}
+
+#: edge-function factories by DGL builtin name (SDDMM pattern)
+BUILTIN_EDGE_FUNCTIONS = {
+    "u_dot_v": u_dot_v_edge,
+}

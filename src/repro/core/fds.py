@@ -25,7 +25,10 @@ from repro.tensorir.validate import validate_schedule
 
 __all__ = [
     "FDS",
+    "FDSInfo",
+    "introspect_stage",
     "default_fds",
+    "default_fds_for",
     "cpu_tile_fds",
     "cpu_multilevel_fds",
     "gpu_feature_thread_fds",
@@ -78,33 +81,63 @@ class FDS:
         sched = self.apply(out)
         stage = sched[out]
         validate_schedule(stage, target=target)
-        info = FDSInfo()
-        for pos, ax in enumerate(out.op.axis):
-            factors = stage.tiling_of(ax)
-            if factors:
-                info.tile_factors[pos] = factors
-        if 0 in info.tile_factors:
-            info.feature_tile = info.tile_factors[0][-1]
-        axis_pos = {ax.name: i for i, ax in enumerate(out.op.axis)}
-        for leaf in stage.leaf_iter_vars:
-            attrs = stage.annotation_of(leaf)
-            tag = attrs.get("bind")
-            if tag is not None:
-                root = stage.root_of(leaf)
-                info.bindings[tag] = axis_pos.get(root.name, -1)
-            if attrs.get("kind") == "vectorize":
-                root = stage.root_of(leaf)
-                if root.name in axis_pos:
-                    info.vectorized = info.vectorized + (axis_pos[root.name],)
-        if stage.tree_reduce_axes():
-            info.tree_reduce = True
-        return info
+        return introspect_stage(out, stage)
+
+
+def introspect_stage(out: Tensor, stage) -> FDSInfo:
+    """Summarize one scheduled stage's decisions into an :class:`FDSInfo`.
+
+    Shared by :meth:`FDS.inspect` and the compile pipeline's ``fuse_fds``
+    pass, which keeps the applied :class:`~repro.tensorir.schedule.Stage`
+    around for lowering instead of re-deriving it.
+    """
+    info = FDSInfo()
+    for pos, ax in enumerate(out.op.axis):
+        factors = stage.tiling_of(ax)
+        if factors:
+            info.tile_factors[pos] = factors
+    if 0 in info.tile_factors:
+        info.feature_tile = info.tile_factors[0][-1]
+    axis_pos = {ax.name: i for i, ax in enumerate(out.op.axis)}
+    for leaf in stage.leaf_iter_vars:
+        attrs = stage.annotation_of(leaf)
+        tag = attrs.get("bind")
+        if tag is not None:
+            root = stage.root_of(leaf)
+            info.bindings[tag] = axis_pos.get(root.name, -1)
+        if attrs.get("kind") == "vectorize":
+            root = stage.root_of(leaf)
+            if root.name in axis_pos:
+                info.vectorized = info.vectorized + (axis_pos[root.name],)
+    if stage.tree_reduce_axes():
+        info.tree_reduce = True
+    return info
 
 
 def default_fds() -> FDS:
     """No feature-dimension optimization -- FeatGraph "degrades to
     traditional graph processing systems" (Sec. III-B)."""
     return FDS(None)
+
+
+def default_fds_for(target: str, feature_len: int, kind: str) -> FDS:
+    """Default FDS per target and kernel pattern, as in the paper's figures.
+
+    ``kind`` is one of ``"spmm"`` (vanilla aggregation), ``"spmm-mlp"``
+    (multi-level aggregation with an inner reduction), or ``"sddmm"``.
+    Used by the prebuilt kernels *and* the DGL integration layer so that
+    both backends compile identical :class:`~repro.core.compile.KernelSpec`
+    keys by default.
+    """
+    if kind == "spmm":
+        return (cpu_tile_fds(min(32, feature_len)) if target == "cpu"
+                else gpu_feature_thread_fds())
+    if kind == "spmm-mlp":
+        return cpu_multilevel_fds(8, 8) if target == "cpu" else gpu_multilevel_fds()
+    if kind == "sddmm":
+        return (cpu_tile_fds(min(32, feature_len)) if target == "cpu"
+                else gpu_tree_reduce_fds())
+    raise ValueError(f"unknown kernel pattern {kind!r}")
 
 
 def cpu_tile_fds(factor: int = 8) -> FDS:

@@ -13,15 +13,9 @@ names in the bindings dict match the builder docstrings.
 from __future__ import annotations
 
 from repro import tensorir as T
+from repro.core import builtins as dgl_builtins
 from repro.core.api import sddmm, spmat, spmm
-from repro.core.fds import (
-    FDS,
-    cpu_multilevel_fds,
-    cpu_tile_fds,
-    gpu_feature_thread_fds,
-    gpu_multilevel_fds,
-    gpu_tree_reduce_fds,
-)
+from repro.core.fds import FDS, default_fds_for
 
 __all__ = [
     "gcn_aggregation",
@@ -41,16 +35,10 @@ __all__ = [
     "e_div_sum",
 ]
 
-
-def _pick_fds(target: str, feature_len: int, kind: str) -> FDS:
-    """Default FDS per target and kernel pattern, as in the paper's figures."""
-    if kind == "spmm":
-        return cpu_tile_fds(min(32, feature_len)) if target == "cpu" else gpu_feature_thread_fds()
-    if kind == "spmm-mlp":
-        return cpu_multilevel_fds(8, 8) if target == "cpu" else gpu_multilevel_fds()
-    if kind == "sddmm":
-        return cpu_tile_fds(min(32, feature_len)) if target == "cpu" else gpu_tree_reduce_fds()
-    raise ValueError(kind)
+#: default FDS per target and kernel pattern; the shared definition lives in
+#: :func:`repro.core.fds.default_fds_for` so the DGL integration layer picks
+#: identical schedules (and therefore identical cache keys)
+_pick_fds = default_fds_for
 
 
 def gcn_aggregation(A, n: int, feature_len: int, target: str = "cpu",
@@ -61,9 +49,7 @@ def gcn_aggregation(A, n: int, feature_len: int, target: str = "cpu",
     """
     A = spmat(A)
     XV = T.placeholder((n, feature_len), name="XV")
-
-    def msgfunc(src, dst, eid):
-        return T.compute((feature_len,), lambda i: XV[src, i], name="gcn_msg")
+    msgfunc = dgl_builtins.copy_u_msg(XV)
 
     fds = fds or _pick_fds(target, feature_len, "spmm")
     return spmm(A, msgfunc, "sum", target=target, fds=fds, **options)
@@ -75,9 +61,7 @@ def graphsage_aggregation(A, n: int, feature_len: int, agg: str = "mean",
     flexible reducer (``mean``/``max``/``sum``)."""
     A = spmat(A)
     XV = T.placeholder((n, feature_len), name="XV")
-
-    def msgfunc(src, dst, eid):
-        return T.compute((feature_len,), lambda i: XV[src, i], name="sage_msg")
+    msgfunc = dgl_builtins.copy_u_msg(XV)
 
     fds = fds or _pick_fds(target, feature_len, "spmm")
     return spmm(A, msgfunc, agg, target=target, fds=fds, **options)
@@ -116,13 +100,7 @@ def dot_attention(A, n: int, feature_len: int, target: str = "cpu",
     """
     A = spmat(A)
     XV = T.placeholder((n, feature_len), name="XV")
-
-    def edgefunc(src, dst, eid):
-        k = T.reduce_axis((0, feature_len), name="k")
-        return T.compute(
-            (1,), lambda i: T.sum_reduce(XV[src, k] * XV[dst, k], axis=k),
-            name="attn",
-        )
+    edgefunc = dgl_builtins.u_dot_v_edge(XV, XV)
 
     fds = fds or _pick_fds(target, feature_len, "sddmm")
     return sddmm(A, edgefunc, target=target, fds=fds, **options)
@@ -137,14 +115,7 @@ def multihead_dot_attention(A, n: int, num_heads: int, head_dim: int,
     """
     A = spmat(A)
     XV = T.placeholder((n, num_heads, head_dim), name="XV")
-
-    def edgefunc(src, dst, eid):
-        k = T.reduce_axis((0, head_dim), name="k")
-        return T.compute(
-            (num_heads,),
-            lambda i: T.sum_reduce(XV[src, i, k] * XV[dst, i, k], axis=k),
-            name="mh_attn",
-        )
+    edgefunc = dgl_builtins.u_dot_v_edge(XV, XV)
 
     fds = fds or _pick_fds(target, head_dim, "sddmm")
     return sddmm(A, edgefunc, target=target, fds=fds, **options)
@@ -161,10 +132,7 @@ def attention_weighted_aggregation(A, n: int, feature_len: int, m: int,
     A = spmat(A)
     XV = T.placeholder((n, feature_len), name="XV")
     EW = T.placeholder((m,), name="EW")
-
-    def msgfunc(src, dst, eid):
-        return T.compute((feature_len,), lambda i: XV[src, i] * EW[eid],
-                         name="gat_msg")
+    msgfunc = dgl_builtins.u_mul_e_msg(XV, EW)
 
     fds = fds or _pick_fds(target, feature_len, "spmm")
     return spmm(A, msgfunc, "sum", target=target, fds=fds, **options)
@@ -240,29 +208,22 @@ def copy_e(A, m: int, feature_len: int, agg: str = "sum", target: str = "cpu",
     """
     A = spmat(A)
     XE = T.placeholder((m, feature_len), name="XE")
-
-    def msgfunc(src, dst, eid):
-        return T.compute((feature_len,), lambda i: XE[eid, i], name="copye_msg")
+    msgfunc = dgl_builtins.copy_e_msg(XE)
 
     return spmm(A, msgfunc, agg, target=target,
                 fds=_pick_fds(target, feature_len, "spmm"), **options)
 
 
 def _binary_uv(opname: str):
+    factory = {"add": dgl_builtins.u_add_v_msg,
+               "sub": dgl_builtins.u_sub_v_msg,
+               "mul": dgl_builtins.u_mul_v_msg}[opname]
+
     def build(A, n: int, feature_len: int, agg: str = "sum", target: str = "cpu",
               **options):
         A_ = spmat(A)
         XV = T.placeholder((n, feature_len), name="XV")
-
-        def msgfunc(src, dst, eid):
-            def body(i):
-                a, b = XV[src, i], XV[dst, i]
-                if opname == "add":
-                    return a + b
-                if opname == "sub":
-                    return a - b
-                return a * b
-            return T.compute((feature_len,), body, name=f"u{opname}v_msg")
+        msgfunc = factory(XV)
 
         return spmm(A_, msgfunc, agg, target=target,
                     fds=_pick_fds(target, feature_len, "spmm"), **options)
@@ -289,10 +250,7 @@ def u_mul_e(A, n: int, m: int, feature_len: int, agg: str = "sum",
     A = spmat(A)
     XV = T.placeholder((n, feature_len), name="XV")
     XE = T.placeholder((m, feature_len), name="XE")
-
-    def msgfunc(src, dst, eid):
-        return T.compute((feature_len,), lambda i: XV[src, i] * XE[eid, i],
-                         name="umule_msg")
+    msgfunc = dgl_builtins.u_mul_e_msg(XV, XE)
 
     return spmm(A, msgfunc, agg, target=target,
                 fds=_pick_fds(target, feature_len, "spmm"), **options)

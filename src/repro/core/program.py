@@ -96,6 +96,21 @@ class KernelProgram:
             total = c if total is None else total + c
         return total if total is not None else CostReport(seconds=0.0)
 
+    def compile_report(self) -> dict[str, dict[str, float]]:
+        """Per-step compile pass timings (step name -> pass name -> seconds).
+
+        Covers kernel steps whose kernel exposes ``compile_timings()`` --
+        the generalized SpMM/SDDMM templates and composites like
+        :class:`~repro.core.softmax.EdgeSoftmax`; transforms and foreign
+        kernels are skipped.
+        """
+        report: dict[str, dict[str, float]] = {}
+        for step in self.steps:
+            timings = getattr(step.kernel, "compile_timings", None)
+            if timings is not None:
+                report[step.name] = timings()
+        return report
+
     def __repr__(self):
         kinds = ["K" if s.kernel is not None else "T" for s in self.steps]
         return f"KernelProgram({self.name}, steps={''.join(kinds)})"

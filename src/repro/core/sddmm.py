@@ -51,29 +51,43 @@ class GeneralizedSDDMM:
         hilbert: bool | None = None,
         num_cuda_blocks: int | None = None,
         chunk_edges: int = 1 << 17,
+        _compiled=None,
     ):
         if target not in ("cpu", "gpu"):
             raise ValueError(f"unknown target {target!r}")
         self.A = A
         self.target = target
         self.edgefunc = edgefunc
-        if fds is None:
-            self.fds = default_fds()
-        elif isinstance(fds, FDS):
-            self.fds = fds
+        self._stage = None
+        self._compile_record = None
+        if _compiled is not None:
+            # Constructed by the compile pipeline's lower pass: the front
+            # passes already traced the UDF and applied/validated the FDS.
+            self.fds = _compiled.fds_obj
+            self.src_var = _compiled.src_var
+            self.dst_var = _compiled.dst_var
+            self.eid_var = _compiled.eid_var
+            out = _compiled.out
+            self.fds_info: FDSInfo = _compiled.fds_info
+            self._stage = _compiled.stage
         else:
-            self.fds = FDS(fds)
+            if fds is None:
+                self.fds = default_fds()
+            elif isinstance(fds, FDS):
+                self.fds = fds
+            else:
+                self.fds = FDS(fds)
 
-        self.src_var = Var("src")
-        self.dst_var = Var("dst")
-        self.eid_var = Var("eid")
-        out = edgefunc(self.src_var, self.dst_var, self.eid_var)
-        if not isinstance(out, Tensor) or not isinstance(out.op, ComputeOp):
-            raise TypeError("edgefunc must return a tensorir compute Tensor")
+            self.src_var = Var("src")
+            self.dst_var = Var("dst")
+            self.eid_var = Var("eid")
+            out = edgefunc(self.src_var, self.dst_var, self.eid_var)
+            if not isinstance(out, Tensor) or not isinstance(out.op, ComputeOp):
+                raise TypeError("edgefunc must return a tensorir compute Tensor")
+            self.fds_info = self.fds.inspect(out, target=target)
         self.edge_out = out
         self.out_shape = out.shape
         self.out_width = int(np.prod(out.shape))
-        self.fds_info: FDSInfo = self.fds.inspect(out, target=target)
         self.udf_flops = cost_analysis.udf_flops_per_item(out)
         self.tree_reduce = self.fds_info.tree_reduce
         # Feature length read per endpoint: with a reduction (dot products)
@@ -166,104 +180,44 @@ class GeneralizedSDDMM:
             num_blocks=self.num_cuda_blocks,
         )
 
+    # ------------------------------------------------------------------
+    def fds_stage(self):
+        """The FDS-applied schedule stage for the traced edge function
+        (lazily built for directly constructed kernels; supplied by the
+        pipeline's ``fuse_fds`` pass otherwise)."""
+        if self._stage is None:
+            sched = self.fds.apply(self.edge_out)
+            self._stage = sched[self.edge_out]
+        return self._stage
+
+    @property
+    def compiled(self):
+        """This kernel's :class:`~repro.core.compile.CompileRecord`:
+        lowering artifacts plus per-pass compile timings."""
+        from repro.core.compile import ensure_compiled
+
+        return ensure_compiled(self)
+
+    def compile_timings(self) -> dict:
+        """Per-pass wall-clock seconds spent compiling this kernel."""
+        return self.compiled.timings_dict()
+
+    def lowered_ir(self):
+        """Representative fused-kernel IR: the loop-nest statement produced
+        by the compile pipeline's ``lower`` and ``simplify`` passes (see
+        :mod:`repro.core.compile`).  Pretty-print with
+        :func:`repro.tensorir.ir.stmt_to_str`."""
+        return self.compiled.artifacts["ir"]
+
     def cuda_source(self, name: str = "fused_sddmm",
                     threads_per_block: int = 256) -> str:
-        """CUDA C source of the fused generalized-SDDMM kernel.
+        """CUDA C source of the fused generalized-SDDMM kernel (the compile
+        pipeline's ``codegen`` pass; see
+        :func:`repro.core.compile.sddmm_cuda_source`)."""
+        from repro.core.compile import sddmm_cuda_source
 
-        The Fig. 7b parallelization: one edge per block; when the FDS asked
-        for tree reduction, the block's threads cooperate on the reduce axis
-        through shared memory (Harris [34]); otherwise the edge function runs
-        on thread 0.  Emitted for inspection; structure covered by tests.
-        """
-        from repro.tensorir import expr as E
-        from repro.tensorir.cuda_codegen import expr_to_c
-        from repro.tensorir.lower import (_find_reduce, _replace_reduce,
-                                          inline_computes, substitute)
-        from repro.tensorir.simplify import simplify
-
-        m = self.A.nnz
-        w = self.out_width
-        body = inline_computes(self.edge_out.op.body)
-        mapping = {self.src_var.name: E.Var("__src", "int64"),
-                   self.dst_var.name: E.Var("__dst", "int64"),
-                   self.eid_var.name: E.Var("__eid", "int64")}
-        for pos, ax in enumerate(self.edge_out.op.axis):
-            mapping[ax.name] = E.Var(f"i{pos}", "int64")
-        body = substitute(body, mapping)
-        red = _find_reduce(body)
-
-        lines = [
-            f'extern "C" __global__ void {name}(',
-            "    float* __restrict__ out,",
-            "    const long* __restrict__ A_src,",
-            "    const long* __restrict__ A_dst,",
-            "    const long* __restrict__ A_edge_ids,",
-        ]
-        for t in self.edge_out.op.input_tensors():
-            ctype = "const long*" if t.dtype.startswith("int") else "const float*"
-            lines.append(f"    {ctype} __restrict__ {t.name},")
-        lines[-1] = lines[-1].rstrip(",") + ") {"
-        if self.tree_reduce and red is not None:
-            lines.append(f"  __shared__ float _reduce_buf[{threads_per_block}];")
-        lines.append("  long e = blockIdx.x;")
-        lines.append(f"  if (e >= {m}) return;")
-        lines.append("  long __src = A_src[e];")
-        lines.append("  long __dst = A_dst[e];")
-        lines.append("  long __eid = A_edge_ids[e];")
-        indent = "  "
-        closes = []
-        for pos, ax in enumerate(self.edge_out.op.axis):
-            if ax.extent > 1:
-                lines.append(f"{indent}for (int i{pos} = 0; i{pos} < "
-                             f"{ax.extent}; ++i{pos}) {{")
-                closes.append(indent + "}")
-                indent += "  "
-            else:
-                lines.append(f"{indent}const int i{pos} = 0;")
-        strides = [int(np.prod(self.out_shape[p + 1:]))
-                   for p in range(len(self.out_shape))]
-        out_idx = " + ".join(
-            [f"__eid * {w}"]
-            + [f"i{p} * {s}" if s != 1 else f"i{p}"
-               for p, s in enumerate(strides)])
-        if red is None:
-            lines.append(f"{indent}if (threadIdx.x == 0) "
-                         f"out[{out_idx}] = {expr_to_c(simplify(body))};")
-        elif self.tree_reduce:
-            kvar = red.axes[0]
-            src_c = expr_to_c(simplify(red.source))
-            lines.append(f"{indent}// tree reduction across threadIdx.x "
-                         "(paper Fig. 7b, Harris [34])")
-            lines.append(f"{indent}float _acc = 0.0f;")
-            lines.append(f"{indent}for (int {kvar.name} = threadIdx.x; "
-                         f"{kvar.name} < {kvar.extent}; "
-                         f"{kvar.name} += blockDim.x) _acc += {src_c};")
-            lines.append(f"{indent}_reduce_buf[threadIdx.x] = _acc;")
-            lines.append(f"{indent}__syncthreads();")
-            lines.append(f"{indent}for (int _s = blockDim.x / 2; _s > 0; "
-                         "_s >>= 1) {")
-            lines.append(f"{indent}  if (threadIdx.x < _s) "
-                         "_reduce_buf[threadIdx.x] += "
-                         "_reduce_buf[threadIdx.x + _s];")
-            lines.append(f"{indent}  __syncthreads();")
-            lines.append(f"{indent}}}")
-            wrapped = expr_to_c(simplify(_replace_reduce(
-                body, E.Var("_reduce_buf[0]", "float32"))))
-            lines.append(f"{indent}if (threadIdx.x == 0) "
-                         f"out[{out_idx}] = {wrapped};")
-        else:
-            kvar = red.axes[0]
-            lines.append(f"{indent}float _m = 0.0f;")
-            lines.append(f"{indent}for (int {kvar.name} = 0; {kvar.name} < "
-                         f"{kvar.extent}; ++{kvar.name}) "
-                         f"_m += {expr_to_c(simplify(red.source))};")
-            wrapped = expr_to_c(simplify(_replace_reduce(
-                body, E.Var("_m", "float32"))))
-            lines.append(f"{indent}if (threadIdx.x == 0) "
-                         f"out[{out_idx}] = {wrapped};")
-        lines.extend(reversed(closes))
-        lines.append("}")
-        return "\n".join(lines) + "\n"
+        return sddmm_cuda_source(self, name=name,
+                                 threads_per_block=threads_per_block)
 
     def __repr__(self):
         return (

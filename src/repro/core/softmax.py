@@ -30,7 +30,8 @@ __all__ = ["EdgeSoftmax"]
 class EdgeSoftmax:
     """Fused edge softmax over incoming edges, with ``num_heads`` channels."""
 
-    def __init__(self, A, num_heads: int = 1, target: str = "cpu"):
+    def __init__(self, A, num_heads: int = 1, target: str = "cpu",
+                 cache=None):
         if num_heads < 1:
             raise ValueError("num_heads must be >= 1")
         self.A = spmat(A)
@@ -57,10 +58,14 @@ class EdgeSoftmax:
                 lambda i: T.exp(ES[eid, i] - MAXV[dst, i]) / SUMV[dst, i],
                 name="sm_norm")
 
-        self._max_kernel = spmm(self.A, max_msg, "max", target=target)
-        self._sum_kernel = spmm(self.A, expsum_msg, "sum", target=target)
+        # ``cache=None`` targets the shared process-wide KernelCache, so two
+        # EdgeSoftmax instances over the same graph reuse compiled kernels.
+        self._max_kernel = spmm(self.A, max_msg, "max", target=target,
+                                cache=cache)
+        self._sum_kernel = spmm(self.A, expsum_msg, "sum", target=target,
+                                cache=cache)
         self._norm_kernel = sddmm(self.A, normalize_edge, target=target,
-                                  hilbert=False)
+                                  hilbert=False, cache=cache)
 
     def run(self, scores: np.ndarray) -> np.ndarray:
         """Normalize ``scores`` (shape ``(m,)`` or ``(m, num_heads)``)."""
@@ -78,6 +83,14 @@ class EdgeSoftmax:
         return (self._max_kernel.cost(spec, stats=stats, threads=threads)
                 + self._sum_kernel.cost(spec, stats=stats, threads=threads)
                 + self._norm_kernel.cost(spec, stats=stats, threads=threads))
+
+    def compile_timings(self) -> dict:
+        """Per-pass compile seconds summed over the three phase kernels."""
+        total: dict[str, float] = {}
+        for k in (self._max_kernel, self._sum_kernel, self._norm_kernel):
+            for name, secs in k.compile_timings().items():
+                total[name] = total.get(name, 0.0) + secs
+        return total
 
     def __repr__(self):
         return (f"EdgeSoftmax(m={self.A.nnz}, heads={self.num_heads}, "

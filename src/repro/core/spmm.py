@@ -90,6 +90,7 @@ class GeneralizedSpMM:
         degree_threshold: int | None = None,
         num_cuda_blocks: int | None = None,
         chunk_edges: int = 1 << 17,
+        _compiled=None,
     ):
         if target not in ("cpu", "gpu"):
             raise ValueError(f"unknown target {target!r}")
@@ -97,26 +98,40 @@ class GeneralizedSpMM:
         self.target = target
         self.aggregation = resolve_aggregation(aggregation)
         self.msgfunc = msgfunc
-        if fds is None:
-            self.fds = default_fds()
-        elif isinstance(fds, FDS):
-            self.fds = fds
+        self._stage = None
+        self._compile_record = None
+        if _compiled is not None:
+            # Constructed by the compile pipeline's lower pass: the front
+            # passes already traced the UDF and applied/validated the FDS.
+            self.fds = _compiled.fds_obj
+            self.src_var = _compiled.src_var
+            self.dst_var = _compiled.dst_var
+            self.eid_var = _compiled.eid_var
+            msg = _compiled.out
+            self.fds_info: FDSInfo = _compiled.fds_info
+            self._stage = _compiled.stage
         else:
-            self.fds = FDS(fds)
+            if fds is None:
+                self.fds = default_fds()
+            elif isinstance(fds, FDS):
+                self.fds = fds
+            else:
+                self.fds = FDS(fds)
 
-        # Trace the UDF once, symbolically.
-        self.src_var = Var("src")
-        self.dst_var = Var("dst")
-        self.eid_var = Var("eid")
-        msg = msgfunc(self.src_var, self.dst_var, self.eid_var)
-        if not isinstance(msg, Tensor) or not isinstance(msg.op, ComputeOp):
-            raise TypeError("msgfunc must return a tensorir compute Tensor")
-        if msg.ndim < 1:
-            raise ValueError("message must have at least one feature dimension")
+            # Trace the UDF once, symbolically.
+            self.src_var = Var("src")
+            self.dst_var = Var("dst")
+            self.eid_var = Var("eid")
+            msg = msgfunc(self.src_var, self.dst_var, self.eid_var)
+            if not isinstance(msg, Tensor) or not isinstance(msg.op, ComputeOp):
+                raise TypeError("msgfunc must return a tensorir compute Tensor")
+            if msg.ndim < 1:
+                raise ValueError(
+                    "message must have at least one feature dimension")
+            self.fds_info = self.fds.inspect(msg, target=target)
         self.msg = msg
         self.msg_shape = msg.shape
         self.feature_len = int(np.prod(msg.shape))
-        self.fds_info: FDSInfo = self.fds.inspect(msg, target=target)
         self.reads_src = cost_analysis.reads_endpoint(msg, "src")
         self.reads_dst = cost_analysis.reads_endpoint(msg, "dst")
         self.udf_flops = cost_analysis.udf_flops_per_item(msg)
@@ -298,151 +313,47 @@ class GeneralizedSpMM:
         )
 
     # ------------------------------------------------------------------
+    def fds_stage(self):
+        """The FDS-applied schedule stage for the traced UDF (lazily built
+        for directly constructed kernels; supplied by the pipeline's
+        ``fuse_fds`` pass otherwise)."""
+        if self._stage is None:
+            sched = self.fds.apply(self.msg)
+            self._stage = sched[self.msg]
+        return self._stage
+
+    @property
+    def compiled(self):
+        """This kernel's :class:`~repro.core.compile.CompileRecord`:
+        lowering artifacts plus per-pass compile timings."""
+        from repro.core.compile import ensure_compiled
+
+        return ensure_compiled(self)
+
+    def compile_timings(self) -> dict:
+        """Per-pass wall-clock seconds spent compiling this kernel."""
+        return self.compiled.timings_dict()
+
     def lowered_ir(self):
         """Representative fused-kernel IR.
 
-        Rebuilds, as a loop-nest statement, what the template generates: the
+        The loop-nest statement produced by the compile pipeline's ``lower``
+        and ``simplify`` passes (see :mod:`repro.core.compile`): the
         feature-tile / graph-partition / row / edge traversal loops with the
         FDS-scheduled UDF inlined at the innermost level and the aggregation
         as a combine-store -- the paper's "directly constructing and
         manipulating the IR" (Sec. IV-A) made visible.  Pretty-print with
         :func:`repro.tensorir.ir.stmt_to_str`.
         """
-        from repro.tensorir import expr as E
-        from repro.tensorir import ir as I
-        from repro.tensorir.lower import (
-            _guarded,
-            _index_map,
-            _wrap_loops,
-            inline_computes,
-            substitute,
-        )
-        from repro.tensorir.simplify import simplify
-
-        n_dst, nnz = self.A.num_dst, self.A.nnz
-        indices_t = E.placeholder((max(nnz, 1),), name="A_indices",
-                                  dtype="int64")
-        eids_t = E.placeholder((max(nnz, 1),), name="A_edge_ids",
-                               dtype="int64")
-        out_buf = I.BufferRef("out", (n_dst,) + self.msg_shape, "float32")
-
-        tile_iv = E.IterVar((0, self.num_feature_partitions), name="f_tile")
-        part_iv = E.IterVar((0, self.num_graph_partitions), name="partition")
-        row_iv = E.IterVar((0, n_dst), name="v")
-        edge_iv = E.IterVar((0, max(nnz, 1)), name="e")
-
-        sched = self.fds.apply(self.msg)
-        stage = sched[self.msg]
-        body = inline_computes(self.msg.op.body)
-        index_values, guards = _index_map(stage)
-        index_values = {k: simplify(v) for k, v in index_values.items()}
-        mapping = dict(index_values)
-        mapping[self.src_var.name] = indices_t[edge_iv]
-        mapping[self.dst_var.name] = row_iv
-        mapping[self.eid_var.name] = eids_t[edge_iv]
-        value = simplify(substitute(body, mapping))
-        out_indices = [row_iv] + [index_values[ax.name]
-                                  for ax in self.msg.op.axis]
-        agg = self.aggregation if self.aggregation != "mean" else "sum"
-        store = I.Store(out_buf, value, out_indices, combiner=agg)
-        data_leaves = [ax for ax in stage.leaf_iter_vars
-                       if ax.kind == E.IterVar.DATA]
-        nest = _wrap_loops(_guarded(store, [simplify(g) for g in guards]),
-                           data_leaves, stage)
-        nest = I.AttrStmt("edge_range", "A.indptr[v] : A.indptr[v+1]",
-                          I.For(edge_iv, max(nnz, 1), nest))
-        nest = I.For(row_iv, n_dst, nest,
-                     kind="block.x" if self.target == "gpu" else I.For.SERIAL)
-        nest = I.AttrStmt("column_range",
-                          "sources of this 1D partition (Fig. 6)",
-                          I.For(part_iv, self.num_graph_partitions, nest))
-        return I.For(tile_iv, self.num_feature_partitions, nest)
+        return self.compiled.artifacts["ir"]
 
     def cuda_source(self, name: str = "fused_spmm") -> str:
-        """CUDA C source of the fused generalized-SpMM kernel.
+        """CUDA C source of the fused generalized-SpMM kernel (the compile
+        pipeline's ``codegen`` pass; see
+        :func:`repro.core.compile.spmm_cuda_source`)."""
+        from repro.core.compile import spmm_cuda_source
 
-        The Fig. 7a parallelization: one destination row per block, the
-        feature dimension across the block's threads, the UDF inlined into
-        the edge loop and the aggregation as a combine-update.  Emitted for
-        inspection (no GPU here); structure is covered by tests.
-        """
-        from repro.tensorir import expr as E
-        from repro.tensorir.cuda_codegen import _COMBINE_C, expr_to_c
-        from repro.tensorir.lower import (_find_reduce, _replace_reduce,
-                                          inline_computes, substitute)
-        from repro.tensorir.simplify import simplify
-
-        f = self.feature_len
-        body = inline_computes(self.msg.op.body)
-        # symbolic loads through the CSR arrays
-        src_c, eid_c = "A_indices[e]", "A_edge_ids[e]"
-        mapping = {self.src_var.name: E.Var("__src", "int64"),
-                   self.dst_var.name: E.Var("v", "int64"),
-                   self.eid_var.name: E.Var("__eid", "int64")}
-        axis_names = [ax.name for ax in self.msg.op.axis]
-        for pos, ax in enumerate(self.msg.op.axis):
-            mapping[ax.name] = E.Var(f"i{pos}", "int64")
-        body = substitute(body, mapping)
-        red = _find_reduce(body)
-
-        lines = [
-            f'extern "C" __global__ void {name}(',
-            "    float* __restrict__ out,",
-            "    const long* __restrict__ A_indptr,",
-            "    const long* __restrict__ A_indices,",
-            "    const long* __restrict__ A_edge_ids,",
-        ]
-        for t in self.msg.op.input_tensors():
-            ctype = "const long*" if t.dtype.startswith("int") else "const float*"
-            lines.append(f"    {ctype} __restrict__ {t.name},")
-        lines[-1] = lines[-1].rstrip(",") + ") {"
-        lines.append("  int v = blockIdx.x;")
-        lines.append(f"  if (v >= {self.A.num_dst}) return;")
-        # feature axes: thread-bound axis from the FDS, loops otherwise
-        thread_axis = self.fds_info.bindings.get("thread.x")
-        indent = "  "
-        closes = []
-        for pos, ax in enumerate(self.msg.op.axis):
-            if pos == thread_axis:
-                lines.append(f"{indent}int i{pos} = threadIdx.x;")
-                lines.append(f"{indent}if (i{pos} >= {ax.extent}) return;")
-            else:
-                lines.append(f"{indent}for (int i{pos} = 0; i{pos} < "
-                             f"{ax.extent}; ++i{pos}) {{")
-                closes.append(indent + "}")
-                indent += "  "
-        lines.append(f"{indent}for (long e = A_indptr[v]; "
-                     "e < A_indptr[v + 1]; ++e) {")
-        inner = indent + "  "
-        lines.append(f"{inner}long __src = {src_c};")
-        lines.append(f"{inner}long __eid = {eid_c};")
-        out_idx = " + ".join(
-            [f"v * {f}"]
-            + [f"i{p} * {int(np.prod(self.msg_shape[p + 1:]))}"
-               if int(np.prod(self.msg_shape[p + 1:])) != 1 else f"i{p}"
-               for p in range(len(self.msg_shape))])
-        agg = self.aggregation if self.aggregation != "mean" else "sum"
-        if red is None:
-            value = expr_to_c(simplify(body))
-        else:
-            kvar = red.axes[0]
-            ident = {float("inf"): "INFINITY",
-                     float("-inf"): "-INFINITY"}.get(red.identity,
-                                                     f"{red.identity!r}f")
-            lines.append(f"{inner}float _m = {ident};")
-            lines.append(f"{inner}for (int {kvar.name} = 0; {kvar.name} < "
-                         f"{kvar.extent}; ++{kvar.name}) {{")
-            comb = _COMBINE_C[red.combiner].format(
-                t="_m", v=expr_to_c(simplify(red.source)))
-            lines.append(f"{inner}  {comb}")
-            lines.append(f"{inner}}}")
-            value = expr_to_c(simplify(_replace_reduce(body, E.Var("_m", "float32"))))
-        lines.append(inner + _COMBINE_C[agg].format(t=f"out[{out_idx}]",
-                                                    v=value))
-        lines.append(indent + "}")
-        lines.extend(reversed(closes))
-        lines.append("}")
-        return "\n".join(lines) + "\n"
+        return spmm_cuda_source(self, name=name)
 
     def __repr__(self):
         return (

@@ -45,7 +45,33 @@ class TuneResult:
         return out
 
 
-class GridTuner:
+class _TrialMemo:
+    """Per-tuner memoization of ``evaluate`` by config.
+
+    Tuners that revisit configurations (annealing walks, repeated random
+    samples) would otherwise rebuild the same kernel; together with the
+    process-wide :class:`~repro.core.compile.KernelCache` -- which already
+    dedups the *lowering* across trials -- a repeated config costs nothing.
+    Trials are still recorded per visit, and the tuners' RNG sequences are
+    unaffected, so tuning results are bit-identical with or without it.
+    """
+
+    def __init__(self, evaluate: Callable[[dict], CostReport],
+                 cache_trials: bool):
+        self.evaluate = evaluate
+        self.cache_trials = bool(cache_trials)
+        self._memo: dict[tuple, CostReport] = {}
+
+    def _evaluate(self, cfg: dict) -> CostReport:
+        if not self.cache_trials:
+            return self.evaluate(cfg)
+        key = tuple(sorted(cfg.items()))
+        if key not in self._memo:
+            self._memo[key] = self.evaluate(cfg)
+        return self._memo[key]
+
+
+class GridTuner(_TrialMemo):
     """Exhaustive search over a cartesian parameter grid.
 
     ``space`` maps parameter name -> candidate values.  ``evaluate`` maps a
@@ -54,14 +80,15 @@ class GridTuner:
     """
 
     def __init__(self, space: Mapping[str, Sequence],
-                 evaluate: Callable[[dict], CostReport]):
+                 evaluate: Callable[[dict], CostReport],
+                 cache_trials: bool = True):
         if not space:
             raise ValueError("empty search space")
         for k, v in space.items():
             if not len(v):
                 raise ValueError(f"parameter {k!r} has no candidates")
+        super().__init__(evaluate, cache_trials)
         self.space = {k: list(v) for k, v in space.items()}
-        self.evaluate = evaluate
 
     def configs(self) -> Iterable[dict]:
         keys = list(self.space)
@@ -74,7 +101,7 @@ class GridTuner:
         best_cost: CostReport | None = None
         trials: list[tuple[dict, float]] = []
         for cfg in self.configs():
-            cost = self.evaluate(cfg)
+            cost = self._evaluate(cfg)
             trials.append((cfg, cost.seconds))
             if best_cost is None or cost.seconds < best_cost.seconds:
                 best_cfg, best_cost = cfg, cost
@@ -82,18 +109,19 @@ class GridTuner:
         return TuneResult(best_config=best_cfg, best_cost=best_cost, trials=trials)
 
 
-class RandomTuner:
+class RandomTuner(_TrialMemo):
     """Random search with a fixed trial budget over the same space syntax."""
 
     def __init__(self, space: Mapping[str, Sequence],
                  evaluate: Callable[[dict], CostReport],
-                 num_trials: int = 16, seed: int = 0):
+                 num_trials: int = 16, seed: int = 0,
+                 cache_trials: bool = True):
         if not space or any(not len(v) for v in space.values()):
             raise ValueError("empty search space")
         if num_trials < 1:
             raise ValueError("num_trials must be >= 1")
+        super().__init__(evaluate, cache_trials)
         self.space = {k: list(v) for k, v in space.items()}
-        self.evaluate = evaluate
         self.num_trials = num_trials
         self.rng = random.Random(seed)
 
@@ -111,7 +139,7 @@ class RandomTuner:
             if key in seen:
                 continue
             seen.add(key)
-            cost = self.evaluate(cfg)
+            cost = self._evaluate(cfg)
             trials.append((cfg, cost.seconds))
             if best_cost is None or cost.seconds < best_cost.seconds:
                 best_cfg, best_cost = cfg, cost
@@ -119,7 +147,7 @@ class RandomTuner:
         return TuneResult(best_config=best_cfg, best_cost=best_cost, trials=trials)
 
 
-class AnnealingTuner:
+class AnnealingTuner(_TrialMemo):
     """Simulated annealing over neighboring configurations.
 
     A neighbor differs in exactly one parameter, moved one step along its
@@ -131,15 +159,16 @@ class AnnealingTuner:
     def __init__(self, space: Mapping[str, Sequence],
                  evaluate: Callable[[dict], CostReport],
                  num_trials: int = 24, seed: int = 0,
-                 initial_temperature: float = 0.5, cooling: float = 0.85):
+                 initial_temperature: float = 0.5, cooling: float = 0.85,
+                 cache_trials: bool = True):
         if not space or any(not len(v) for v in space.values()):
             raise ValueError("empty search space")
         if num_trials < 1:
             raise ValueError("num_trials must be >= 1")
         if not (0 < cooling < 1):
             raise ValueError("cooling must be in (0, 1)")
+        super().__init__(evaluate, cache_trials)
         self.space = {k: list(v) for k, v in space.items()}
-        self.evaluate = evaluate
         self.num_trials = num_trials
         self.rng = random.Random(seed)
         self.t0 = initial_temperature
@@ -157,13 +186,13 @@ class AnnealingTuner:
 
     def tune(self) -> TuneResult:
         current = {k: self.rng.choice(v) for k, v in self.space.items()}
-        current_cost = self.evaluate(current)
+        current_cost = self._evaluate(current)
         best_cfg, best_cost = current, current_cost
         trials: list[tuple[dict, float]] = [(current, current_cost.seconds)]
         temperature = self.t0
         for _ in range(self.num_trials - 1):
             cand = self._neighbor(current)
-            cost = self.evaluate(cand)
+            cost = self._evaluate(cand)
             trials.append((cand, cost.seconds))
             delta = (cost.seconds - current_cost.seconds) / max(
                 current_cost.seconds, 1e-12)

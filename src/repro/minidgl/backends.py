@@ -21,8 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro import tensorir as T
+from repro.core import builtins as dgl_builtins
 from repro.core.api import sddmm as fg_sddmm
 from repro.core.api import spmm as fg_spmm
+from repro.core.fds import default_fds_for
 from repro.graph.segment import segment_reduce
 from repro.graph.sparse import CSRMatrix
 
@@ -60,93 +62,84 @@ class MinigunBackend:
 
 
 class FeatGraphDGLBackend:
-    """Fused execution through the FeatGraph templates."""
+    """Fused execution through the FeatGraph templates.
+
+    Holds no kernel dict of its own: every builder compiles through
+    :mod:`repro.core.compile`, so kernels are keyed by the graph's content
+    fingerprint in the shared :class:`~repro.core.compile.KernelCache` (pass
+    ``cache=`` for a private one) and are reused across backend instances --
+    and across :class:`~repro.core.backend.FeatGraphBackend`, since both
+    layers trace the same :mod:`repro.core.builtins` UDFs under the same
+    :func:`~repro.core.fds.default_fds_for` schedules.  Canonicalized CSR
+    copies live in the cache's dedicated graph-artifact namespace, not mixed
+    into the kernel key space (that mixing was a long-standing bug here).
+    """
 
     name = "featgraph"
 
-    def __init__(self, target: str = "cpu"):
+    def __init__(self, target: str = "cpu", cache=None):
         if target not in ("cpu", "gpu"):
             raise ValueError(f"unknown target {target!r}")
         self.target = target
-        self._cache: dict = {}
+        self.cache = cache
         self.materialized_bytes = 0  # fused kernels materialize nothing
 
-    @staticmethod
-    def _canonical(adj: CSRMatrix, cache: dict) -> CSRMatrix:
-        """Per-edge tensors in minidgl are CSR-position ordered; rebuild the
-        adjacency with ``edge_ids = arange`` so the templates agree."""
-        key = ("canon", id(adj))
-        if key not in cache:
-            cache[key] = CSRMatrix(adj.shape, adj.indptr, adj.indices)
-        return cache[key]
+    def _kernel_cache(self):
+        if self.cache is not None:
+            return self.cache
+        from repro.core.compile import get_kernel_cache
 
-    # -- kernel builders (cached per graph identity and shape) -------------
+        return get_kernel_cache()
+
+    def _canonical(self, adj: CSRMatrix) -> CSRMatrix:
+        """Per-edge tensors in minidgl are CSR-position ordered; fetch the
+        cache's canonical copy with ``edge_ids = arange`` so the templates
+        agree."""
+        return self._kernel_cache().canonical_graph(adj)
+
+    # -- kernel builders (deduplicated by the shared kernel cache) ---------
     def _copy_sum(self, adj: CSRMatrix, feat_shape: tuple[int, ...]):
-        key = ("copy", id(adj), feat_shape)
-        if key not in self._cache:
-            adj = self._canonical(adj, self._cache)
-            n = adj.shape[1]
-            XV = T.placeholder((n,) + feat_shape, name="XV")
-
-            def msgfunc(src, dst, eid):
-                return T.compute(feat_shape,
-                                 lambda *ix: XV[(src,) + ix], name="cp_msg")
-
-            self._cache[key] = fg_spmm(adj, msgfunc, "sum", target=self.target)
-        return self._cache[key]
+        cache = self._kernel_cache()
+        adj = cache.canonical_graph(adj)
+        n = adj.shape[1]
+        XV = T.placeholder((n,) + feat_shape, name="XV")
+        msgfunc = dgl_builtins.copy_u_msg(XV)
+        fds = default_fds_for(self.target, feat_shape[0], "spmm")
+        return fg_spmm(adj, msgfunc, "sum", target=self.target, fds=fds,
+                       cache=cache)
 
     def _mul_sum(self, adj: CSRMatrix, feat_shape: tuple[int, ...], w_ndim: int):
-        key = ("mul", id(adj), feat_shape, w_ndim)
-        if key not in self._cache:
-            adj = self._canonical(adj, self._cache)
-            n = adj.shape[1]
-            m = adj.nnz
-            XV = T.placeholder((n,) + feat_shape, name="XV")
-            EW = T.placeholder((m,) + feat_shape[: w_ndim - 1], name="EW")
-
-            def msgfunc(src, dst, eid):
-                def body(*ix):
-                    w_ix = ix[: w_ndim - 1]
-                    return XV[(src,) + ix] * EW[(eid,) + w_ix]
-                return T.compute(feat_shape, body, name="mul_msg")
-
-            self._cache[key] = fg_spmm(adj, msgfunc, "sum", target=self.target)
-        return self._cache[key]
+        cache = self._kernel_cache()
+        adj = cache.canonical_graph(adj)
+        n = adj.shape[1]
+        m = adj.nnz
+        XV = T.placeholder((n,) + feat_shape, name="XV")
+        EW = T.placeholder((m,) + feat_shape[: w_ndim - 1], name="EW")
+        msgfunc = dgl_builtins.u_mul_e_msg(XV, EW)
+        fds = default_fds_for(self.target, feat_shape[0], "spmm")
+        return fg_spmm(adj, msgfunc, "sum", target=self.target, fds=fds,
+                       cache=cache)
 
     def _dot(self, adj: CSRMatrix, feat_shape: tuple[int, ...]):
-        key = ("dot", id(adj), feat_shape)
-        if key not in self._cache:
-            adj = self._canonical(adj, self._cache)
-            n = adj.shape[1]
-            XA = T.placeholder((n,) + feat_shape, name="XA")
-            XB = T.placeholder((n,) + feat_shape, name="XB")
-            d = feat_shape[-1]
-            head_shape = feat_shape[:-1] or (1,)
-
-            def edgefunc(src, dst, eid):
-                k = T.reduce_axis((0, d), name="k")
-                if len(feat_shape) == 1:
-                    return T.compute(
-                        (1,), lambda i: T.sum_reduce(XA[src, k] * XB[dst, k], axis=k),
-                        name="dot_e")
-                return T.compute(
-                    head_shape,
-                    lambda *hx: T.sum_reduce(
-                        XA[(src,) + hx + (k,)] * XB[(dst,) + hx + (k,)], axis=k),
-                    name="dot_e")
-
-            self._cache[key] = fg_sddmm(adj, edgefunc, target=self.target)
-        return self._cache[key]
+        cache = self._kernel_cache()
+        adj = cache.canonical_graph(adj)
+        n = adj.shape[1]
+        XA = T.placeholder((n,) + feat_shape, name="XA")
+        XB = T.placeholder((n,) + feat_shape, name="XB")
+        edgefunc = dgl_builtins.u_dot_v_edge(XA, XB)
+        fds = default_fds_for(self.target, feat_shape[-1], "sddmm")
+        return fg_sddmm(adj, edgefunc, target=self.target, fds=fds,
+                        cache=cache)
 
     def _softmax(self, adj: CSRMatrix, num_heads: int):
-        key = ("softmax", id(adj), num_heads)
-        if key not in self._cache:
-            from repro.core.softmax import EdgeSoftmax
+        from repro.core.softmax import EdgeSoftmax
 
-            adj = self._canonical(adj, self._cache)
-            self._cache[key] = EdgeSoftmax(adj, num_heads=num_heads,
-                                           target=self.target)
-        return self._cache[key]
+        cache = self._kernel_cache()
+        adj = cache.canonical_graph(adj)
+        # EdgeSoftmax is a thin composite; its three phase kernels come out
+        # of the shared cache, so rebuilding the wrapper per call is cheap.
+        return EdgeSoftmax(adj, num_heads=num_heads, target=self.target,
+                           cache=cache)
 
     # -- primitives ---------------------------------------------------------
     def spmm_copy_sum(self, adj: CSRMatrix, x: np.ndarray) -> np.ndarray:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.tensorir import expr as E
 
-__all__ = ["simplify"]
+__all__ = ["simplify", "simplify_stmt"]
 
 
 def _is_const(node: E.Expr, value: float | None = None) -> bool:
@@ -119,3 +119,35 @@ def simplify(node: E.Expr) -> E.Expr:
                 return a
         return E.BinOp(op, a, b, dtype=node.dtype)
     raise TypeError(f"cannot simplify {type(node).__name__}")
+
+
+def simplify_stmt(stmt):
+    """Simplify every expression inside a loop-nest statement tree.
+
+    The statement-level twin of :func:`simplify`, used by the compile
+    pipeline's ``simplify`` pass so lowering can emit raw index arithmetic
+    and have it normalized in one dedicated place.
+    """
+    from repro.tensorir import ir as I
+
+    if isinstance(stmt, I.For):
+        return I.For(stmt.var, stmt.extent, simplify_stmt(stmt.body),
+                     kind=stmt.kind)
+    if isinstance(stmt, I.Store):
+        return I.Store(stmt.buffer, simplify(stmt.value),
+                       [simplify(i) for i in stmt.indices],
+                       combiner=stmt.combiner)
+    if isinstance(stmt, I.SeqStmt):
+        return I.SeqStmt([simplify_stmt(s) for s in stmt.stmts])
+    if isinstance(stmt, I.IfThenElse):
+        else_body = (simplify_stmt(stmt.else_body)
+                     if stmt.else_body is not None else None)
+        return I.IfThenElse(simplify(stmt.cond), simplify_stmt(stmt.then_body),
+                            else_body)
+    if isinstance(stmt, I.Allocate):
+        return I.Allocate(stmt.buffer, stmt.scope, simplify_stmt(stmt.body))
+    if isinstance(stmt, I.AttrStmt):
+        return I.AttrStmt(stmt.key, stmt.value, simplify_stmt(stmt.body))
+    if isinstance(stmt, I.Evaluate):
+        return stmt
+    raise TypeError(f"cannot simplify statement {type(stmt).__name__}")

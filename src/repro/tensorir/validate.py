@@ -175,6 +175,19 @@ def validate_schedule(stage, target: str | None = None) -> None:
 def _expr_iter_vars(node: E.Expr, out: dict[str, E.IterVar]) -> None:
     if isinstance(node, E.IterVar):
         out.setdefault(node.name, node)
+    if isinstance(node, E.Reduce):
+        # A Reduce node binds its own axes: they are iterated by the
+        # reduction itself, not by an enclosing loop.  Template loop nests
+        # (see repro.core.compile) legitimately keep inline Reduce values in
+        # their stores, so those axes must not be reported as free.
+        inner: dict[str, E.IterVar] = {}
+        for c in node.children():
+            _expr_iter_vars(c, inner)
+        for ax in node.axes:
+            inner.pop(ax.name, None)
+        for name, var in inner.items():
+            out.setdefault(name, var)
+        return
     for c in node.children():
         _expr_iter_vars(c, out)
 

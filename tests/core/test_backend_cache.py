@@ -1,15 +1,18 @@
-"""FeatGraphBackend kernel-cache keying.
+"""FeatGraphBackend kernel caching through the shared KernelCache.
 
-Regression: the cache used to key on ``id(adj)``.  CPython recycles ids
-after garbage collection, so a new graph allocated at a freed graph's
-address silently reused the stale kernel -- wrong topology, wrong numbers.
-Keys are now content fingerprints.
+Regression: per-backend kernel dicts used to key on ``id(adj)``.  CPython
+recycles ids after garbage collection, so a new graph allocated at a freed
+graph's address silently reused the stale kernel -- wrong topology, wrong
+numbers.  Kernels are now keyed by :class:`repro.core.compile.KernelSpec`,
+whose graph component is the adjacency's *content* fingerprint, in the
+process-wide :class:`repro.core.compile.KernelCache`.
 """
 
 import numpy as np
 import pytest
 
 from repro.core.backend import FeatGraphBackend
+from repro.core.compile import KernelCache, use_kernel_cache
 from repro.graph.sparse import from_edges
 
 
@@ -18,32 +21,46 @@ def _graph(seed, n=8, m=20):
     return from_edges(n, n, rng.integers(0, n, m), rng.integers(0, n, m))
 
 
+@pytest.fixture()
+def cache():
+    """An isolated kernel cache installed as the process cache."""
+    with use_kernel_cache(KernelCache()) as c:
+        yield c
+
+
 class TestKernelCacheKeying:
-    def test_cache_key_is_content_not_identity(self):
+    def test_cache_key_is_content_not_identity(self, cache):
         backend = FeatGraphBackend("cpu")
         adj = _graph(0)
         backend._kernel("gcn", adj, 4)
-        (key,) = backend._cache.keys()
-        assert id(adj) not in key
-        assert adj.fingerprint() in key
+        (spec,) = cache.entries()
+        assert spec.graph == adj.fingerprint()
+        assert str(id(adj)) not in spec.graph
 
-    def test_equal_graphs_share_a_kernel(self):
+    def test_equal_graphs_share_a_kernel(self, cache):
         backend = FeatGraphBackend("cpu")
         a, b = _graph(0), _graph(0)  # same content, distinct objects
         assert a is not b
         k1 = backend._kernel("gcn", a, 4)
         k2 = backend._kernel("gcn", b, 4)
         assert k1 is k2
-        assert len(backend._cache) == 1
+        assert len(cache) == 1
 
-    def test_different_graphs_get_distinct_kernels(self):
+    def test_distinct_backend_instances_share_kernels(self, cache):
+        """The cache is process-wide, not per backend object."""
+        k1 = FeatGraphBackend("cpu")._kernel("gcn", _graph(0), 4)
+        k2 = FeatGraphBackend("cpu")._kernel("gcn", _graph(0), 4)
+        assert k1 is k2
+        assert cache.stats()["pipeline_runs"] == 1
+
+    def test_different_graphs_get_distinct_kernels(self, cache):
         backend = FeatGraphBackend("cpu")
         k1 = backend._kernel("gcn", _graph(0), 4)
         k2 = backend._kernel("gcn", _graph(1), 4)
         assert k1 is not k2
-        assert len(backend._cache) == 2
+        assert len(cache) == 2
 
-    def test_recycled_object_address_cannot_alias(self):
+    def test_recycled_object_address_cannot_alias(self, cache):
         """The id()-reuse scenario: a dead graph's address is reused by a
         different graph.  With content keys the second graph must compute
         its own (correct) result."""

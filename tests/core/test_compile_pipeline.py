@@ -1,0 +1,233 @@
+"""The unified compile pipeline: pass order, KernelSpec identity, timings.
+
+Covers the :mod:`repro.core.compile` contract: every kernel goes through
+the named pass sequence (build_expr -> fuse_fds -> lower -> validate ->
+simplify -> codegen), structurally identical requests produce equal
+:class:`KernelSpec` keys (and therefore one compiled kernel), and per-pass
+wall-clock timings are retrievable from the compiled object.
+"""
+
+import numpy as np
+import pytest
+
+from repro import tensorir as T
+from repro.core import builtins as dgl_builtins
+from repro.core.compile import (
+    PASS_NAMES,
+    CompilePipeline,
+    KernelCache,
+    KernelSpec,
+    compile_sddmm,
+    compile_spmm,
+    default_pipeline,
+    ensure_compiled,
+    expr_signature,
+    schedule_signature,
+    use_kernel_cache,
+)
+from repro.core.fds import cpu_tile_fds
+from repro.core.sddmm import GeneralizedSDDMM
+from repro.core.spmm import GeneralizedSpMM
+from repro.graph.sparse import CSRMatrix, from_edges
+
+N, F = 8, 8
+
+
+def _adj(n=N, seed=0, m=20):
+    rng = np.random.default_rng(seed)
+    return from_edges(n, n, rng.integers(0, n, m), rng.integers(0, n, m))
+
+
+def _copy_msgfunc(n=N, f=F):
+    XV = T.placeholder((n, f), name="XV")
+    return dgl_builtins.copy_u_msg(XV)
+
+
+class TestPassPipeline:
+    def test_default_pass_order(self):
+        assert default_pipeline().pass_names == PASS_NAMES
+        assert CompilePipeline().pass_names == (
+            "build_expr", "fuse_fds", "lower", "validate", "simplify",
+            "codegen")
+
+    def test_compiled_kernel_records_every_pass(self):
+        with use_kernel_cache(KernelCache()):
+            k = compile_spmm(_adj(), _copy_msgfunc(), "sum")
+        timings = k.compile_timings()
+        assert tuple(timings) == PASS_NAMES  # ordered, complete
+        assert all(secs >= 0.0 for secs in timings.values())
+        assert k._compile_record.total_seconds == pytest.approx(
+            sum(timings.values()))
+
+    def test_artifacts_ir_and_source(self):
+        with use_kernel_cache(KernelCache()):
+            k = compile_spmm(_adj(), _copy_msgfunc(), "sum",
+                             fds=cpu_tile_fds(4))
+        record = k._compile_record
+        text = k.lowered_ir() and __import__(
+            "repro.tensorir.ir", fromlist=["stmt_to_str"]
+        ).stmt_to_str(record.artifacts["ir"])
+        assert "edge_range" in text
+        assert record.artifacts["source"] == text  # cpu codegen = printed IR
+
+    def test_sddmm_artifacts(self):
+        XV = T.placeholder((N, F), name="XV")
+        with use_kernel_cache(KernelCache()):
+            k = compile_sddmm(_adj(), dgl_builtins.u_dot_v_edge(XV, XV))
+        from repro.tensorir.ir import stmt_to_str
+
+        text = stmt_to_str(k._compile_record.artifacts["ir"])
+        assert "edge_traversal" in text
+        assert tuple(k.compile_timings()) == PASS_NAMES
+
+    def test_gpu_codegen_emits_cuda(self):
+        with use_kernel_cache(KernelCache()):
+            k = compile_spmm(_adj(), _copy_msgfunc(), "sum", target="gpu")
+        assert "__global__" in k._compile_record.artifacts["source"]
+        assert "__global__" in k.cuda_source()
+
+    def test_bad_udf_fails_in_build_expr(self):
+        with use_kernel_cache(KernelCache()):
+            with pytest.raises(TypeError, match="msgfunc must return"):
+                compile_spmm(_adj(), lambda s, d, e: 42)
+            with pytest.raises(TypeError, match="edgefunc must return"):
+                compile_sddmm(_adj(), lambda s, d, e: None)
+
+    def test_ensure_compiled_for_direct_construction(self):
+        """Kernels built without the cache still get a compile record."""
+        from repro.core.api import spmat
+
+        k = GeneralizedSpMM(spmat(_adj()), _copy_msgfunc(), aggregation="sum")
+        assert k._compile_record is None
+        record = ensure_compiled(k)
+        assert record is k._compile_record
+        assert ensure_compiled(k) is record  # idempotent
+        # only the back passes run (front ran at construction time)
+        assert tuple(record.timings_dict()) == (
+            "lower", "validate", "simplify", "codegen")
+        assert record.spec.template == "spmm"
+
+        ks = GeneralizedSDDMM(
+            spmat(_adj()), dgl_builtins.u_dot_v_edge(
+                T.placeholder((N, F), name="XV"),
+                T.placeholder((N, F), name="XV")))
+        assert ensure_compiled(ks).spec.template == "sddmm"
+
+
+class TestSpecIdentity:
+    def test_same_request_twice_is_one_kernel(self):
+        with use_kernel_cache(KernelCache()) as cache:
+            k1 = compile_spmm(_adj(), _copy_msgfunc(), "sum")
+            k2 = compile_spmm(_adj(), _copy_msgfunc(), "sum")
+        assert k1 is k2
+        s = cache.stats()
+        assert (s["hits"], s["misses"], s["pipeline_runs"]) == (1, 1, 1)
+
+    def test_spec_stable_across_fresh_traces(self):
+        """Tracer-generated axis names differ per trace; the canonical
+        signatures must not."""
+        with use_kernel_cache(KernelCache()):
+            k1 = compile_spmm(_adj(), _copy_msgfunc(), "sum")
+        with use_kernel_cache(KernelCache()):
+            k2 = compile_spmm(_adj(), _copy_msgfunc(), "sum")
+        assert k1 is not k2
+        assert k1._compile_record.spec == k2._compile_record.spec
+        assert isinstance(k1._compile_record.spec, KernelSpec)
+        assert k1._compile_record.spec.digest == k2._compile_record.spec.digest
+
+    @pytest.mark.parametrize("mutate,expect_differ", [
+        ("aggregation", True), ("fds", True), ("graph", True),
+        ("shape", True), ("options", True), ("none", False),
+    ])
+    def test_spec_sensitivity(self, mutate, expect_differ):
+        def build(aggregation="sum", fds=None, adj=None, f=F, **options):
+            with use_kernel_cache(KernelCache()):
+                k = compile_spmm(adj if adj is not None else _adj(),
+                                 _copy_msgfunc(f=f), aggregation, fds=fds,
+                                 **options)
+            return k._compile_record.spec
+
+        base = build()
+        variants = {
+            "aggregation": lambda: build(aggregation="max"),
+            "fds": lambda: build(fds=cpu_tile_fds(2)),
+            "graph": lambda: build(adj=_adj(seed=1)),
+            "shape": lambda: build(f=F * 2),
+            "options": lambda: build(num_graph_partitions=2),
+            "none": lambda: build(),
+        }
+        other = variants[mutate]()
+        assert (base != other) is expect_differ
+
+    def test_expr_signature_normalizes_axis_names(self):
+        XV = T.placeholder((N, F), name="XV")
+
+        def trace():
+            # anonymous compute -> tracer invents a fresh axis name per trace
+            return T.compute((F,), lambda i: XV[T.Var("src"), i])
+
+        out1, out2 = trace(), trace()
+        assert out1.op.axis[0].name != out2.op.axis[0].name  # fresh names
+        assert expr_signature(out1) == expr_signature(out2)
+        # a differently *named* placeholder is a different kernel interface
+        XB = T.placeholder((N, F), name="XB")
+        out3 = dgl_builtins.copy_u_msg(XB)(T.Var("src"), T.Var("dst"),
+                                           T.Var("eid"))
+        assert expr_signature(out1) != expr_signature(out3)
+
+    def test_schedule_signature_normalizes_axis_names(self):
+        def stage_for(out, factor):
+            sched = cpu_tile_fds(factor).apply(out)
+            return sched[out]
+
+        mk = lambda: dgl_builtins.copy_u_msg(  # noqa: E731
+            T.placeholder((N, F), name="XV"))(
+            T.Var("src"), T.Var("dst"), T.Var("eid"))
+        assert (schedule_signature(stage_for(mk(), 4))
+                == schedule_signature(stage_for(mk(), 4)))
+        assert (schedule_signature(stage_for(mk(), 4))
+                != schedule_signature(stage_for(mk(), 2)))
+
+
+class TestTemplatesHaveNoInlineCompilation:
+    """The refactor's point: templates no longer own lowering/codegen."""
+
+    @pytest.mark.parametrize("module", ["spmm", "sddmm", "softmax"])
+    def test_no_top_level_lowering_imports(self, module):
+        import importlib
+        import inspect
+
+        src = inspect.getsource(importlib.import_module(f"repro.core.{module}"))
+        assert "from repro.tensorir.lower import" not in src
+        assert "from repro.tensorir.cuda_codegen import" not in src
+        assert "validate_ir" not in src
+
+    def test_lowered_ir_comes_from_the_pipeline(self):
+        with use_kernel_cache(KernelCache()):
+            k = compile_spmm(_adj(), _copy_msgfunc(), "sum")
+        assert k.lowered_ir() is k._compile_record.artifacts["ir"]
+
+
+class TestNumericsUnchanged:
+    """The refactor must not change what kernels compute."""
+
+    def test_spmm_matches_scatter_add(self):
+        adj = _adj()
+        x = np.random.default_rng(1).standard_normal((N, F)).astype(np.float32)
+        with use_kernel_cache(KernelCache()):
+            k = compile_spmm(adj, _copy_msgfunc(), "sum")
+        ref = np.zeros((N, F), dtype=np.float32)
+        np.add.at(ref, adj.row_of_edge(), x[adj.indices])
+        np.testing.assert_allclose(k.run({"XV": x}), ref, rtol=1e-5, atol=1e-5)
+
+    def test_sddmm_matches_dense_dot(self):
+        indptr = np.array([0, 2, 3, 4, 4])
+        indices = np.array([1, 2, 0, 3])
+        adj = CSRMatrix((4, 4), indptr, indices)
+        x = np.random.default_rng(2).standard_normal((4, F)).astype(np.float32)
+        XV = T.placeholder((4, F), name="XV")
+        with use_kernel_cache(KernelCache()):
+            k = compile_sddmm(adj, dgl_builtins.u_dot_v_edge(XV, XV))
+        out = k.run({"XV": x})[:, 0]
+        ref = (x[adj.indices] * x[adj.row_of_edge()]).sum(axis=-1)
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)

@@ -1,0 +1,263 @@
+"""The shared KernelCache: cross-layer hit accounting, eviction, invalidation.
+
+The acceptance property of the unified pipeline (paper Sec. IV-B): the same
+(graph, UDF, FDS, target, shapes) kernel requested through the benchmark
+backend, the DGL integration layer, and a tuner sweep is lowered through
+the pass pipeline exactly once -- every other request is a cache hit
+returning the same compiled object.
+"""
+
+import numpy as np
+import pytest
+
+from repro import tensorir as T
+from repro.core import builtins as dgl_builtins
+from repro.core import kernels
+from repro.core.backend import FeatGraphBackend
+from repro.core.compile import (
+    KernelCache,
+    KernelSpec,
+    compile_spmm,
+    use_kernel_cache,
+)
+from repro.core.fds import cpu_tile_fds
+from repro.core.tuner import GridTuner
+from repro.graph.sparse import CSRMatrix, from_edges
+from repro.minidgl.backends import FeatGraphDGLBackend
+
+N, F = 16, 32
+
+
+def _ring(n=N):
+    """A ring graph built directly as CSR: edge_ids are already arange, so
+    the minidgl canonicalization is the identity and both integration
+    layers fingerprint the same graph."""
+    indptr = np.arange(n + 1, dtype=np.int64)
+    indices = (np.arange(n, dtype=np.int64) + 1) % n
+    return CSRMatrix((n, n), indptr, indices)
+
+
+class TestCrossBackendAmortization:
+    def test_one_pipeline_run_across_backends_and_tuner(self):
+        """THE acceptance check: FeatGraphBackend, FeatGraphDGLBackend, and
+        a GridTuner sweep all request the GCN-aggregation kernel for the
+        same graph/shape/FDS -- one pipeline run total for that spec."""
+        adj = _ring()
+        x = np.random.default_rng(0).standard_normal((N, F)).astype(np.float32)
+
+        with use_kernel_cache(KernelCache()) as cache:
+            # 1) benchmark backend: compiles (miss)
+            FeatGraphBackend("cpu").gcn_aggregation(adj, x)
+            s = cache.stats()
+            assert (s["pipeline_runs"], s["misses"], s["hits"]) == (1, 1, 0)
+
+            # 2) DGL integration layer: same spec -> pure hit
+            FeatGraphDGLBackend("cpu").spmm_copy_sum(adj, x)
+            s = cache.stats()
+            assert (s["pipeline_runs"], s["hits"]) == (1, 1)
+
+            # 3) tuner sweep; the tile=32 config *is* the default FDS
+            #    (cpu_tile_fds(min(32, F))) the backends used above
+            tuner = GridTuner(
+                {"tile": [8, 16, 32]},
+                lambda cfg: kernels.gcn_aggregation(
+                    adj, N, F, fds=cpu_tile_fds(cfg["tile"])).cost(),
+            )
+            tuner.tune()
+            s = cache.stats()
+            assert s["pipeline_runs"] == 3  # only tile=8 and tile=16 are new
+            assert s["hits"] == 2           # dgl layer + the tile=32 trial
+            assert s["entries"] == 3
+
+    def test_cross_backend_hit_returns_same_object(self):
+        adj = _ring()
+        with use_kernel_cache(KernelCache()):
+            k1 = FeatGraphBackend("cpu")._kernel("gcn", adj, F)
+            k2 = FeatGraphDGLBackend("cpu")._copy_sum(adj, (F,))
+        assert k1 is k2
+
+    def test_tuner_retune_is_free(self):
+        """Re-running a sweep recompiles nothing: the trial memo short-
+        circuits evaluate, and even with the memo off the kernel cache
+        serves every lowering."""
+        adj = _ring()
+        calls = 0
+
+        def evaluate(cfg):
+            nonlocal calls
+            calls += 1
+            return kernels.gcn_aggregation(
+                adj, N, F, fds=cpu_tile_fds(cfg["tile"])).cost()
+
+        with use_kernel_cache(KernelCache()) as cache:
+            tuner = GridTuner({"tile": [8, 16]}, evaluate)
+            r1 = tuner.tune()
+            r2 = tuner.tune()
+            assert calls == 2  # memoized across tune() calls
+            assert r1.best_config == r2.best_config
+
+            unmemo = GridTuner({"tile": [8, 16]}, evaluate,
+                               cache_trials=False)
+            unmemo.tune()
+            assert calls == 4  # evaluate re-ran ...
+            assert cache.stats()["pipeline_runs"] == 2  # ... lowering didn't
+
+
+class TestEvictionBound:
+    def _spec(self, i):
+        return KernelSpec(template="spmm", udf=f"u{i}", aggregation="sum",
+                          target="cpu", fds="f", graph="g", shapes=(),
+                          options=())
+
+    def test_bound_is_enforced(self):
+        cache = KernelCache(max_entries=2)
+        for i in range(3):
+            cache.put(self._spec(i), object())
+        s = cache.stats()
+        assert len(cache) == 2
+        assert s["evictions"] == 1
+        assert self._spec(0) not in cache  # oldest went first
+        assert self._spec(2) in cache
+
+    def test_lru_order_respects_hits(self):
+        cache = KernelCache(max_entries=2)
+        cache.put(self._spec(0), "a")
+        cache.put(self._spec(1), "b")
+        assert cache.get(self._spec(0)) == "a"  # refresh 0
+        cache.put(self._spec(2), "c")           # evicts 1, not 0
+        assert self._spec(0) in cache
+        assert self._spec(1) not in cache
+
+    def test_peek_does_not_touch_accounting(self):
+        cache = KernelCache(max_entries=2)
+        cache.put(self._spec(0), "a")
+        assert cache.peek(self._spec(0)) == "a"
+        assert cache.peek(self._spec(9)) is None
+        s = cache.stats()
+        assert (s["hits"], s["misses"]) == (0, 0)
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            KernelCache(max_entries=0)
+
+    def test_evicted_spec_recompiles(self):
+        adj = _ring()
+        XV = T.placeholder((N, F), name="XV")
+        with use_kernel_cache(KernelCache(max_entries=2)) as cache:
+            for factor in (2, 4, 8):
+                compile_spmm(adj, dgl_builtins.copy_u_msg(XV), "sum",
+                             fds=cpu_tile_fds(factor))
+            assert cache.stats()["evictions"] == 1
+            # the factor=2 kernel was evicted: requesting it again misses
+            compile_spmm(adj, dgl_builtins.copy_u_msg(XV), "sum",
+                         fds=cpu_tile_fds(2))
+            s = cache.stats()
+            assert s["pipeline_runs"] == 4
+            assert s["hits"] == 0
+
+
+class TestGraphInvalidation:
+    def test_invalidation_is_fingerprint_keyed(self):
+        a, b = _ring(8), _ring(12)
+        x8 = np.ones((8, F), dtype=np.float32)
+        x12 = np.ones((12, F), dtype=np.float32)
+        with use_kernel_cache(KernelCache()) as cache:
+            backend = FeatGraphBackend("cpu")
+            backend.gcn_aggregation(a, x8)
+            backend.gcn_aggregation(b, x12)
+            assert len(cache) == 2
+
+            removed = cache.invalidate_graph(a.fingerprint())
+            assert removed == 1
+            assert len(cache) == 1
+            (spec,) = cache.entries()
+            assert spec.graph == b.fingerprint()
+
+            # the dropped graph's next request is a fresh compile
+            backend.gcn_aggregation(a, x8)
+            assert cache.stats()["pipeline_runs"] == 3
+
+    def test_invalidation_covers_the_canonical_copy(self):
+        """Kernels compiled against the canonicalized CSR copy of a graph
+        fall with the original graph's fingerprint."""
+        rng = np.random.default_rng(0)
+        adj = from_edges(8, 8, rng.integers(0, 8, 20), rng.integers(0, 8, 20))
+        x = rng.standard_normal((8, 4)).astype(np.float32)
+        with use_kernel_cache(KernelCache()) as cache:
+            FeatGraphDGLBackend("cpu").spmm_copy_sum(adj, x)
+            canon = cache.canonical_graph(adj)
+            assert canon.fingerprint() != adj.fingerprint()  # permuted ids
+            assert len(cache) == 1
+
+            removed = cache.invalidate_graph(adj.fingerprint())
+            assert removed == 1
+            assert len(cache) == 0
+            assert cache.stats()["graph_artifacts"] == 0
+
+
+class TestCanonicalGraphNamespace:
+    def test_arange_graph_is_its_own_canonical_form(self):
+        cache = KernelCache()
+        adj = _ring()
+        assert cache.canonical_graph(adj) is adj
+
+    def test_canonical_copies_are_deduplicated(self):
+        cache = KernelCache()
+        rng = np.random.default_rng(0)
+        edges = (rng.integers(0, 8, 20), rng.integers(0, 8, 20))
+        a = from_edges(8, 8, *edges)
+        b = from_edges(8, 8, *edges)  # equal content, distinct object
+        c1, c2 = cache.canonical_graph(a), cache.canonical_graph(b)
+        assert c1 is c2
+        assert np.array_equal(c1.edge_ids, np.arange(c1.nnz))
+        assert cache.stats()["graph_artifacts"] == 1
+
+    def test_graph_artifacts_do_not_pollute_kernel_entries(self):
+        """Satellite regression: canonical CSR copies used to live in the
+        minidgl backend's kernel dict, mixing two key spaces."""
+        rng = np.random.default_rng(0)
+        adj = from_edges(8, 8, rng.integers(0, 8, 20), rng.integers(0, 8, 20))
+        cache = KernelCache()
+        cache.canonical_graph(adj)
+        assert len(cache) == 0  # no kernel entries
+        assert cache.stats()["graph_artifacts"] == 1
+        assert all(isinstance(s, KernelSpec) for s in cache.entries())
+
+
+class TestAccounting:
+    def test_reset_stats_keeps_entries(self):
+        adj = _ring()
+        with use_kernel_cache(KernelCache()) as cache:
+            FeatGraphBackend("cpu")._kernel("gcn", adj, F)
+            assert cache.stats()["compile_seconds"] > 0
+            cache.reset_stats()
+            s = cache.stats()
+            assert (s["hits"], s["misses"], s["pipeline_runs"]) == (0, 0, 0)
+            assert s["compile_seconds"] == 0.0
+            assert s["entries"] == 1  # entries survive
+
+            FeatGraphBackend("cpu")._kernel("gcn", adj, F)
+            assert cache.stats() == {**cache.stats(), "hits": 1, "misses": 0}
+
+    def test_clear_drops_everything(self):
+        adj = _ring()
+        with use_kernel_cache(KernelCache()) as cache:
+            FeatGraphBackend("cpu")._kernel("gcn", adj, F)
+            cache.clear()
+            assert len(cache) == 0
+            assert cache.stats()["entries"] == 0
+            # next request recompiles
+            FeatGraphBackend("cpu")._kernel("gcn", adj, F)
+            assert cache.stats()["pipeline_runs"] == 1
+
+    def test_hit_rate(self):
+        cache = KernelCache()
+        spec = KernelSpec(template="spmm", udf="u", aggregation="sum",
+                          target="cpu", fds="f", graph="g", shapes=(),
+                          options=())
+        assert cache.stats()["hit_rate"] == 0.0
+        cache.get(spec)          # miss
+        cache.put(spec, "k")
+        cache.get(spec)          # hit
+        assert cache.stats()["hit_rate"] == pytest.approx(0.5)
+        assert "entries=1" in repr(cache)
