@@ -20,7 +20,7 @@ This module makes compilation first-class:
 
 - :class:`CompilePipeline` is an explicit sequence of named passes::
 
-      build_expr -> fuse_fds -> lower -> validate -> simplify -> codegen
+      build_expr -> fuse_fds -> lower -> validate -> analyze -> simplify -> codegen
 
   The front passes (``build_expr``, ``fuse_fds``) trace the UDF and apply
   the feature-dimension schedule; their result forms the spec used for the
@@ -58,6 +58,7 @@ from repro.tensorir import expr as E
 from repro.tensorir import ir as I
 from repro.tensorir.cuda_codegen import _COMBINE_C, expr_to_c
 from repro.tensorir.lower import (
+    _attach_cache_reads,
     _find_reduce,
     _guard_vars,
     _guarded,
@@ -360,6 +361,18 @@ def _pass_validate(ctx: CompileContext) -> None:
     validate_ir(ctx.artifacts["ir"])
 
 
+def _pass_analyze(ctx: CompileContext) -> None:
+    """Run the dataflow analyses (races, bounds, footprints) over the
+    lowered loop nest; in strict mode, error diagnostics fail the compile."""
+    from repro.tensorir.analysis import (AnalysisError, analyze_ir,
+                                         strict_enabled)
+
+    report = analyze_ir(ctx.artifacts["ir"], target=ctx.target)
+    ctx.artifacts["analysis"] = report
+    if strict_enabled() and report.has_errors:
+        raise AnalysisError(report)
+
+
 def _pass_simplify(ctx: CompileContext) -> None:
     """Fold constants and normalize index arithmetic in the loop nest."""
     ctx.artifacts["ir"] = simplify_stmt(ctx.artifacts["ir"])
@@ -390,8 +403,8 @@ def _construct_kernel(ctx: CompileContext):
 
 
 #: pipeline pass order; the first two form the spec, the rest run on a miss
-PASS_NAMES = ("build_expr", "fuse_fds", "lower", "validate", "simplify",
-              "codegen")
+PASS_NAMES = ("build_expr", "fuse_fds", "lower", "validate", "analyze",
+              "simplify", "codegen")
 
 _FRONT_PASSES = frozenset(("build_expr", "fuse_fds"))
 
@@ -400,6 +413,7 @@ _DEFAULT_PASSES: tuple[tuple[str, Callable], ...] = (
     ("fuse_fds", _pass_fuse_fds),
     ("lower", _pass_lower),
     ("validate", _pass_validate),
+    ("analyze", _pass_analyze),
     ("simplify", _pass_simplify),
     ("codegen", _pass_codegen),
 )
@@ -409,7 +423,7 @@ class CompilePipeline:
     """An ordered sequence of named compile passes.
 
     The default pipeline is ``build_expr -> fuse_fds -> lower -> validate ->
-    simplify -> codegen``.  The *front* passes (``build_expr``,
+    analyze -> simplify -> codegen``.  The *front* passes (``build_expr``,
     ``fuse_fds``) always run -- they are what forms the :class:`KernelSpec`
     -- while the *back* passes run only on a cache miss.
     """
@@ -682,7 +696,8 @@ def spmm_loop_nest(kernel) -> I.Stmt:
     nest = I.AttrStmt("column_range",
                       "sources of this 1D partition (Fig. 6)",
                       I.For(part_iv, kernel.num_graph_partitions, nest))
-    return I.For(tile_iv, kernel.num_feature_partitions, nest)
+    return _attach_cache_reads(
+        I.For(tile_iv, kernel.num_feature_partitions, nest), stage)
 
 
 def sddmm_loop_nest(kernel) -> I.Stmt:
@@ -723,7 +738,8 @@ def sddmm_loop_nest(kernel) -> I.Stmt:
     nest = I.AttrStmt("edge_traversal", traversal, nest)
     nest = I.For(edge_iv, max(m, 1), nest,
                  kind="block.x" if kernel.target == "gpu" else I.For.SERIAL)
-    return I.For(tile_iv, kernel.num_feature_partitions, nest)
+    return _attach_cache_reads(
+        I.For(tile_iv, kernel.num_feature_partitions, nest), stage)
 
 
 # ----------------------------------------------------------------------

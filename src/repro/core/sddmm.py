@@ -209,6 +209,12 @@ class GeneralizedSDDMM:
         :func:`repro.tensorir.ir.stmt_to_str`."""
         return self.compiled.artifacts["ir"]
 
+    def analysis_report(self):
+        """The :class:`~repro.tensorir.analysis.AnalysisReport` from the
+        compile pipeline's ``analyze`` pass: race, bounds, and footprint
+        diagnostics for this kernel's lowered loop nest."""
+        return self.compiled.artifacts["analysis"]
+
     def cuda_source(self, name: str = "fused_sddmm",
                     threads_per_block: int = 256) -> str:
         """CUDA C source of the fused generalized-SDDMM kernel (the compile

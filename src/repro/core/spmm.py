@@ -347,6 +347,12 @@ class GeneralizedSpMM:
         """
         return self.compiled.artifacts["ir"]
 
+    def analysis_report(self):
+        """The :class:`~repro.tensorir.analysis.AnalysisReport` from the
+        compile pipeline's ``analyze`` pass: race, bounds, and footprint
+        diagnostics for this kernel's lowered loop nest."""
+        return self.compiled.artifacts["analysis"]
+
     def cuda_source(self, name: str = "fused_spmm") -> str:
         """CUDA C source of the fused generalized-SpMM kernel (the compile
         pipeline's ``codegen`` pass; see

@@ -36,6 +36,9 @@ class TuneResult:
     best_cost: CostReport
     #: every evaluated point: (config dict, modeled seconds)
     trials: list[tuple[dict, float]] = field(default_factory=list)
+    #: configs rejected by the static analyzer before evaluation:
+    #: (config dict, AnalysisReport with error diagnostics)
+    pruned: list = field(default_factory=list)
 
     def landscape(self, x_key: str, y_key: str) -> dict[tuple, float]:
         """Project trials onto two config keys -> seconds (for heatmaps)."""
@@ -45,8 +48,13 @@ class TuneResult:
         return out
 
 
+#: sentinel cost recorded for analyzer-pruned configurations: never the
+#: argmin, keeps trial bookkeeping and RNG sequences unchanged
+_PRUNED_SECONDS = float("inf")
+
+
 class _TrialMemo:
-    """Per-tuner memoization of ``evaluate`` by config.
+    """Per-tuner memoization of ``evaluate`` by config, plus analyzer gating.
 
     Tuners that revisit configurations (annealing walks, repeated random
     samples) would otherwise rebuild the same kernel; together with the
@@ -54,21 +62,53 @@ class _TrialMemo:
     dedups the *lowering* across trials -- a repeated config costs nothing.
     Trials are still recorded per visit, and the tuners' RNG sequences are
     unaffected, so tuning results are bit-identical with or without it.
+
+    With an ``analyzer`` -- a callable mapping a config dict to an
+    :class:`~repro.tensorir.analysis.AnalysisReport` (or None to skip) --
+    configs with error-severity diagnostics are **pruned before
+    evaluation**: ``evaluate`` never runs for them, they enter the trial
+    log with infinite cost (so the exploration path, including annealing
+    acceptance decisions and RNG draws, is unchanged), and the (config,
+    report) pairs surface on :attr:`TuneResult.pruned`.
     """
 
     def __init__(self, evaluate: Callable[[dict], CostReport],
-                 cache_trials: bool):
+                 cache_trials: bool, analyzer=None):
         self.evaluate = evaluate
         self.cache_trials = bool(cache_trials)
+        self.analyzer = analyzer
         self._memo: dict[tuple, CostReport] = {}
+        self._pruned: dict[tuple, dict] = {}
+        self.pruned: list = []
 
     def _evaluate(self, cfg: dict) -> CostReport:
+        key = tuple(sorted(cfg.items()))
+        if self.analyzer is not None:
+            if key not in self._pruned:
+                report = self.analyzer(cfg)
+                bad = report is not None and report.has_errors
+                self._pruned[key] = report if bad else None
+                if bad:
+                    self.pruned.append((dict(cfg), report))
+            if self._pruned[key] is not None:
+                return CostReport(seconds=_PRUNED_SECONDS)
         if not self.cache_trials:
             return self.evaluate(cfg)
-        key = tuple(sorted(cfg.items()))
         if key not in self._memo:
             self._memo[key] = self.evaluate(cfg)
         return self._memo[key]
+
+    def _result(self, best_cfg, best_cost, trials) -> TuneResult:
+        assert best_cfg is not None and best_cost is not None
+        if self.pruned and best_cost.seconds == _PRUNED_SECONDS:
+            reports = "\n".join(
+                f"  {cfg}: {report.errors[0].render()}"
+                for cfg, report in self.pruned)
+            raise ValueError(
+                "every explored configuration was pruned by the static "
+                "analyzer:\n" + reports)
+        return TuneResult(best_config=best_cfg, best_cost=best_cost,
+                          trials=trials, pruned=list(self.pruned))
 
 
 class GridTuner(_TrialMemo):
@@ -81,13 +121,13 @@ class GridTuner(_TrialMemo):
 
     def __init__(self, space: Mapping[str, Sequence],
                  evaluate: Callable[[dict], CostReport],
-                 cache_trials: bool = True):
+                 cache_trials: bool = True, analyzer=None):
         if not space:
             raise ValueError("empty search space")
         for k, v in space.items():
             if not len(v):
                 raise ValueError(f"parameter {k!r} has no candidates")
-        super().__init__(evaluate, cache_trials)
+        super().__init__(evaluate, cache_trials, analyzer)
         self.space = {k: list(v) for k, v in space.items()}
 
     def configs(self) -> Iterable[dict]:
@@ -105,8 +145,7 @@ class GridTuner(_TrialMemo):
             trials.append((cfg, cost.seconds))
             if best_cost is None or cost.seconds < best_cost.seconds:
                 best_cfg, best_cost = cfg, cost
-        assert best_cfg is not None and best_cost is not None
-        return TuneResult(best_config=best_cfg, best_cost=best_cost, trials=trials)
+        return self._result(best_cfg, best_cost, trials)
 
 
 class RandomTuner(_TrialMemo):
@@ -115,12 +154,12 @@ class RandomTuner(_TrialMemo):
     def __init__(self, space: Mapping[str, Sequence],
                  evaluate: Callable[[dict], CostReport],
                  num_trials: int = 16, seed: int = 0,
-                 cache_trials: bool = True):
+                 cache_trials: bool = True, analyzer=None):
         if not space or any(not len(v) for v in space.values()):
             raise ValueError("empty search space")
         if num_trials < 1:
             raise ValueError("num_trials must be >= 1")
-        super().__init__(evaluate, cache_trials)
+        super().__init__(evaluate, cache_trials, analyzer)
         self.space = {k: list(v) for k, v in space.items()}
         self.num_trials = num_trials
         self.rng = random.Random(seed)
@@ -143,8 +182,7 @@ class RandomTuner(_TrialMemo):
             trials.append((cfg, cost.seconds))
             if best_cost is None or cost.seconds < best_cost.seconds:
                 best_cfg, best_cost = cfg, cost
-        assert best_cfg is not None and best_cost is not None
-        return TuneResult(best_config=best_cfg, best_cost=best_cost, trials=trials)
+        return self._result(best_cfg, best_cost, trials)
 
 
 class AnnealingTuner(_TrialMemo):
@@ -160,14 +198,14 @@ class AnnealingTuner(_TrialMemo):
                  evaluate: Callable[[dict], CostReport],
                  num_trials: int = 24, seed: int = 0,
                  initial_temperature: float = 0.5, cooling: float = 0.85,
-                 cache_trials: bool = True):
+                 cache_trials: bool = True, analyzer=None):
         if not space or any(not len(v) for v in space.values()):
             raise ValueError("empty search space")
         if num_trials < 1:
             raise ValueError("num_trials must be >= 1")
         if not (0 < cooling < 1):
             raise ValueError("cooling must be in (0, 1)")
-        super().__init__(evaluate, cache_trials)
+        super().__init__(evaluate, cache_trials, analyzer)
         self.space = {k: list(v) for k, v in space.items()}
         self.num_trials = num_trials
         self.rng = random.Random(seed)
@@ -194,13 +232,18 @@ class AnnealingTuner(_TrialMemo):
             cand = self._neighbor(current)
             cost = self._evaluate(cand)
             trials.append((cand, cost.seconds))
-            delta = (cost.seconds - current_cost.seconds) / max(
-                current_cost.seconds, 1e-12)
-            if delta <= 0 or self.rng.random() < math.exp(-delta / max(
-                    temperature, 1e-9)):
-                current, current_cost = cand, cost
+            if math.isinf(current_cost.seconds):
+                # current is an analyzer-pruned point: always step off it
+                # onto any finite-cost neighbor.
+                if cost.seconds < current_cost.seconds:
+                    current, current_cost = cand, cost
+            else:
+                delta = (cost.seconds - current_cost.seconds) / max(
+                    current_cost.seconds, 1e-12)
+                if delta <= 0 or self.rng.random() < math.exp(-delta / max(
+                        temperature, 1e-9)):
+                    current, current_cost = cand, cost
             if cost.seconds < best_cost.seconds:
                 best_cfg, best_cost = cand, cost
             temperature *= self.cooling
-        return TuneResult(best_config=best_cfg, best_cost=best_cost,
-                          trials=trials)
+        return self._result(best_cfg, best_cost, trials)

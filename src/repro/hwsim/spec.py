@@ -33,6 +33,19 @@ class CPUSpec:
     def with_(self, **kw) -> "CPUSpec":
         return replace(self, **kw)
 
+    def staging_budget_bytes(self, scope: str) -> int | None:
+        """Capacity budget for a staged buffer in memory ``scope``.
+
+        ``cache``/``shared`` staging must live in the last-level cache to
+        pay off; ``local`` staging targets the per-core L2.  Returns None
+        for scopes the model places no bound on.
+        """
+        if scope in ("cache", "shared"):
+            return self.llc_bytes
+        if scope == "local":
+            return self.l2_bytes
+        return None
+
 
 @dataclass(frozen=True)
 class GPUSpec:
@@ -57,6 +70,21 @@ class GPUSpec:
 
     def with_(self, **kw) -> "GPUSpec":
         return replace(self, **kw)
+
+    def staging_budget_bytes(self, scope: str) -> int | None:
+        """Capacity budget for a staged buffer in memory ``scope``.
+
+        A ``shared``-scope buffer is allocated per block and bounded by the
+        SM's shared-memory capacity (one resident block is the worst case);
+        ``cache`` staging is bounded by the device L2.  Returns None for
+        scopes the model places no bound on (``local`` maps to registers /
+        spill, which the launch does not reject).
+        """
+        if scope == "shared":
+            return self.shared_bytes_per_sm
+        if scope == "cache":
+            return self.l2_bytes
+        return None
 
 
 XEON_8124M = CPUSpec()

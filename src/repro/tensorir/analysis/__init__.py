@@ -1,0 +1,109 @@
+"""Static dataflow analysis over the lowered loop-nest IR.
+
+This package is the compile pipeline's ``analyze`` pass (between
+``validate`` and ``simplify``): where :mod:`repro.tensorir.validate`
+checks *structural* legality, the analyses here check *dataflow*
+properties the paper's scheduling freedom puts at risk:
+
+- :mod:`~repro.tensorir.analysis.races` -- write-write races across
+  ``parallel``/thread-bound axes (FG001): the edge- vs. vertex-parallel
+  aggregation hazard of Sec. III-B.
+- :mod:`~repro.tensorir.analysis.bounds` -- statically provable
+  out-of-bounds indices (FG002): over-splits and bad tile factors.
+- :mod:`~repro.tensorir.analysis.footprint` -- staging-buffer working
+  sets against the :mod:`repro.hwsim` capacities (FG003/FG004/FG005).
+
+All three share the symbolic access-map analysis in
+:mod:`~repro.tensorir.analysis.accessmap`.  Findings are
+:class:`Diagnostic` objects collected into an :class:`AnalysisReport`;
+in strict mode (:func:`set_strict`, :func:`strict`, or the
+``FEATGRAPH_ANALYSIS_STRICT`` environment variable) error-severity
+diagnostics raise :class:`AnalysisError` inside the pipeline.
+
+Entry points::
+
+    report = analyze_ir(stmt, target="gpu")   # a lowered loop nest
+    report = analyze_kernel(kernel)           # a compiled kernel object
+    python -m repro.tensorir.analysis         # the lint CLI
+"""
+
+from __future__ import annotations
+
+from .accessmap import (
+    Access,
+    AccessMap,
+    AllocSite,
+    IndexFn,
+    Interval,
+    LoopCtx,
+    affine_of,
+    collect_access_map,
+    is_parallel_kind,
+)
+from .bounds import check_bounds
+from .diagnostics import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    RULES,
+    Severity,
+    set_strict,
+    strict,
+    strict_enabled,
+)
+from .footprint import buffer_bytes, check_footprint
+from .races import check_races
+
+__all__ = [
+    "analyze_ir",
+    "analyze_kernel",
+    "Access",
+    "AccessMap",
+    "AllocSite",
+    "AnalysisError",
+    "AnalysisReport",
+    "Diagnostic",
+    "IndexFn",
+    "Interval",
+    "LoopCtx",
+    "RULES",
+    "Severity",
+    "affine_of",
+    "buffer_bytes",
+    "check_bounds",
+    "check_footprint",
+    "check_races",
+    "collect_access_map",
+    "is_parallel_kind",
+    "set_strict",
+    "strict",
+    "strict_enabled",
+]
+
+
+def analyze_ir(stmt, target: str | None = None) -> AnalysisReport:
+    """Run every dataflow check over one lowered loop nest."""
+    amap = collect_access_map(stmt)
+    diags: list[Diagnostic] = []
+    diags.extend(check_races(amap))
+    diags.extend(check_bounds(amap))
+    fp_diags, footprints = check_footprint(amap, target=target)
+    diags.extend(fp_diags)
+    return AnalysisReport(diagnostics=tuple(diags), footprints=footprints,
+                          target=target)
+
+
+def analyze_kernel(kernel) -> AnalysisReport:
+    """Analyze a compiled kernel, reusing its attached report when present.
+
+    Kernels compiled through :class:`repro.core.compile.CompilePipeline`
+    carry the ``analyze`` pass's report in their compile record; kernels
+    built some other way are analyzed from their lowered IR on the spot.
+    """
+    record = getattr(kernel, "_compile_record", None)
+    if record is not None:
+        report = record.artifacts.get("analysis")
+        if report is not None:
+            return report
+    target = getattr(kernel, "target", None)
+    return analyze_ir(kernel.lowered_ir(), target=target)

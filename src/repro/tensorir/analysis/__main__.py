@@ -1,0 +1,166 @@
+"""Lint driver: run the dataflow analyses over a suite of kernels.
+
+Usage::
+
+    python -m repro.tensorir.analysis [--suite builtins|bench|all]
+                                      [--target cpu|gpu|all]
+                                      [--strict] [--verbose]
+
+``--suite builtins`` compiles every builtin message/edge function from
+:mod:`repro.core.builtins` under its :func:`~repro.core.fds.default_fds_for`
+schedule; ``--suite bench`` adds the schedule/option variants the benchmark
+suite exercises (explicit tiling factors, graph/feature partitioning,
+multi-level FDS, tree reduction, hybrid partitioning).  Every compiled
+kernel's :class:`~repro.tensorir.analysis.AnalysisReport` is summarized;
+``--strict`` exits non-zero if any kernel carries an error-severity
+diagnostic (this is the CI ``lint-kernels`` gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import tensorir as T
+from repro.core import builtins as dgl_builtins
+from repro.core import fds as fds_mod
+from repro.core.compile import (KernelCache, compile_sddmm, compile_spmm,
+                                use_kernel_cache)
+from repro.graph.sparse import from_edges
+
+from . import AnalysisReport, Severity, analyze_kernel
+
+_N, _M, _F = 32, 96, 16
+
+
+def _adj(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return from_edges(_N, _N, rng.integers(0, _N, _M),
+                      rng.integers(0, _N, _M))
+
+
+def _msg_inputs(name: str):
+    """Placeholder arguments for one builtin message-function factory."""
+    XV = T.placeholder((_N, _F), name="XV")
+    if name == "copy_e":
+        return (T.placeholder((_M, _F), name="XE"),)
+    if name == "u_mul_e":
+        return (XV, T.placeholder((_M,), name="EW"))
+    return (XV,)
+
+
+def _shared_cache_fds(staged):
+    """Fig. 7a-style schedule staging ``staged`` through shared memory —
+    exercises the footprint estimator's FG003/FG005 path in the lint run."""
+    from repro.tensorir.schedule import create_schedule
+
+    def fn(out):
+        s = create_schedule(out)
+        s[out].bind(out.op.axis[0], "thread.x")
+        s.cache_read(staged, "shared", out)
+        return s
+
+    return fds_mod.FDS(fn)
+
+
+def iter_suite(suite: str, targets):
+    """Yield ``(label, compile_thunk)`` pairs for the requested suite."""
+    adj = _adj()
+    for target in targets:
+        for name in sorted(dgl_builtins.BUILTIN_MESSAGE_FUNCTIONS):
+            factory = dgl_builtins.BUILTIN_MESSAGE_FUNCTIONS[name]
+            args = _msg_inputs(name)
+            fds = fds_mod.default_fds_for(target, _F, "spmm")
+            yield (f"spmm/{name}/{target}",
+                   lambda a=args, f=factory, t=target, s=fds:
+                   compile_spmm(adj, f(*a), "sum", target=t, fds=s))
+        for name in sorted(dgl_builtins.BUILTIN_EDGE_FUNCTIONS):
+            factory = dgl_builtins.BUILTIN_EDGE_FUNCTIONS[name]
+            XA = T.placeholder((_N, _F), name="XA")
+            XB = T.placeholder((_N, _F), name="XB")
+            fds = fds_mod.default_fds_for(target, _F, "sddmm")
+            yield (f"sddmm/{name}/{target}",
+                   lambda f=factory, a=XA, b=XB, t=target, s=fds:
+                   compile_sddmm(adj, f(a, b), target=t, fds=s))
+        if suite in ("bench", "all"):
+            XV = T.placeholder((_N, _F), name="XV")
+            msg = dgl_builtins.copy_u_msg(XV)
+            variants = {
+                "tile8": dict(fds=fds_mod.cpu_tile_fds(8)),
+                "multilevel": dict(fds=fds_mod.cpu_multilevel_fds(8, 8)),
+                "partitioned": dict(
+                    fds=fds_mod.default_fds_for(target, _F, "spmm"),
+                    num_graph_partitions=4, num_feature_partitions=2),
+            }
+            if target == "gpu":
+                variants["feature_thread"] = dict(
+                    fds=fds_mod.gpu_feature_thread_fds())
+                variants["hybrid"] = dict(
+                    fds=fds_mod.default_fds_for(target, _F, "spmm"),
+                    hybrid_partitioning=True)
+                variants["shared_cache"] = dict(fds=_shared_cache_fds(XV))
+            for vname, kw in variants.items():
+                yield (f"spmm/copy_u+{vname}/{target}",
+                       lambda t=target, k=dict(kw):
+                       compile_spmm(adj, msg, "sum", target=t, **k))
+            if target == "gpu":
+                XA = T.placeholder((_N, _F), name="XA")
+                XB = T.placeholder((_N, _F), name="XB")
+                yield (f"sddmm/u_dot_v+tree_reduce/{target}",
+                       lambda t=target:
+                       compile_sddmm(adj, dgl_builtins.u_dot_v_edge(XA, XB),
+                                     target=t,
+                                     fds=fds_mod.gpu_tree_reduce_fds()))
+
+
+def lint(suite: str, targets, *, strict: bool, verbose: bool,
+         out=sys.stdout) -> int:
+    """Run the suite; returns the number of kernels with error diagnostics."""
+    failed = 0
+    counts = {Severity.ERROR: 0, Severity.WARNING: 0, Severity.INFO: 0}
+    with use_kernel_cache(KernelCache()):
+        for label, thunk in iter_suite(suite, targets):
+            kernel = thunk()
+            report: AnalysisReport = analyze_kernel(kernel)
+            for d in report.diagnostics:
+                counts[d.severity] += 1
+            if report.has_errors:
+                failed += 1
+                print(f"FAIL {label}", file=out)
+                for d in report.sorted():
+                    print(f"  {d.render()}", file=out)
+            elif verbose:
+                n = len(report.diagnostics)
+                print(f"ok   {label} ({n} diagnostic{'s' if n != 1 else ''})",
+                      file=out)
+                for d in report.sorted():
+                    print(f"  {d.render()}", file=out)
+    print(f"lint-kernels: {counts[Severity.ERROR]} errors, "
+          f"{counts[Severity.WARNING]} warnings, "
+          f"{counts[Severity.INFO]} notes; "
+          f"{failed} kernel(s) failing"
+          f"{' (strict)' if strict else ''}", file=out)
+    return failed
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.tensorir.analysis",
+        description="Static dataflow lint over FeatGraph kernels.")
+    ap.add_argument("--suite", choices=("builtins", "bench", "all"),
+                    default="builtins")
+    ap.add_argument("--target", choices=("cpu", "gpu", "all"), default="all")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero when any error diagnostic is found")
+    ap.add_argument("--verbose", "-v", action="store_true",
+                    help="also print clean kernels and their notes")
+    ns = ap.parse_args(argv)
+    targets = ("cpu", "gpu") if ns.target == "all" else (ns.target,)
+    failed = lint(ns.suite, targets, strict=ns.strict, verbose=ns.verbose)
+    return 1 if (ns.strict and failed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

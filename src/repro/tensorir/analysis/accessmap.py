@@ -1,0 +1,500 @@
+"""Symbolic index and access-map analysis over the lowered loop-nest IR.
+
+The dataflow checks (:mod:`~repro.tensorir.analysis.races`,
+:mod:`~repro.tensorir.analysis.bounds`) share one abstraction built here:
+every buffer access in a loop nest is summarized as a vector of
+:class:`IndexFn` objects -- affine-ish functions of the enclosing loop
+variables and declared free variables (``src``/``dst``/``eid``), with a
+residual interval absorbing whatever is not affine (gathers through index
+arrays, ``//``/``%`` arithmetic, intrinsic calls).
+
+Two facts make this precise enough to be useful:
+
+- split/fuse index arithmetic produced by
+  :func:`repro.tensorir.lower.lower` is genuinely affine
+  (``outer * factor + inner``), so tile factors and over-splits analyze
+  exactly;
+- the graph templates' indirection (``A_indices[e]``) is *not* affine, and
+  the analysis records exactly which loop variables the opaque part depends
+  on -- which is what the race detector needs to refuse to prove
+  edge-parallel scatter writes safe.
+
+:func:`collect_access_map` walks a statement tree once and returns an
+:class:`AccessMap`: every read and write with its index functions, the
+enclosing loop context (including ``parallel``/``bind`` annotations carried
+by :class:`~repro.tensorir.ir.For` kinds), the active guard predicates, and
+every :class:`~repro.tensorir.ir.Allocate` staging scope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.tensorir import expr as E
+from repro.tensorir import ir as I
+from repro.tensorir.simplify import simplify
+
+__all__ = [
+    "Interval",
+    "IndexFn",
+    "LoopCtx",
+    "Access",
+    "AllocSite",
+    "AccessMap",
+    "affine_of",
+    "collect_access_map",
+    "PARALLEL_KINDS",
+    "is_parallel_kind",
+]
+
+_INF = math.inf
+
+#: loop kinds whose iterations may execute concurrently
+PARALLEL_KINDS = ("parallel", "block.x", "block.y", "block.z",
+                  "thread.x", "thread.y", "thread.z")
+
+
+def is_parallel_kind(kind: str) -> bool:
+    """True for loop kinds whose iterations may run concurrently.
+
+    ``tree_reduce[...]`` loops are cooperative reductions with their own
+    combining discipline, and ``vectorize``/``unroll`` are sequential in
+    this runtime; neither counts.
+    """
+    return kind in PARALLEL_KINDS
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``; ``+-inf`` for unknown ends."""
+
+    lo: float
+    hi: float
+
+    TOP: "Interval" = None  # set below
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def width(self) -> float:
+        """``hi - lo`` (0 for a point, inf when either end is unknown)."""
+        return self.hi - self.lo
+
+    @property
+    def bounded(self) -> bool:
+        return self.lo > -_INF and self.hi < _INF
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        cands = [a * b for a in (self.lo, self.hi) for b in (other.lo, other.hi)
+                 if not (math.isnan(a * b))]
+        return Interval(min(cands), max(cands))
+
+    def scaled(self, c: int) -> "Interval":
+        if c >= 0:
+            return Interval(self.lo * c, self.hi * c)
+        return Interval(self.hi * c, self.lo * c)
+
+    def floordiv(self, c: int) -> "Interval":
+        if c == 0:
+            return Interval.TOP
+        ends = sorted((_fdiv(self.lo, c), _fdiv(self.hi, c)))
+        return Interval(ends[0], ends[1])
+
+    def mod(self, c: int) -> "Interval":
+        if c == 0:
+            return Interval.TOP
+        m = abs(c)
+        if self.bounded and self.lo >= 0 and self.hi < m:
+            return self  # already reduced
+        return Interval(0, m - 1)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def __repr__(self):
+        fmt = lambda v: "?" if abs(v) == _INF else str(int(v))  # noqa: E731
+        return f"[{fmt(self.lo)}, {fmt(self.hi)}]"
+
+
+Interval.TOP = Interval(-_INF, _INF)
+
+
+def _fdiv(a: float, c: int) -> float:
+    if abs(a) == _INF:
+        return a if c > 0 else -a
+    return a // c
+
+
+@dataclass(frozen=True)
+class IndexFn:
+    """``index = sum(coeffs[v] * v) + const + residual``.
+
+    ``coeffs`` maps variable names (loop vars or declared free vars whose
+    range the environment knows) to integer coefficients.  ``resid`` is the
+    interval of the non-affine remainder and ``resid_deps`` names every
+    variable that remainder depends on -- when a parallel loop variable
+    lands in ``resid_deps``, no injectivity claim about it can be proven.
+    """
+
+    coeffs: tuple  # ((name, coeff), ...), sorted by name
+    const: int
+    resid: Interval
+    resid_deps: frozenset
+
+    @property
+    def exact(self) -> bool:
+        """True when the index is a pure affine function of its variables."""
+        return self.resid.is_point and not self.resid_deps
+
+    def coeff(self, name: str) -> int:
+        for n, c in self.coeffs:
+            if n == name:
+                return c
+        return 0
+
+    def depends_on(self, name: str) -> bool:
+        return self.coeff(name) != 0 or name in self.resid_deps
+
+    def interval(self, env: dict[str, Interval]) -> Interval:
+        """Range of the index over the variable ranges in ``env``."""
+        out = Interval(self.const, self.const) + self.resid
+        for name, c in self.coeffs:
+            out = out + env.get(name, Interval.TOP).scaled(c)
+        return out
+
+    def drop(self, name: str) -> "IndexFn":
+        """The same function with variable ``name``'s affine term removed."""
+        return IndexFn(tuple((n, c) for n, c in self.coeffs if n != name),
+                       self.const, self.resid, self.resid_deps)
+
+    def render(self) -> str:
+        parts = [f"{c}*{n}" if c != 1 else n for n, c in self.coeffs]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        text = " + ".join(parts)
+        if not (self.resid.is_point and self.resid.lo == 0):
+            text += f" + {self.resid}"
+        return text
+
+
+def _fn(coeffs: dict[str, int] | None = None, const: int = 0,
+        resid: Interval | None = None,
+        deps: frozenset | None = None) -> IndexFn:
+    coeffs = {n: c for n, c in (coeffs or {}).items() if c != 0}
+    return IndexFn(tuple(sorted(coeffs.items())), const,
+                   resid if resid is not None else Interval(0, 0),
+                   deps if deps is not None else frozenset())
+
+
+def _opaque(interval: Interval, deps: frozenset) -> IndexFn:
+    return _fn(resid=interval, deps=deps)
+
+
+def _expr_deps(node: E.Expr) -> frozenset:
+    """Names of every variable (iter or free) an expression depends on."""
+    names: set[str] = set()
+
+    def walk(e: E.Expr):
+        if isinstance(e, (E.IterVar, E.Var)):
+            names.add(e.name)
+        for c in e.children():
+            walk(c)
+
+    walk(node)
+    return frozenset(names)
+
+
+def affine_of(node: E.Expr, env: dict[str, Interval] | None = None) -> IndexFn:
+    """Summarize an index expression as an :class:`IndexFn`.
+
+    ``env`` supplies variable ranges used only to bound the residual of
+    non-affine subtrees (``//``, ``%``, gathers); affine structure itself is
+    range-independent.
+    """
+    env = env or {}
+    if isinstance(node, (E.IntImm,)):
+        return _fn(const=node.value)
+    if isinstance(node, E.FloatImm):
+        v = node.value
+        if float(v).is_integer():
+            return _fn(const=int(v))
+        return _opaque(Interval.TOP, frozenset())
+    if isinstance(node, (E.IterVar, E.Var)):
+        return _fn({node.name: 1})
+    if isinstance(node, E.Cast):
+        return affine_of(node.value, env)
+    if isinstance(node, E.BinOp):
+        a = affine_of(node.a, env)
+        b = affine_of(node.b, env)
+        if node.op == "+":
+            return _combine(a, b, 1)
+        if node.op == "-":
+            return _combine(a, b, -1)
+        if node.op == "*":
+            for lhs, rhs in ((a, b), (b, a)):
+                if _is_const_fn(lhs):
+                    return _scale(rhs, lhs.const)
+            iv = _interval_of_fn(a, env) * _interval_of_fn(b, env)
+            return _opaque(iv, _expr_deps(node))
+        if node.op in ("//", "%"):
+            if _is_const_fn(b):
+                base = _interval_of_fn(a, env)
+                iv = (base.floordiv(b.const) if node.op == "//"
+                      else base.mod(b.const))
+                return _opaque(iv, _expr_deps(node.a))
+            return _opaque(Interval.TOP, _expr_deps(node))
+        if node.op in ("max", "min"):
+            ia, ib = _interval_of_fn(a, env), _interval_of_fn(b, env)
+            if node.op == "max":
+                iv = Interval(max(ia.lo, ib.lo), max(ia.hi, ib.hi))
+            else:
+                iv = Interval(min(ia.lo, ib.lo), min(ia.hi, ib.hi))
+            return _opaque(iv, _expr_deps(node))
+        return _opaque(Interval.TOP, _expr_deps(node))  # comparisons, "/"
+    # gathers, intrinsic calls, selects, reductions: opaque
+    return _opaque(Interval.TOP, _expr_deps(node))
+
+
+def _is_const_fn(fn: IndexFn) -> bool:
+    return not fn.coeffs and fn.exact
+
+
+def _combine(a: IndexFn, b: IndexFn, sign: int) -> IndexFn:
+    coeffs = dict(a.coeffs)
+    for n, c in b.coeffs:
+        coeffs[n] = coeffs.get(n, 0) + sign * c
+    resid = a.resid + b.resid.scaled(sign)
+    return _fn(coeffs, a.const + sign * b.const, resid,
+               a.resid_deps | b.resid_deps)
+
+
+def _scale(fn: IndexFn, c: int) -> IndexFn:
+    return _fn({n: co * c for n, co in fn.coeffs}, fn.const * c,
+               fn.resid.scaled(c), fn.resid_deps)
+
+
+def _interval_of_fn(fn: IndexFn, env: dict[str, Interval]) -> Interval:
+    return fn.interval(env)
+
+
+# ----------------------------------------------------------------------
+# guard refinement
+# ----------------------------------------------------------------------
+
+def _canon(node: E.Expr) -> str:
+    return repr(simplify(node))
+
+
+def guard_bounds(cond: E.Expr,
+                 env: dict[str, Interval]) -> dict[str, Interval]:
+    """Extract ``canonical-expr -> interval`` refinements from a guard.
+
+    Handles the comparison shapes the lowering emits (``e < c``, ``e <= c``,
+    ``e > c``, ``e >= c`` with a constant-ranged right-hand side) plus the
+    mirrored forms.  Unrecognized predicates refine nothing.
+    """
+    out: dict[str, Interval] = {}
+    if not isinstance(cond, E.BinOp) or cond.op not in ("<", "<=", ">", ">="):
+        return out
+    lhs, rhs, op = cond.a, cond.b, cond.op
+    rhs_iv = affine_of(rhs, env).interval(env)
+    lhs_iv = affine_of(lhs, env).interval(env)
+    if rhs_iv.bounded:
+        if op == "<":
+            out[_canon(lhs)] = Interval(-_INF, rhs_iv.hi - 1)
+        elif op == "<=":
+            out[_canon(lhs)] = Interval(-_INF, rhs_iv.hi)
+        elif op == ">":
+            out[_canon(lhs)] = Interval(rhs_iv.lo + 1, _INF)
+        else:
+            out[_canon(lhs)] = Interval(rhs_iv.lo, _INF)
+    if lhs_iv.bounded:
+        if op == "<":
+            out.setdefault(_canon(rhs), Interval(lhs_iv.lo + 1, _INF))
+        elif op == "<=":
+            out.setdefault(_canon(rhs), Interval(lhs_iv.lo, _INF))
+        elif op == ">":
+            out.setdefault(_canon(rhs), Interval(-_INF, lhs_iv.hi - 1))
+        else:
+            out.setdefault(_canon(rhs), Interval(-_INF, lhs_iv.hi))
+    return out
+
+
+# ----------------------------------------------------------------------
+# access collection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LoopCtx:
+    """One enclosing loop at an access site."""
+
+    name: str
+    extent: int
+    kind: str
+
+    @property
+    def parallel(self) -> bool:
+        return is_parallel_kind(self.kind)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One read or write of a buffer, with its analyzed index vector."""
+
+    buffer_name: str
+    shape: tuple
+    kind: str                       # "read" | "write"
+    combiner: str | None            # writes only; None = plain store
+    indices: tuple                  # the raw index Exprs
+    index_fns: tuple                # one IndexFn per dimension
+    loops: tuple                    # enclosing LoopCtx, outermost first
+    refinements: tuple              # ((canonical expr, Interval), ...)
+    loc: str
+
+    def env(self) -> dict[str, Interval]:
+        """Variable ranges visible at this access site."""
+        return {lp.name: Interval(0, lp.extent - 1) for lp in self.loops}
+
+    def dim_interval(self, d: int) -> Interval:
+        """Guard-refined value range of index dimension ``d``."""
+        iv = self.index_fns[d].interval(self.env())
+        key = _canon(self.indices[d])
+        for ckey, bound in self.refinements:
+            if ckey == key:
+                iv = iv.intersect(bound)
+        return iv
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """One ``Allocate`` staging scope."""
+
+    buffer_name: str
+    shape: tuple
+    dtype: str
+    scope: str
+    loc: str
+
+
+@dataclass
+class AccessMap:
+    """Every access and allocation of one loop nest."""
+
+    accesses: list = field(default_factory=list)
+    allocs: list = field(default_factory=list)
+
+    def writes(self):
+        return [a for a in self.accesses if a.kind == "write"]
+
+    def reads(self):
+        return [a for a in self.accesses if a.kind == "read"]
+
+    def by_buffer(self) -> dict[str, list]:
+        out: dict[str, list] = {}
+        for a in self.accesses:
+            out.setdefault(a.buffer_name, []).append(a)
+        return out
+
+
+class _Collector:
+    def __init__(self):
+        self.map = AccessMap()
+
+    def run(self, stmt: I.Stmt):
+        self._stmt(stmt, loops=(), refinements=(), env={})
+        return self.map
+
+    # -- statements -----------------------------------------------------
+    def _stmt(self, stmt, loops, refinements, env):
+        if isinstance(stmt, I.For):
+            ctx = LoopCtx(stmt.var.name, int(stmt.extent), stmt.kind)
+            inner_env = dict(env)
+            inner_env[ctx.name] = Interval(0, max(ctx.extent - 1, 0))
+            self._stmt(stmt.body, loops + (ctx,), refinements, inner_env)
+            return
+        if isinstance(stmt, I.IfThenElse):
+            self._expr_reads(stmt.cond, loops, refinements, env)
+            bounds = guard_bounds(stmt.cond, env)
+            then_ref = refinements + tuple(bounds.items())
+            self._stmt(stmt.then_body, loops, then_ref, env)
+            if stmt.else_body is not None:
+                self._stmt(stmt.else_body, loops, refinements, env)
+            return
+        if isinstance(stmt, I.Store):
+            loc = self._loc(loops, f"store {stmt.buffer.name}")
+            fns = tuple(affine_of(simplify(i), env) for i in stmt.indices)
+            self.map.accesses.append(Access(
+                buffer_name=stmt.buffer.name, shape=tuple(stmt.buffer.shape),
+                kind="write", combiner=stmt.combiner,
+                indices=tuple(stmt.indices), index_fns=fns, loops=loops,
+                refinements=refinements, loc=loc))
+            self._expr_reads(stmt.value, loops, refinements, env)
+            for idx in stmt.indices:
+                self._expr_reads(idx, loops, refinements, env)
+            return
+        if isinstance(stmt, I.SeqStmt):
+            for s in stmt.stmts:
+                self._stmt(s, loops, refinements, env)
+            return
+        if isinstance(stmt, I.Allocate):
+            self.map.allocs.append(AllocSite(
+                buffer_name=stmt.buffer.name,
+                shape=tuple(stmt.buffer.shape), dtype=stmt.buffer.dtype,
+                scope=stmt.scope, loc=self._loc(loops, "allocate")))
+            self._stmt(stmt.body, loops, refinements, env)
+            return
+        if isinstance(stmt, I.AttrStmt):
+            self._stmt(stmt.body, loops, refinements, env)
+            return
+        if isinstance(stmt, I.Evaluate):
+            self._expr_reads(stmt.expr, loops, refinements, env)
+            return
+        raise TypeError(f"unknown statement type {type(stmt).__name__}")
+
+    # -- expression reads -----------------------------------------------
+    def _expr_reads(self, node, loops, refinements, env):
+        if not isinstance(node, E.Expr):
+            return
+        if isinstance(node, E.TensorElem):
+            t = node.tensor
+            fns = tuple(affine_of(simplify(i), env) for i in node.indices)
+            self.map.accesses.append(Access(
+                buffer_name=t.name, shape=tuple(t.shape), kind="read",
+                combiner=None, indices=tuple(node.indices), index_fns=fns,
+                loops=loops, refinements=refinements,
+                loc=self._loc(loops, f"read {t.name}")))
+            for i in node.indices:
+                self._expr_reads(i, loops, refinements, env)
+            return
+        if isinstance(node, E.Reduce):
+            # The reduction binds its own axes over their exact domains.
+            inner_env = dict(env)
+            inner_loops = loops
+            for ax in node.axes:
+                inner_env[ax.name] = Interval(ax.dom[0], ax.dom[1] - 1)
+                inner_loops = inner_loops + (
+                    LoopCtx(ax.name, ax.extent, "reduce"),)
+            self._expr_reads(node.source, inner_loops, refinements, inner_env)
+            return
+        for c in node.children():
+            self._expr_reads(c, loops, refinements, env)
+
+    @staticmethod
+    def _loc(loops, leaf: str) -> str:
+        segs = [f"{lp.name}[{lp.kind}]" if lp.kind != "serial" else lp.name
+                for lp in loops]
+        return " > ".join(segs + [leaf]) if segs else leaf
+
+
+def collect_access_map(stmt: I.Stmt) -> AccessMap:
+    """Walk a loop nest once, summarizing every access and allocation."""
+    return _Collector().run(stmt)

@@ -1,0 +1,47 @@
+"""Static bounds checking of buffer indices against declared shapes.
+
+Every access in the :class:`~.accessmap.AccessMap` carries per-dimension
+:class:`~.accessmap.IndexFn` summaries; here we evaluate each one over the
+enclosing loop extents -- refined by active guards -- and flag indices that
+*provably* escape the buffer's declared shape (FG002).
+
+Provability is the point.  A split with a non-dividing factor produces an
+index ``outer * factor + inner`` whose raw range overshoots the axis
+extent, but the lowering wraps the store in a guard ``index < extent``;
+guard refinement clamps the interval back inside, so legal imperfect
+splits stay clean.  An *over-split* -- tile factors whose product exceeds
+the axis, applied without a guard -- keeps its overshooting range and is
+reported.  Conversely, nothing is reported for index expressions the
+analysis cannot pin down exactly (gathers, opaque arithmetic): a lint that
+cries wolf on every indirection would be ignored, so FG002 fires only on
+*exact* affine indices over bounded loop ranges, where the offending
+iteration demonstrably exists.
+"""
+
+from __future__ import annotations
+
+from .accessmap import AccessMap
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["check_bounds"]
+
+
+def check_bounds(amap: AccessMap) -> list[Diagnostic]:
+    """FG002: indices provably outside the declared buffer shape."""
+    out: list[Diagnostic] = []
+    for acc in amap.accesses:
+        for d, fn in enumerate(acc.index_fns):
+            if not fn.exact:
+                continue  # can't prove anything about opaque indices
+            iv = acc.dim_interval(d)
+            if not iv.bounded:
+                continue
+            extent = acc.shape[d]
+            if iv.hi >= extent or iv.lo < 0:
+                out.append(Diagnostic(
+                    rule="FG002", severity=Severity.ERROR, loc=acc.loc,
+                    message=(f"{acc.kind} index {fn.render()} of "
+                             f"{acc.buffer_name} dim {d} spans {iv} but the "
+                             f"declared extent is {extent}; check split/tile "
+                             f"factors against the axis length")))
+    return out

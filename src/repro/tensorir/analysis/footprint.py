@@ -1,0 +1,131 @@
+"""Memory-footprint estimation for staging buffers and reduction scratch.
+
+FeatGraph's GPU schedules stage hot operands in shared memory (the paper's
+degree-based partitioning exists precisely to make the staged slice fit,
+Sec. III-B2) and its CPU schedules stage through cache-resident tiles.
+This pass sizes every ``Allocate`` in the lowered nest and compares it to
+the simulated hardware budgets from :mod:`repro.hwsim`:
+
+- ``shared``-scope buffers on GPU against
+  :meth:`~repro.hwsim.spec.GPUSpec.staging_budget_bytes` (the per-SM /
+  per-block shared-memory capacity) -- exceeding it is **FG003** (error):
+  the kernel cannot launch on the modeled device.
+- ``cache``-scope buffers on CPU against the last-level cache -- exceeding
+  it is **FG004** (warning): the kernel still runs, but the staging
+  defeats its own purpose and the cost model's locality assumptions.
+- everything else gets an **FG005** (info) note recording the estimate,
+  including the implicit per-block scratch of ``tree_reduce``-annotated
+  loops (one accumulator slot per participating thread).
+
+Estimates are products of declared allocation extents -- which
+``validate_ir`` now guarantees to be non-negative and rank-consistent --
+times the dtype width, so they are upper bounds of the true working set
+(a partitioned schedule touches a slice per step, not the whole buffer).
+An upper bound is the right direction for a capacity lint.
+"""
+
+from __future__ import annotations
+
+from repro.hwsim.spec import CPUSpec, GPUSpec, TESLA_V100, XEON_8124M
+
+from .accessmap import AccessMap
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["check_footprint", "DTYPE_BYTES", "buffer_bytes"]
+
+DTYPE_BYTES = {
+    "float64": 8, "float32": 4, "float16": 2,
+    "int64": 8, "int32": 4, "int16": 2, "int8": 1, "bool": 1,
+}
+
+
+def buffer_bytes(shape, dtype: str) -> int:
+    n = 1
+    for s in shape:
+        n *= int(s)
+    return n * DTYPE_BYTES.get(dtype, 4)
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1024 * 1024:
+        return f"{n / (1024 * 1024):.1f} MiB"
+    if n >= 1024:
+        return f"{n / 1024:.1f} KiB"
+    return f"{n} B"
+
+
+def check_footprint(amap: AccessMap, target: str | None = None,
+                    cpu: CPUSpec = XEON_8124M,
+                    gpu: GPUSpec = TESLA_V100):
+    """FG003/FG004/FG005 capacity checks.
+
+    Returns ``(diagnostics, footprints)`` where ``footprints`` maps each
+    staged buffer name to ``(scope, estimated_bytes)``.
+    """
+    diags: list[Diagnostic] = []
+    footprints: dict[str, tuple[str, int]] = {}
+
+    for alloc in amap.allocs:
+        size = buffer_bytes(alloc.shape, alloc.dtype)
+        footprints[alloc.buffer_name] = (alloc.scope, size)
+        budget = (gpu.staging_budget_bytes(alloc.scope) if target == "gpu"
+                  else cpu.staging_budget_bytes(alloc.scope)
+                  if target == "cpu" else None)
+        if budget is not None and size > budget:
+            if target == "gpu" and alloc.scope == "shared":
+                diags.append(Diagnostic(
+                    rule="FG003", severity=Severity.ERROR, loc=alloc.loc,
+                    message=(f"shared-memory staging of {alloc.buffer_name} "
+                             f"needs {_fmt_bytes(size)} but {gpu.name} "
+                             f"provides {_fmt_bytes(budget)} per block; "
+                             f"partition the staged tensor (Sec. III-B2)")))
+                continue
+            diags.append(Diagnostic(
+                rule="FG004", severity=Severity.WARNING, loc=alloc.loc,
+                message=(f"{alloc.scope}-scope staging of "
+                         f"{alloc.buffer_name} is {_fmt_bytes(size)}, over "
+                         f"the {_fmt_bytes(budget)} "
+                         f"{'LLC' if target == 'cpu' else 'budget'}; the "
+                         f"staged working set will thrash")))
+        else:
+            diags.append(Diagnostic(
+                rule="FG005", severity=Severity.INFO, loc=alloc.loc,
+                message=(f"{alloc.scope}-scope staging of "
+                         f"{alloc.buffer_name}: {_fmt_bytes(size)} "
+                         f"working set")))
+
+    # Cooperative tree reductions hold one accumulator per participating
+    # thread in block-shared scratch.
+    for scratch_name, (bytes_, loc) in _tree_reduce_scratch(amap).items():
+        footprints[scratch_name] = ("shared", bytes_)
+        if target == "gpu" and bytes_ > gpu.staging_budget_bytes("shared"):
+            diags.append(Diagnostic(
+                rule="FG003", severity=Severity.ERROR, loc=loc,
+                message=(f"tree-reduction scratch {scratch_name} needs "
+                         f"{_fmt_bytes(bytes_)} per block, over the "
+                         f"{_fmt_bytes(gpu.staging_budget_bytes('shared'))} "
+                         f"shared-memory budget")))
+        else:
+            diags.append(Diagnostic(
+                rule="FG005", severity=Severity.INFO, loc=loc,
+                message=(f"tree-reduction scratch {scratch_name}: "
+                         f"{_fmt_bytes(bytes_)} per block")))
+    return diags, footprints
+
+
+def _tree_reduce_scratch(amap: AccessMap) -> dict:
+    """Implicit per-block scratch of ``tree_reduce[...]`` loops.
+
+    One float32 accumulator slot per participating thread (the extent of
+    the annotated loop), keyed so repeated sightings of the same loop var
+    across accesses collapse to one entry.
+    """
+    out: dict[str, tuple[int, str]] = {}
+    for acc in amap.accesses:
+        for i, loop in enumerate(acc.loops):
+            if loop.kind.startswith("tree_reduce["):
+                name = f"{loop.name}.tree_reduce"
+                if name not in out:
+                    path = " > ".join(lp.name for lp in acc.loops[:i + 1])
+                    out[name] = (loop.extent * DTYPE_BYTES["float32"], path)
+    return out

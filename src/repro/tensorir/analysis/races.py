@@ -1,0 +1,113 @@
+"""Write-write race detection over parallel and thread-bound axes.
+
+The paper's central correctness hazard (Sec. III-B): an **edge-parallel**
+SpMM schedule assigns edges to concurrent workers, and two edges sharing a
+destination row scatter into the same ``out`` element -- the aggregation
+must be an atomic/combiner update or the result is a data race.  The
+**vertex-parallel** form partitions destination rows across workers, so
+every worker owns its output rows and a plain store is fine.
+
+The detector runs over the :class:`~.accessmap.AccessMap`: for every plain
+(non-combiner) store enclosed by a ``parallel``/``block.*``/``thread.*``
+loop, it tries to *prove* that distinct iterations of that loop write
+distinct buffer elements.  The proof obligation per parallel variable ``p``
+is the standard injectivity criterion on some index dimension::
+
+    index_d = c * p + remainder        (c != 0, remainder independent of p)
+    width(remainder) < |c|             -- distinct p can never collide
+
+which handles direct indexing (``out[v, f]``: c=1, remainder width 0) and
+tiled indexing (``out[v_out * 32 + v_in]``: c=32, remainder width 31).
+Scatter through an index gather (``out[A_indices[e], f]``) leaves ``p`` in
+the residual dependence set -- unprovable, and genuinely racy when the
+gather is a graph adjacency (many edges per destination).  Gathers through
+arrays known to be **injective** (the edge-id permutations ``A_edge_ids`` /
+``A_src`` / ``A_dst`` hold each CSR position exactly once) are peeled: the
+store is race-free iff the gather's argument is itself injective in ``p``.
+
+Combiner stores are exempt by design: the runtime treats them as atomic
+read-modify-write updates (Sec. III-B's "atomic aggregation"), which is
+exactly the paper's prescription for edge-parallel schedules.
+"""
+
+from __future__ import annotations
+
+from repro.tensorir import expr as E
+from repro.tensorir.simplify import simplify
+
+from .accessmap import Access, AccessMap, IndexFn, LoopCtx, affine_of
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["check_races", "INJECTIVE_INDEX_ARRAYS"]
+
+#: index arrays whose gather is injective: each holds a permutation of CSR
+#: edge positions (one entry per edge, no duplicates).  ``A_indices`` --
+#: column indices, i.e. source vertices -- is deliberately NOT here: many
+#: edges share a source/destination, which is the whole point of FG001.
+INJECTIVE_INDEX_ARRAYS = frozenset({"A_edge_ids"})
+
+
+def check_races(amap: AccessMap) -> list[Diagnostic]:
+    """FG001: plain stores that may collide across a parallel axis."""
+    out: list[Diagnostic] = []
+    for acc in amap.writes():
+        if acc.combiner is not None:
+            continue  # atomic/combiner update: safe under any parallel axis
+        for loop in acc.loops:
+            if not (loop.parallel and loop.extent > 1):
+                continue
+            if not _store_injective_in(acc, loop):
+                out.append(_race_diag(acc, loop))
+    return out
+
+
+def _race_diag(acc: Access, loop: LoopCtx) -> Diagnostic:
+    idx = ", ".join(fn.render() for fn in acc.index_fns)
+    return Diagnostic(
+        rule="FG001", severity=Severity.ERROR, loc=acc.loc,
+        message=(f"plain store to {acc.buffer_name}[{idx}] is not provably "
+                 f"distinct across iterations of {loop.kind!r} axis "
+                 f"{loop.name!r} (extent {loop.extent}); use an atomic "
+                 f"combiner or a {loop.name}-owning parallelization"))
+
+
+def _store_injective_in(acc: Access, loop: LoopCtx) -> bool:
+    """True if distinct iterations of ``loop`` provably write distinct
+    elements: some index dimension separates them."""
+    env = acc.env()
+    for d in range(len(acc.index_fns)):
+        if _dim_injective(acc.index_fns[d], acc.indices[d], loop, env):
+            return True
+    return False
+
+
+def _dim_injective(fn: IndexFn, raw_index: E.Expr, loop: LoopCtx,
+                   env: dict) -> bool:
+    if _affine_injective(fn, loop, env):
+        return True
+    # Peel one injective gather: out[A_edge_ids[arg]] is injective in p
+    # iff arg is.  (A permutation composed with an injection is injective.)
+    node = simplify(raw_index)
+    if (isinstance(node, E.TensorElem)
+            and node.tensor.name in INJECTIVE_INDEX_ARRAYS
+            and len(node.indices) == 1):
+        arg_fn = affine_of(node.indices[0], env)
+        return _affine_injective(arg_fn, loop, env)
+    return False
+
+
+def _affine_injective(fn: IndexFn, loop: LoopCtx, env: dict) -> bool:
+    """The ``width(remainder) < |c|`` criterion for one affine index."""
+    p = loop.name
+    c = fn.coeff(p)
+    if c == 0 or p in fn.resid_deps:
+        return False
+    remainder = fn.resid.width
+    for name, coeff in fn.coeffs:
+        if name == p:
+            continue
+        rng = env.get(name)
+        if rng is None or not rng.bounded:
+            return False
+        remainder += abs(coeff) * rng.width
+    return remainder < abs(c)

@@ -18,7 +18,8 @@ from repro.tensorir import expr as E
 from repro.tensorir import ir as I
 from repro.tensorir.schedule import FuseRel, Schedule, SplitRel, Stage
 from repro.tensorir.simplify import simplify
-from repro.tensorir.validate import validate_ir, validate_schedule
+from repro.tensorir.validate import (DEFAULT_FREE_VARS, validate_ir,
+                                     validate_schedule)
 
 __all__ = ["lower", "substitute", "inline_computes"]
 
@@ -193,13 +194,17 @@ def lower(schedule: Schedule, output: E.Tensor | None = None, *,
     red = _find_reduce(body_expr)
     leaves = stage.leaf_iter_vars
 
+    # The compute's own free variables (the template trace vars plus any
+    # user parameters) are legal references in the lowered nest.
+    free_names = DEFAULT_FREE_VARS | {v.name for v in op.free_vars()}
+
     if red is None:
         value = simplify(substitute(body_expr, index_values))
         store = I.Store(out_buf, value, out_indices)
         stmt = _wrap_loops(_guarded(store, guards), leaves, stage)
         stmt = _attach_cache_reads(stmt, stage)
         if validate:
-            validate_ir(stmt)
+            validate_ir(stmt, free_vars=free_names)
         return stmt
 
     # Reduction: init nest over data leaves, accumulate nest over all leaves,
@@ -226,7 +231,7 @@ def lower(schedule: Schedule, output: E.Tensor | None = None, *,
     stmt = I.SeqStmt(stmts)
     stmt = _attach_cache_reads(stmt, stage)
     if validate:
-        validate_ir(stmt)
+        validate_ir(stmt, free_vars=free_names)
     return stmt
 
 

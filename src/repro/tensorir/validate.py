@@ -13,9 +13,12 @@ legality a first-class check with two entry points:
 
 - :func:`validate_ir` -- structural checks on a lowered loop nest: every
   loop variable is bound exactly once along any path, every variable
-  referenced by a statement is bound by an enclosing loop (or is a declared
-  free variable such as ``src``/``dst``/``eid``), reduce axes appear only
-  inside combiner updates, and buffer store arity matches buffer rank.
+  referenced by a statement -- store *or* guard -- is bound by an enclosing
+  loop (or is a declared free variable such as ``src``/``dst``/``eid``),
+  reduce axes appear only inside combiner updates, buffer store arity
+  matches buffer rank, and ``Allocate`` extents are non-negative integers
+  whose rank agrees with stores into the allocated buffer (the analysis
+  footprint estimator relies on this).
 
 Both raise eagerly with the offending axis/variable named, so a bad FDS
 surfaces at :func:`repro.core.api.spmm` construction time rather than as a
@@ -25,12 +28,15 @@ default.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.tensorir import expr as E
 from repro.tensorir import ir as I
 
 __all__ = [
     "ScheduleError",
     "IRValidationError",
+    "DEFAULT_FREE_VARS",
     "validate_schedule",
     "validate_ir",
 ]
@@ -172,44 +178,60 @@ def validate_schedule(stage, target: str | None = None) -> None:
 # IR structural validation
 # ----------------------------------------------------------------------
 
-def _expr_iter_vars(node: E.Expr, out: dict[str, E.IterVar]) -> None:
-    if isinstance(node, E.IterVar):
+#: free variables every FeatGraph template declares for its UDF trace
+DEFAULT_FREE_VARS = frozenset({"src", "dst", "eid"})
+
+
+def _expr_vars(node: E.Expr, out: dict[str, E.Var]) -> None:
+    """Collect every variable -- loop :class:`~repro.tensorir.expr.IterVar`
+    or plain free :class:`~repro.tensorir.expr.Var` -- read by ``node``."""
+    if isinstance(node, (E.IterVar, E.Var)):
         out.setdefault(node.name, node)
     if isinstance(node, E.Reduce):
         # A Reduce node binds its own axes: they are iterated by the
         # reduction itself, not by an enclosing loop.  Template loop nests
         # (see repro.core.compile) legitimately keep inline Reduce values in
         # their stores, so those axes must not be reported as free.
-        inner: dict[str, E.IterVar] = {}
+        inner: dict[str, E.Var] = {}
         for c in node.children():
-            _expr_iter_vars(c, inner)
+            _expr_vars(c, inner)
         for ax in node.axes:
             inner.pop(ax.name, None)
         for name, var in inner.items():
             out.setdefault(name, var)
         return
     for c in node.children():
-        _expr_iter_vars(c, out)
+        _expr_vars(c, out)
 
 
-def _check_store(stmt: I.Stmt, bound: dict[str, E.IterVar],
-                 in_reduce_loop: bool) -> None:
+def _check_store(stmt: I.Stmt, bound: dict[str, E.Var],
+                 free: frozenset, in_reduce_loop: bool,
+                 alloc_shapes: dict[str, tuple]) -> None:
     if not isinstance(stmt, I.Store):
         return
     if len(stmt.indices) != len(stmt.buffer.shape):
         raise IRValidationError(
             f"store to buffer {stmt.buffer.name} uses {len(stmt.indices)} "
             f"indices but the buffer has rank {len(stmt.buffer.shape)}")
-    used: dict[str, E.IterVar] = {}
+    alloc_shape = alloc_shapes.get(stmt.buffer.name)
+    if alloc_shape is not None and len(stmt.buffer.shape) != len(alloc_shape):
+        raise IRValidationError(
+            f"store to buffer {stmt.buffer.name} has rank "
+            f"{len(stmt.buffer.shape)} but the enclosing allocation declares "
+            f"rank {len(alloc_shape)}")
+    used: dict[str, E.Var] = {}
     for idx in stmt.indices:
-        _expr_iter_vars(idx, used)
-    _expr_iter_vars(stmt.value, used)
+        _expr_vars(idx, used)
+    _expr_vars(stmt.value, used)
     for name, var in used.items():
-        if name not in bound:
+        if name not in bound and name not in free:
+            kind = ("loop" if isinstance(var, E.IterVar) else "free")
             raise IRValidationError(
-                f"loop variable {name} is referenced by a store to "
-                f"{stmt.buffer.name} but not bound by any enclosing loop")
-        if stmt.combiner is None and var.kind == E.IterVar.REDUCE:
+                f"{kind} variable {name} is referenced by a store to "
+                f"{stmt.buffer.name} but not bound by any enclosing loop "
+                "or declared free")
+        if (stmt.combiner is None and isinstance(var, E.IterVar)
+                and var.kind == E.IterVar.REDUCE):
             raise IRValidationError(
                 f"reduce axis {name} is referenced by a plain store to "
                 f"{stmt.buffer.name}; reduce axes may only feed combiner "
@@ -220,8 +242,9 @@ def _check_store(stmt: I.Stmt, bound: dict[str, E.IterVar],
             "loop; only combiner updates are legal there")
 
 
-def _validate_stmt(stmt: I.Stmt, bound: dict[str, E.IterVar],
-                   in_reduce_loop: bool) -> None:
+def _validate_stmt(stmt: I.Stmt, bound: dict[str, E.Var], free: frozenset,
+                   in_reduce_loop: bool,
+                   alloc_shapes: dict[str, tuple]) -> None:
     if isinstance(stmt, I.For):
         name = stmt.var.name
         if name in bound:
@@ -233,36 +256,59 @@ def _validate_stmt(stmt: I.Stmt, bound: dict[str, E.IterVar],
                 f"loop over {name} has negative extent {stmt.extent}")
         inner = dict(bound)
         inner[name] = stmt.var
-        _validate_stmt(stmt.body, inner,
-                       in_reduce_loop or stmt.var.kind == E.IterVar.REDUCE)
+        _validate_stmt(stmt.body, inner, free,
+                       in_reduce_loop or stmt.var.kind == E.IterVar.REDUCE,
+                       alloc_shapes)
         return
     if isinstance(stmt, I.Store):
-        _check_store(stmt, bound, in_reduce_loop)
+        _check_store(stmt, bound, free, in_reduce_loop, alloc_shapes)
         return
     if isinstance(stmt, I.IfThenElse):
-        used: dict[str, E.IterVar] = {}
-        _expr_iter_vars(stmt.cond, used)
+        used: dict[str, E.Var] = {}
+        _expr_vars(stmt.cond, used)
         for name in used:
-            if name not in bound:
+            # The declared free variables (src/dst/eid) are as legal in a
+            # guard as the docstring promises they are in a store: the
+            # templates substitute them with per-edge gathers at lowering.
+            if name not in bound and name not in free:
                 raise IRValidationError(
-                    f"loop variable {name} is referenced by a guard but not "
-                    "bound by any enclosing loop")
-        _validate_stmt(stmt.then_body, bound, in_reduce_loop)
+                    f"variable {name} is referenced by a guard but not "
+                    "bound by any enclosing loop or declared free")
+        _validate_stmt(stmt.then_body, bound, free, in_reduce_loop,
+                       alloc_shapes)
         if stmt.else_body is not None:
-            _validate_stmt(stmt.else_body, bound, in_reduce_loop)
+            _validate_stmt(stmt.else_body, bound, free, in_reduce_loop,
+                           alloc_shapes)
         return
     if isinstance(stmt, (I.SeqStmt,)):
         for s in stmt.stmts:
-            _validate_stmt(s, bound, in_reduce_loop)
+            _validate_stmt(s, bound, free, in_reduce_loop, alloc_shapes)
         return
-    if isinstance(stmt, (I.Allocate, I.AttrStmt)):
-        _validate_stmt(stmt.body, bound, in_reduce_loop)
+    if isinstance(stmt, I.Allocate):
+        for d, extent in enumerate(stmt.buffer.shape):
+            if not isinstance(extent, (int, np.integer)) or extent < 0:
+                raise IRValidationError(
+                    f"allocation of {stmt.buffer.name} has illegal extent "
+                    f"{extent!r} in dim {d}; extents must be non-negative "
+                    "integers")
+        inner = dict(alloc_shapes)
+        inner[stmt.buffer.name] = tuple(stmt.buffer.shape)
+        _validate_stmt(stmt.body, bound, free, in_reduce_loop, inner)
+        return
+    if isinstance(stmt, I.AttrStmt):
+        _validate_stmt(stmt.body, bound, free, in_reduce_loop, alloc_shapes)
         return
     if isinstance(stmt, I.Evaluate):
         return
     raise IRValidationError(f"unknown statement type {type(stmt).__name__}")
 
 
-def validate_ir(stmt: I.Stmt) -> None:
-    """Structurally validate a lowered loop nest; raise on the first defect."""
-    _validate_stmt(stmt, {}, False)
+def validate_ir(stmt: I.Stmt, free_vars=DEFAULT_FREE_VARS) -> None:
+    """Structurally validate a lowered loop nest; raise on the first defect.
+
+    ``free_vars`` names the variables a statement may reference without an
+    enclosing loop binding them -- by default the template trace variables
+    ``src``/``dst``/``eid``.  :func:`repro.tensorir.lower.lower` extends the
+    set with the free variables of the compute being lowered.
+    """
+    _validate_stmt(stmt, {}, frozenset(free_vars), False, {})

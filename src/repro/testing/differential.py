@@ -71,7 +71,7 @@ class TrialResult:
     """Outcome of one trial."""
 
     ok: bool
-    stage: str = "done"        # "build" | "run" | "oracle" | "reference"
+    stage: str = "done"   # "build" | "run" | "oracle" | "reference" | "analysis"
     max_abs_diff: float = 0.0
     message: str = ""
 
@@ -206,9 +206,29 @@ def _materialize(cfg: TrialConfig, registry=None):
     return csr, instance
 
 
+def _analysis_errors(kernel) -> tuple:
+    """Error-severity diagnostics of a compiled kernel's ``analyze`` pass.
+
+    A seam for tests: monkeypatch this to inject analyzer verdicts without
+    constructing genuinely racy kernels through the public builders.
+    """
+    from repro.tensorir.analysis import analyze_kernel
+
+    return analyze_kernel(kernel).errors
+
+
 def run_trial(cfg: TrialConfig, atol: float = DEFAULT_ATOL,
-              registry=None) -> TrialResult:
-    """Compile and run one config; cross-check against both references."""
+              registry=None, *,
+              analyzer_cross_check: bool = False) -> TrialResult:
+    """Compile and run one config; cross-check against both references.
+
+    With ``analyzer_cross_check=True``, the static analyzer's verdict is
+    validated against the numerics: a config the analyzer calls unsafe
+    (error-severity diagnostics) must actually diverge from a reference.
+    If the kernel nevertheless matches both references, the trial fails at
+    stage ``"analysis"`` -- a false positive to be shrunk and reported,
+    keeping the lint trustworthy enough for strict mode and tuner pruning.
+    """
     try:
         csr, instance = _materialize(cfg, registry)
         adj = spmat(csr)
@@ -256,18 +276,31 @@ def run_trial(cfg: TrialConfig, atol: float = DEFAULT_ATOL,
         return TrialResult(False, stage="reference", max_abs_diff=worst,
                            message=f"kernel vs independent reference: max abs "
                                    f"diff {worst:.3g} > atol {atol:g}")
+
+    if analyzer_cross_check:
+        errors = _analysis_errors(kernel)
+        if errors:
+            listing = "; ".join(d.render() for d in errors)
+            return TrialResult(
+                False, stage="analysis",
+                message=f"analyzer reported {len(errors)} error diagnostic"
+                        f"{'s' if len(errors) != 1 else ''} but the kernel "
+                        f"matched both references (analyzer false positive): "
+                        f"{listing}")
     return TrialResult(True)
 
 
 def run_trials(trials: int, seed: int, atol: float = DEFAULT_ATOL,
-               registry=None, on_failure=None) -> FuzzReport:
+               registry=None, on_failure=None, *,
+               analyzer_cross_check: bool = False) -> FuzzReport:
     """Run ``trials`` sampled configs; collect failures and coverage."""
     rnd = random.Random(seed)
     failures = []
     coverage = {"udf": {}, "target": {}, "kind": {}, "agg": {}}
     for _ in range(trials):
         cfg = sample_config(rnd)
-        res = run_trial(cfg, atol=atol, registry=registry)
+        res = run_trial(cfg, atol=atol, registry=registry,
+                        analyzer_cross_check=analyzer_cross_check)
         coverage["udf"][cfg.udf] = coverage["udf"].get(cfg.udf, 0) + 1
         coverage["target"][cfg.target] = coverage["target"].get(cfg.target, 0) + 1
         coverage["kind"][cfg.kind] = coverage["kind"].get(cfg.kind, 0) + 1

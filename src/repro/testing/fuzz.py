@@ -9,6 +9,11 @@ Runs ``--trials`` sampled (graph, UDF, aggregation, FDS, target) configs and
 cross-checks each against the brute-force oracle and an independent numpy
 reference.  On failure the config is shrunk to a minimal repro and the exact
 ``--replay`` command is printed; the process exits nonzero.
+
+With ``--analyze``, the static analyzer's verdict is cross-checked too: a
+config the ``analyze`` pass flags with error diagnostics must actually
+diverge from a reference, otherwise the trial fails at stage ``analysis``
+(an analyzer false positive) and is shrunk like any other failure.
 """
 
 from __future__ import annotations
@@ -49,6 +54,9 @@ def main(argv=None) -> int:
                     help="re-run one config from its printed JSON")
     ap.add_argument("--no-shrink", action="store_true",
                     help="report failures without minimizing them")
+    ap.add_argument("--analyze", action="store_true",
+                    help="cross-check the static analyzer's verdict against "
+                         "the numerics (analyzer errors must mean divergence)")
     args = ap.parse_args(argv)
 
     if args.replay is not None:
@@ -57,14 +65,16 @@ def main(argv=None) -> int:
         except (ValueError, TypeError) as exc:
             print(f"error: invalid --replay payload: {exc}", file=sys.stderr)
             return 2
-        res = run_trial(cfg, atol=args.atol)
+        res = run_trial(cfg, atol=args.atol,
+                        analyzer_cross_check=args.analyze)
         if res.ok:
             print("replay PASSED")
             return 0
         print(f"replay FAILED at stage {res.stage}: {res.message}")
         return 1
 
-    report = run_trials(args.trials, args.seed, atol=args.atol)
+    report = run_trials(args.trials, args.seed, atol=args.atol,
+                        analyzer_cross_check=args.analyze)
     print(f"{report.trials} trials, {len(report.failures)} failures "
           f"(seed {args.seed}, atol {args.atol:g})")
     _print_coverage(report.coverage)
@@ -74,7 +84,9 @@ def main(argv=None) -> int:
     for cfg, res in report.failures[:5]:
         print(f"\nFAIL [{res.stage}] {res.message}")
         if not args.no_shrink:
-            cfg = shrink(cfg, lambda c: not run_trial(c, atol=args.atol).ok)
+            cfg = shrink(cfg, lambda c: not run_trial(
+                c, atol=args.atol,
+                analyzer_cross_check=args.analyze).ok)
             print("minimal repro:")
         print(f"  {replay_command(cfg)}")
     if len(report.failures) > 5:

@@ -1,0 +1,74 @@
+"""Every builtin message/edge function compiles with zero error diagnostics.
+
+The analyzer's job is to catch *scheduling* hazards, not to second-guess the
+templates: under :func:`~repro.core.fds.default_fds_for` every builtin from
+:mod:`repro.core.builtins` must come out of the ``analyze`` pass clean on
+both targets.  A false positive here would make strict mode (and the CI
+``lint-kernels`` gate) unusable.
+"""
+
+import numpy as np
+import pytest
+
+from repro import tensorir as T
+from repro.core import builtins as dgl_builtins
+from repro.core.compile import (KernelCache, compile_sddmm, compile_spmm,
+                                use_kernel_cache)
+from repro.core.fds import default_fds_for
+from repro.graph.sparse import from_edges
+
+N, M, F = 32, 96, 16
+
+
+@pytest.fixture
+def adj():
+    rng = np.random.default_rng(7)
+    return from_edges(N, N, rng.integers(0, N, M), rng.integers(0, N, M))
+
+
+def _msg_inputs(name):
+    XV = T.placeholder((N, F), name="XV")
+    if name == "copy_e":
+        return (T.placeholder((M, F), name="XE"),)
+    if name == "u_mul_e":
+        return (XV, T.placeholder((M,), name="EW"))
+    return (XV,)
+
+
+@pytest.mark.parametrize("target", ["cpu", "gpu"])
+@pytest.mark.parametrize("name",
+                         sorted(dgl_builtins.BUILTIN_MESSAGE_FUNCTIONS))
+def test_builtin_message_functions_lint_clean(adj, name, target):
+    factory = dgl_builtins.BUILTIN_MESSAGE_FUNCTIONS[name]
+    with use_kernel_cache(KernelCache()):
+        kernel = compile_spmm(adj, factory(*_msg_inputs(name)), "sum",
+                              target=target,
+                              fds=default_fds_for(target, F, "spmm"))
+    report = kernel.analysis_report()
+    assert not report.has_errors, report.render()
+
+
+@pytest.mark.parametrize("target", ["cpu", "gpu"])
+@pytest.mark.parametrize("name", sorted(dgl_builtins.BUILTIN_EDGE_FUNCTIONS))
+def test_builtin_edge_functions_lint_clean(adj, name, target):
+    factory = dgl_builtins.BUILTIN_EDGE_FUNCTIONS[name]
+    XA = T.placeholder((N, F), name="XA")
+    XB = T.placeholder((N, F), name="XB")
+    with use_kernel_cache(KernelCache()):
+        kernel = compile_sddmm(adj, factory(XA, XB), target=target,
+                               fds=default_fds_for(target, F, "sddmm"))
+    report = kernel.analysis_report()
+    assert not report.has_errors, report.render()
+
+
+@pytest.mark.parametrize("target", ["cpu", "gpu"])
+def test_aggregations_lint_clean(adj, target):
+    """Max/min aggregation stores are combiner stores too: race-exempt."""
+    XV = T.placeholder((N, F), name="XV")
+    for agg in ("sum", "max", "min"):
+        with use_kernel_cache(KernelCache()):
+            kernel = compile_spmm(adj, dgl_builtins.copy_u_msg(XV), agg,
+                                  target=target,
+                                  fds=default_fds_for(target, F, "spmm"))
+        report = kernel.analysis_report()
+        assert not report.has_errors, f"{agg}: {report.render()}"

@@ -2,7 +2,7 @@
 
 Covers the :mod:`repro.core.compile` contract: every kernel goes through
 the named pass sequence (build_expr -> fuse_fds -> lower -> validate ->
-simplify -> codegen), structurally identical requests produce equal
+analyze -> simplify -> codegen), structurally identical requests produce equal
 :class:`KernelSpec` keys (and therefore one compiled kernel), and per-pass
 wall-clock timings are retrievable from the compiled object.
 """
@@ -47,8 +47,8 @@ class TestPassPipeline:
     def test_default_pass_order(self):
         assert default_pipeline().pass_names == PASS_NAMES
         assert CompilePipeline().pass_names == (
-            "build_expr", "fuse_fds", "lower", "validate", "simplify",
-            "codegen")
+            "build_expr", "fuse_fds", "lower", "validate", "analyze",
+            "simplify", "codegen")
 
     def test_compiled_kernel_records_every_pass(self):
         with use_kernel_cache(KernelCache()):
@@ -104,7 +104,7 @@ class TestPassPipeline:
         assert ensure_compiled(k) is record  # idempotent
         # only the back passes run (front ran at construction time)
         assert tuple(record.timings_dict()) == (
-            "lower", "validate", "simplify", "codegen")
+            "lower", "validate", "analyze", "simplify", "codegen")
         assert record.spec.template == "spmm"
 
         ks = GeneralizedSDDMM(

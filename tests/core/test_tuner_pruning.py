@@ -1,0 +1,140 @@
+"""Analyzer-gated tuning: error configs are pruned before evaluation.
+
+The tuners accept an ``analyzer`` callable (config -> AnalysisReport or
+None); configs whose report carries error diagnostics never reach
+``evaluate``, show up in the trial log with infinite cost (so exploration
+paths and RNG sequences are unchanged), and surface on
+:attr:`TuneResult.pruned`.
+"""
+
+import math
+
+import pytest
+
+from repro.core.tuner import AnnealingTuner, GridTuner, RandomTuner
+from repro.hwsim.report import CostReport
+from repro.tensorir.analysis import AnalysisReport, Diagnostic, Severity
+
+SPACE = {"a": [1, 2, 4, 8], "b": [1, 2, 4]}
+
+
+def _error_report():
+    return AnalysisReport(diagnostics=(
+        Diagnostic("FG001", Severity.ERROR, "for e[parallel] > store out",
+                   "seeded race"),))
+
+
+def _warning_report():
+    return AnalysisReport(diagnostics=(
+        Diagnostic("FG004", Severity.WARNING, "alloc stage", "big tile"),))
+
+
+def _analyzer_rejecting(pred):
+    return lambda cfg: _error_report() if pred(cfg) else None
+
+
+class _CountingEvaluate:
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, cfg):
+        self.calls.append(dict(cfg))
+        x, y = cfg["a"], cfg["b"]
+        return CostReport(seconds=(x - 4) ** 2 + (y - 2) ** 2 + 1.0)
+
+
+class TestGridPruning:
+    def test_pruned_configs_skip_evaluate(self):
+        ev = _CountingEvaluate()
+        tuner = GridTuner(SPACE, ev,
+                          analyzer=_analyzer_rejecting(
+                              lambda c: c["a"] == 8))
+        res = tuner.tune()
+        assert all(c["a"] != 8 for c in ev.calls)
+        assert len(res.pruned) == 3  # a=8 x b in {1,2,4}
+        assert all(cfg["a"] == 8 for cfg, _ in res.pruned)
+        assert all(report.has_errors for _, report in res.pruned)
+
+    def test_pruned_trials_logged_with_infinite_cost(self):
+        res = GridTuner(SPACE, _CountingEvaluate(),
+                        analyzer=_analyzer_rejecting(
+                            lambda c: c["a"] == 8)).tune()
+        assert len(res.trials) == 12  # full grid still logged
+        pruned_secs = [s for c, s in res.trials if c["a"] == 8]
+        assert pruned_secs and all(math.isinf(s) for s in pruned_secs)
+
+    def test_pruned_config_never_wins(self):
+        # The true optimum (4, 2) is pruned; the tuner must settle elsewhere.
+        res = GridTuner(SPACE, _CountingEvaluate(),
+                        analyzer=_analyzer_rejecting(
+                            lambda c: c == {"a": 4, "b": 2})).tune()
+        assert res.best_config != {"a": 4, "b": 2}
+        assert math.isfinite(res.best_cost.seconds)
+
+    def test_all_pruned_raises(self):
+        with pytest.raises(ValueError, match="pruned by the static"):
+            GridTuner(SPACE, _CountingEvaluate(),
+                      analyzer=_analyzer_rejecting(lambda c: True)).tune()
+
+    def test_warning_reports_do_not_prune(self):
+        ev = _CountingEvaluate()
+        res = GridTuner(SPACE, ev, analyzer=lambda cfg: _warning_report()
+                        ).tune()
+        assert len(ev.calls) == 12 and not res.pruned
+
+    def test_no_analyzer_means_no_pruning(self):
+        res = GridTuner(SPACE, _CountingEvaluate()).tune()
+        assert res.pruned == []
+
+    def test_analyzer_memoized_per_config(self):
+        seen = []
+
+        def analyzer(cfg):
+            seen.append(tuple(sorted(cfg.items())))
+            return None
+
+        GridTuner(SPACE, _CountingEvaluate(), analyzer=analyzer).tune()
+        assert len(seen) == len(set(seen)) == 12
+
+
+class TestRandomAndAnnealingPruning:
+    def test_random_tuner_prunes_and_still_finds_a_config(self):
+        ev = _CountingEvaluate()
+        res = RandomTuner(SPACE, ev, num_trials=32, seed=3,
+                          analyzer=_analyzer_rejecting(
+                              lambda c: c["a"] == 8)).tune()
+        assert all(c["a"] != 8 for c in ev.calls)
+        assert res.best_config["a"] != 8
+        assert math.isfinite(res.best_cost.seconds)
+
+    def test_random_tuner_rng_sequence_unchanged_by_pruning(self):
+        # Pruning must not consume RNG draws: the visited configs are the
+        # same with and without an (all-pass) analyzer.
+        plain = RandomTuner(SPACE, _CountingEvaluate(), num_trials=16,
+                            seed=11).tune()
+        gated = RandomTuner(SPACE, _CountingEvaluate(), num_trials=16,
+                            seed=11, analyzer=lambda cfg: None).tune()
+        assert [c for c, _ in plain.trials] == [c for c, _ in gated.trials]
+        assert plain.best_config == gated.best_config
+
+    def test_annealing_walks_off_pruned_start(self):
+        # Force the annealer's (seeded) starting point to be pruned: it must
+        # step onto a finite-cost neighbor instead of getting stuck on NaN
+        # acceptance deltas, and return a finite best.
+        probe = AnnealingTuner(SPACE, _CountingEvaluate(), num_trials=1,
+                               seed=5)
+        start = probe.tune().best_config
+        res = AnnealingTuner(SPACE, _CountingEvaluate(), num_trials=24,
+                             seed=5,
+                             analyzer=_analyzer_rejecting(
+                                 lambda c: c == start)).tune()
+        assert res.best_config != start
+        assert math.isfinite(res.best_cost.seconds)
+        assert any(cfg == start for cfg, _ in res.pruned)
+
+    def test_annealing_rng_sequence_unchanged_by_pruning(self):
+        plain = AnnealingTuner(SPACE, _CountingEvaluate(), num_trials=24,
+                               seed=0).tune()
+        gated = AnnealingTuner(SPACE, _CountingEvaluate(), num_trials=24,
+                               seed=0, analyzer=lambda cfg: None).tune()
+        assert [c for c, _ in plain.trials] == [c for c, _ in gated.trials]

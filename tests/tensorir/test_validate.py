@@ -9,6 +9,7 @@ import pytest
 from repro import tensorir as T
 from repro.tensorir import ir as I
 from repro.tensorir.validate import (
+    DEFAULT_FREE_VARS,
     IRValidationError,
     ScheduleError,
     validate_ir,
@@ -222,6 +223,98 @@ class TestIRValidation:
         guarded = I.IfThenElse(j < T.const(2), I.Store(buf, T.const(0.0), [i]))
         with pytest.raises(IRValidationError, match="guard"):
             validate_ir(I.For(i, 4, guarded))
+
+
+class TestFreeVariables:
+    """Declared free variables (``src``/``dst``/``eid``) in stores and guards.
+
+    The FeatGraph templates trace UDFs with symbolic endpoint variables and
+    substitute them with per-edge gathers at lowering; until substitution the
+    IR legitimately references them with no enclosing loop.
+    """
+
+    def test_free_var_in_store_accepted(self):
+        i = _iv("i", 4)
+        buf = I.BufferRef("out", (4,))
+        src = T.Var("src")
+        nest = I.For(i, 4, I.Store(buf, src * T.const(2.0), [i]))
+        validate_ir(nest)  # src is in DEFAULT_FREE_VARS
+
+    def test_free_var_in_guard_accepted(self):
+        i = _iv("i", 4)
+        buf = I.BufferRef("out", (4,))
+        eid = T.Var("eid")
+        guarded = I.IfThenElse(eid < T.const(2),
+                               I.Store(buf, T.const(0.0), [i]))
+        validate_ir(I.For(i, 4, guarded))
+
+    def test_undeclared_free_var_rejected(self):
+        i = _iv("i", 4)
+        buf = I.BufferRef("out", (4,))
+        mystery = T.Var("mystery")
+        nest = I.For(i, 4, I.Store(buf, mystery, [i]))
+        with pytest.raises(IRValidationError,
+                           match="free variable mystery"):
+            validate_ir(nest)
+
+    def test_custom_free_set_overrides_default(self):
+        i = _iv("i", 4)
+        buf = I.BufferRef("out", (4,))
+        nest = I.For(i, 4, I.Store(buf, T.Var("theta"), [i]))
+        validate_ir(nest, free_vars={"theta"})
+        with pytest.raises(IRValidationError, match="src"):
+            validate_ir(I.For(i, 4, I.Store(buf, T.Var("src"), [i])),
+                        free_vars={"theta"})
+
+    def test_default_set_is_exported(self):
+        assert DEFAULT_FREE_VARS == frozenset({"src", "dst", "eid"})
+
+    def test_lower_accepts_compute_free_vars(self):
+        # A compute that closes over a free Var lowers without the
+        # validator flagging it: lower() extends the free set.
+        theta = T.Var("theta")
+        A = T.placeholder((8,), name="A")
+        V = T.compute((8,), lambda i: A[i] * theta, name="V")
+        stmt = T.lower(T.create_schedule(V))
+        assert isinstance(stmt, I.Stmt)
+
+
+class TestAllocateValidation:
+    def _alloc_nest(self, shape, store_rank=None):
+        i = _iv("i", 4)
+        buf = I.BufferRef("stage", shape)
+        rank = store_rank if store_rank is not None else len(shape)
+        store_buf = I.BufferRef("stage", (4,) * rank)
+        body = I.For(i, 4, I.Store(store_buf, T.const(0.0), [i] * rank))
+        return I.Allocate(buf, "shared", body)
+
+    def test_negative_allocation_extent_rejected(self):
+        with pytest.raises(IRValidationError, match="illegal extent"):
+            validate_ir(self._alloc_nest((4, -2)))
+
+    def test_non_integer_allocation_extent_rejected(self):
+        # BufferRef coerces constructor shapes to int, so simulate a buggy
+        # pass leaving a symbolic/float extent behind.
+        nest = self._alloc_nest((4, 4))
+        nest.buffer.shape = (4, 2.5)
+        with pytest.raises(IRValidationError, match="illegal extent"):
+            validate_ir(nest)
+
+    def test_allocation_rank_mismatch_with_store_rejected(self):
+        # Allocation declares rank 2 but a store into it uses rank 1.
+        with pytest.raises(IRValidationError, match="rank"):
+            validate_ir(self._alloc_nest((4, 4), store_rank=1))
+
+    def test_well_formed_allocation_accepted(self):
+        validate_ir(self._alloc_nest((4,)))
+
+    def test_zero_extent_allocation_accepted(self):
+        # Degenerate but legal: an empty staging buffer.
+        i = _iv("i", 4)
+        out = I.BufferRef("out", (4,))
+        nest = I.Allocate(I.BufferRef("stage", (0, 4)), "cache",
+                          I.For(i, 4, I.Store(out, T.const(0.0), [i])))
+        validate_ir(nest)
 
 
 class TestWalkHelpers:

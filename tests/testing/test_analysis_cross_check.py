@@ -1,0 +1,54 @@
+"""Fuzzer/analyzer cross-validation: lint verdicts vs. actual numerics.
+
+``run_trial(..., analyzer_cross_check=True)`` treats an analyzer error on a
+kernel that nevertheless matches both references as a trial failure at stage
+``"analysis"`` -- the differential harness keeps the lint honest the same way
+it keeps the kernels honest.
+"""
+
+import random
+
+from repro.testing import differential as D
+from repro.tensorir.analysis import AnalysisReport, Diagnostic, Severity
+
+
+def _fake_errors(kernel):
+    return AnalysisReport(diagnostics=(
+        Diagnostic("FG001", Severity.ERROR, "for e[parallel] > store out",
+                   "injected verdict for cross-check testing"),)).errors
+
+
+class TestAnalyzerCrossCheck:
+    def _clean_config(self):
+        # Any sampled config works: the tier-1 sweep (seed 0) is known clean.
+        return D.sample_config(random.Random(0))
+
+    def test_false_positive_fails_at_analysis_stage(self, monkeypatch):
+        monkeypatch.setattr(D, "_analysis_errors", _fake_errors)
+        cfg = self._clean_config()
+        result = D.run_trial(cfg, analyzer_cross_check=True)
+        assert not result.ok
+        assert result.stage == "analysis"
+        assert "false positive" in result.message
+        assert "FG001" in result.message
+
+    def test_cross_check_off_ignores_analyzer(self, monkeypatch):
+        monkeypatch.setattr(D, "_analysis_errors", _fake_errors)
+        result = D.run_trial(self._clean_config())
+        assert result.ok
+
+    def test_clean_analyzer_passes_cross_check(self):
+        result = D.run_trial(self._clean_config(),
+                             analyzer_cross_check=True)
+        assert result.ok, result.message
+
+    def test_run_trials_threads_the_flag(self, monkeypatch):
+        monkeypatch.setattr(D, "_analysis_errors", _fake_errors)
+        report = D.run_trials(3, seed=0, analyzer_cross_check=True)
+        assert not report.ok
+        assert all(r.stage == "analysis" for _, r in report.failures)
+
+    def test_fuzz_smoke_with_analyze_flag(self, capsys):
+        from repro.testing.fuzz import main as fuzz_main
+        rc = fuzz_main(["--trials", "5", "--seed", "0", "--analyze"])
+        assert rc == 0
