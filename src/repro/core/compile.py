@@ -20,12 +20,15 @@ This module makes compilation first-class:
 
 - :class:`CompilePipeline` is an explicit sequence of named passes::
 
-      build_expr -> fuse_fds -> lower -> validate -> analyze -> simplify -> codegen
+      build_expr -> fuse_fds -> lower -> validate -> analyze -> simplify
+        -> vectorize -> codegen
 
   The front passes (``build_expr``, ``fuse_fds``) trace the UDF and apply
   the feature-dimension schedule; their result forms the spec used for the
   cache lookup.  The back passes run only on a miss and produce the loop
-  nest IR and the target source.  Every pass is individually timed.
+  nest IR, the compiled batched-UDF program the templates execute
+  (``vectorize``; see :mod:`repro.tensorir.vectorize`), and the target
+  source.  Every pass is individually timed.
 
 - :class:`KernelCache` is a process-wide LRU cache of compiled kernels keyed
   by spec, with hit/miss/eviction accounting and aggregate compile time.
@@ -245,8 +248,13 @@ class CompileRecord:
 
     spec: KernelSpec | None
     timings: tuple[PassTiming, ...]
-    #: "ir" -> loop-nest Stmt; "source" -> target source text
+    #: "ir" -> loop-nest Stmt; "source" -> target source text;
+    #: "vector_program" -> compiled batched-UDF program (or None)
     artifacts: dict = field(default_factory=dict)
+    #: cumulative runtime counters of the kernel this record belongs to
+    #: (per-chunk eval/aggregate seconds, bytes moved); shared with the
+    #: kernel's ``exec_stats`` attribute
+    exec_stats: object | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -378,6 +386,23 @@ def _pass_simplify(ctx: CompileContext) -> None:
     ctx.artifacts["ir"] = simplify_stmt(ctx.artifacts["ir"])
 
 
+def _pass_vectorize(ctx: CompileContext) -> None:
+    """Compile the batched UDF into a straight-line vectorized program.
+
+    The program is what the CPU templates execute per edge/vertex chunk
+    (:mod:`repro.tensorir.vectorize`); bodies the vectorizer cannot handle
+    fall back to the tree-walk evaluator (artifact stays ``None``)."""
+    from repro.tensorir.vectorize import VectorizeError, compile_batched
+
+    try:
+        prog = compile_batched(ctx.out)
+    except VectorizeError:
+        prog = None
+    ctx.artifacts["vector_program"] = prog
+    if ctx.kernel is not None:
+        ctx.kernel._vector_program = prog
+
+
 def _pass_codegen(ctx: CompileContext) -> None:
     """Emit target source: CUDA C on gpu, pretty-printed IR on cpu."""
     if ctx.target == "gpu":
@@ -404,7 +429,7 @@ def _construct_kernel(ctx: CompileContext):
 
 #: pipeline pass order; the first two form the spec, the rest run on a miss
 PASS_NAMES = ("build_expr", "fuse_fds", "lower", "validate", "analyze",
-              "simplify", "codegen")
+              "simplify", "vectorize", "codegen")
 
 _FRONT_PASSES = frozenset(("build_expr", "fuse_fds"))
 
@@ -415,6 +440,7 @@ _DEFAULT_PASSES: tuple[tuple[str, Callable], ...] = (
     ("validate", _pass_validate),
     ("analyze", _pass_analyze),
     ("simplify", _pass_simplify),
+    ("vectorize", _pass_vectorize),
     ("codegen", _pass_codegen),
 )
 
@@ -423,9 +449,9 @@ class CompilePipeline:
     """An ordered sequence of named compile passes.
 
     The default pipeline is ``build_expr -> fuse_fds -> lower -> validate ->
-    analyze -> simplify -> codegen``.  The *front* passes (``build_expr``,
-    ``fuse_fds``) always run -- they are what forms the :class:`KernelSpec`
-    -- while the *back* passes run only on a cache miss.
+    analyze -> simplify -> vectorize -> codegen``.  The *front* passes
+    (``build_expr``, ``fuse_fds``) always run -- they are what forms the
+    :class:`KernelSpec` -- while the *back* passes run only on a cache miss.
     """
 
     def __init__(self, passes=None):
@@ -458,7 +484,9 @@ class CompilePipeline:
             return cached
         self.run_back(ctx)
         record = CompileRecord(spec=ctx.spec, timings=tuple(ctx.timings),
-                               artifacts=dict(ctx.artifacts))
+                               artifacts=dict(ctx.artifacts),
+                               exec_stats=getattr(ctx.kernel, "exec_stats",
+                                                  None))
         ctx.kernel._compile_record = record
         cache.put(ctx.spec, ctx.kernel, record)
         return ctx.kernel
@@ -984,6 +1012,7 @@ def ensure_compiled(kernel, pipeline: CompilePipeline | None = None
     pipeline.run_back(ctx)
     ctx.spec = ctx.make_spec()
     record = CompileRecord(spec=ctx.spec, timings=tuple(ctx.timings),
-                           artifacts=dict(ctx.artifacts))
+                           artifacts=dict(ctx.artifacts),
+                           exec_stats=getattr(kernel, "exec_stats", None))
     kernel._compile_record = record
     return record

@@ -17,6 +17,7 @@ Template-side optimizations:
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Mapping
 
 import numpy as np
@@ -31,10 +32,16 @@ from repro.hwsim import cpu as cpu_model
 from repro.hwsim import gpu as gpu_model
 from repro.hwsim.report import CostReport
 from repro.hwsim.spec import CPUSpec, GPUSpec, TESLA_V100, XEON_8124M
+from repro.core.spmm import effective_chunk_edges
 from repro.tensorir.evaluator import evaluate_batched
 from repro.tensorir.expr import ComputeOp, Tensor, Var
+from repro.tensorir.runtime import ExecStats, WorkPool
+from repro.tensorir.vectorize import VectorizeError, compile_batched, compile_enabled
 
 __all__ = ["GeneralizedSDDMM"]
+
+#: "not compiled yet" marker for the lazily built vector program
+_UNCOMPILED = object()
 
 
 class GeneralizedSDDMM:
@@ -60,6 +67,8 @@ class GeneralizedSDDMM:
         self.edgefunc = edgefunc
         self._stage = None
         self._compile_record = None
+        self._vector_program = _UNCOMPILED
+        self.exec_stats = ExecStats()
         if _compiled is not None:
             # Constructed by the compile pipeline's lower pass: the front
             # passes already traced the UDF and applied/validated the FDS.
@@ -131,9 +140,16 @@ class GeneralizedSDDMM:
         return src, dst, eid
 
     def run(self, bindings: Mapping[str, np.ndarray],
-            out: np.ndarray | None = None) -> np.ndarray:
+            out: np.ndarray | None = None,
+            pool: "WorkPool | None" = None) -> np.ndarray:
         """Execute the kernel: returns ``(nnz, *out_shape)`` float32,
-        indexed by original edge id."""
+        indexed by original edge id.
+
+        With ``pool``, each feature tile's edge chunks are dispatched
+        across the workers -- one tile at a time, preserving the
+        cooperative one-partition-at-a-time order (Sec. IV-A).  Chunks
+        write disjoint edge-id rows, so they are race-free.
+        """
         validate_bindings(self.edge_out, bindings,
                           f"sddmm[{self.edge_out.name}]")
         m = self.A.nnz
@@ -144,16 +160,52 @@ class GeneralizedSDDMM:
             raise ValueError("out has wrong shape")
         src, dst, eid = self._edge_arrays()
         axis0 = self.edge_out.op.axis[0].name
+        prog = self.vector_program() if compile_enabled() else None
+        chunk = effective_chunk_edges(self.chunk_edges, prog)
         for lo, hi in feature_tiles(self.out_shape[0], self.num_feature_partitions):
-            for c0 in range(0, m, self.chunk_edges):
-                c1 = min(m, c0 + self.chunk_edges)
-                vals = evaluate_batched(
-                    self.edge_out, bindings,
-                    {"src": src[c0:c1], "dst": dst[c0:c1], "eid": eid[c0:c1]},
-                    axis_ranges={axis0: (lo, hi)},
-                )
+            tile_sizes = (hi - lo,) + self.out_shape[1:]
+
+            def process(bounds, lo=lo, hi=hi, tile_sizes=tile_sizes):
+                c0, c1 = bounds
+                batch = {
+                    "src": src[c0:c1],
+                    "dst": dst[c0:c1],
+                    "eid": eid[c0:c1],
+                }
+                t0 = time.perf_counter()
+                if prog is not None:
+                    vals = prog.run(bindings, batch,
+                                    axis_ranges={axis0: (lo, hi)})
+                else:
+                    vals = evaluate_batched(self.edge_out, bindings, batch,
+                                            axis_ranges={axis0: (lo, hi)})
+                t1 = time.perf_counter()
                 result[eid[c0:c1], lo:hi] = vals
+                self.exec_stats.add_chunk(
+                    t1 - t0, time.perf_counter() - t1,
+                    prog.bytes_moved(c1 - c0, tile_sizes) if prog else 0,
+                    compiled=prog is not None)
+
+            bounds = [(c0, min(m, c0 + chunk)) for c0 in range(0, m, chunk)]
+            if pool is not None and len(bounds) > 1:
+                pool.map(process, bounds)
+            else:
+                for b in bounds:
+                    process(b)
         return result
+
+    def vector_program(self):
+        """The compiled batched-UDF program this kernel executes per chunk
+        (:mod:`repro.tensorir.vectorize`), or ``None`` when the edge
+        function falls outside the vectorizer's subset and chunks run
+        interpreted.  Set by the pipeline's ``vectorize`` pass; built
+        lazily for kernels constructed directly."""
+        if self._vector_program is _UNCOMPILED:
+            try:
+                self._vector_program = compile_batched(self.edge_out)
+            except VectorizeError:
+                self._vector_program = None
+        return self._vector_program
 
     # ------------------------------------------------------------------
     def cost(self, spec: CPUSpec | GPUSpec | None = None, *, threads: int = 1,

@@ -67,16 +67,30 @@ class EdgeSoftmax:
         self._norm_kernel = sddmm(self.A, normalize_edge, target=target,
                                   hilbert=False, cache=cache)
 
-    def run(self, scores: np.ndarray) -> np.ndarray:
-        """Normalize ``scores`` (shape ``(m,)`` or ``(m, num_heads)``)."""
+    def run(self, scores: np.ndarray, pool=None) -> np.ndarray:
+        """Normalize ``scores`` (shape ``(m,)`` or ``(m, num_heads)``).
+
+        ``pool`` (a :class:`~repro.tensorir.runtime.WorkPool`) is passed
+        through to all three phase kernels.
+        """
         squeeze = scores.ndim == 1
         es = scores.reshape(self.A.nnz, self.num_heads).astype(np.float32)
-        maxv = self._max_kernel.run({"ES": es})
-        sumv = self._sum_kernel.run({"ES": es, "MAXV": maxv})
+        maxv = self._max_kernel.run({"ES": es}, pool=pool)
+        sumv = self._sum_kernel.run({"ES": es, "MAXV": maxv}, pool=pool)
         # guard isolated-destination rows against divide-by-zero
         sumv = np.where(sumv == 0, 1.0, sumv).astype(np.float32)
-        alpha = self._norm_kernel.run({"ES": es, "MAXV": maxv, "SUMV": sumv})
+        alpha = self._norm_kernel.run({"ES": es, "MAXV": maxv, "SUMV": sumv},
+                                      pool=pool)
         return alpha[:, 0] if squeeze else alpha
+
+    def exec_stats(self) -> dict:
+        """Runtime counters (eval/aggregate seconds, bytes moved, chunk
+        counts) of the three phase kernels, by phase name."""
+        return {
+            "max": self._max_kernel.exec_stats.as_dict(),
+            "expsum": self._sum_kernel.exec_stats.as_dict(),
+            "normalize": self._norm_kernel.exec_stats.as_dict(),
+        }
 
     def cost(self, spec=None, *, stats=None, threads: int = 1) -> CostReport:
         """Sum of the three phases' machine-model times."""

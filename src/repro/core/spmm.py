@@ -23,6 +23,7 @@ the machine-model time for the paper-scale graph.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Mapping
 
 import numpy as np
@@ -30,7 +31,7 @@ import numpy as np
 from repro.core import cost as cost_analysis
 from repro.core.api import SparseMat
 from repro.core.bindings import validate_bindings
-from repro.tensorir.runtime import WorkPool
+from repro.tensorir.runtime import ExecStats, WorkPool
 from repro.core.fds import FDS, FDSInfo, default_fds
 from repro.graph.partition import Partition1D, feature_tiles, partition_1d
 from repro.hwsim import cpu as cpu_model
@@ -39,12 +40,35 @@ from repro.hwsim.report import CostReport
 from repro.hwsim.spec import CPUSpec, GPUSpec, TESLA_V100, XEON_8124M
 from repro.tensorir.evaluator import evaluate_batched
 from repro.tensorir.expr import ComputeOp, Tensor, Var
+from repro.tensorir.vectorize import VectorizeError, compile_batched, compile_enabled
 
 __all__ = ["GeneralizedSpMM", "PARTITION_TARGET_BYTES", "resolve_aggregation"]
 
 #: working-set target per (partition, tile) pass; ~2 MB lands the paper's
 #: Fig. 14 optimum (16 graph partitions on reddit at feature tile 32)
 PARTITION_TARGET_BYTES = 2 * 1024 * 1024
+
+#: per-chunk gathered-bytes target when a compiled program reports its
+#: workset; keeps the chunk's intermediates cache-resident (a UDF touching
+#: 4 KB per edge runs chunks of 2K edges, not 128K)
+CHUNK_WORKSET_BYTES = 8 * 1024 * 1024
+
+#: floor on workset-derived chunk sizes -- tinier chunks would re-expose
+#: the per-chunk dispatch overhead compilation exists to amortize
+MIN_CHUNK_EDGES = 1024
+
+#: "not compiled yet" marker for the lazily built vector program
+_UNCOMPILED = object()
+
+
+def effective_chunk_edges(chunk_edges: int, prog) -> int:
+    """Shrink ``chunk_edges`` so one chunk's gathered workset stays within
+    :data:`CHUNK_WORKSET_BYTES`, using the compiled program's per-item
+    accounting.  No-op for interpreted execution (``prog is None``)."""
+    ws = prog.stats.workset_bytes_per_item if prog is not None else 0
+    if ws <= 0:
+        return chunk_edges
+    return min(chunk_edges, max(MIN_CHUNK_EDGES, CHUNK_WORKSET_BYTES // ws))
 
 _AGG_UFUNC = {
     "sum": np.add,
@@ -100,6 +124,8 @@ class GeneralizedSpMM:
         self.msgfunc = msgfunc
         self._stage = None
         self._compile_record = None
+        self._vector_program = _UNCOMPILED
+        self.exec_stats = ExecStats()
         if _compiled is not None:
             # Constructed by the compile pipeline's lower pass: the front
             # passes already traced the UDF and applied/validated the FDS.
@@ -215,10 +241,13 @@ class GeneralizedSpMM:
         if nnz == 0:
             return
         rows = csr.row_of_edge()
+        prog = self.vector_program() if compile_enabled() else None
         # Row-aligned chunking so each chunk's rows are disjoint from other
         # chunks' rows and sorted -- enables vectorized segmented reduction,
         # and makes chunks race-free under cooperative threading.
-        chunk_starts = self._row_aligned_chunks(csr.indptr)
+        chunk_starts = self._row_aligned_chunks(
+            csr.indptr, effective_chunk_edges(self.chunk_edges, prog))
+        tile_sizes = (tile[1] - tile[0],) + self.msg_shape[1:]
 
         def process(bounds):
             c0, c1 = bounds
@@ -227,9 +256,18 @@ class GeneralizedSpMM:
                 "dst": rows[c0:c1],
                 "eid": csr.edge_ids[c0:c1],
             }
-            msgs = evaluate_batched(self.msg, bindings, batch,
-                                    axis_ranges={axis0: tile})
+            t0 = time.perf_counter()
+            if prog is not None:
+                msgs = prog.run(bindings, batch, axis_ranges={axis0: tile})
+            else:
+                msgs = evaluate_batched(self.msg, bindings, batch,
+                                        axis_ranges={axis0: tile})
+            t1 = time.perf_counter()
             self._segmented_combine(acc_tile, rows[c0:c1], msgs, ufunc)
+            self.exec_stats.add_chunk(
+                t1 - t0, time.perf_counter() - t1,
+                prog.bytes_moved(c1 - c0, tile_sizes) if prog else 0,
+                compiled=prog is not None)
 
         if pool is not None and len(chunk_starts) > 1:
             pool.map(process, chunk_starts)
@@ -237,12 +275,27 @@ class GeneralizedSpMM:
             for bounds in chunk_starts:
                 process(bounds)
 
-    def _row_aligned_chunks(self, indptr: np.ndarray) -> list[tuple[int, int]]:
+    def vector_program(self):
+        """The compiled batched-UDF program this kernel executes per chunk
+        (:mod:`repro.tensorir.vectorize`), or ``None`` when the UDF falls
+        outside the vectorizer's subset and chunks run interpreted.  Set by
+        the pipeline's ``vectorize`` pass; built lazily for kernels
+        constructed directly."""
+        if self._vector_program is _UNCOMPILED:
+            try:
+                self._vector_program = compile_batched(self.msg)
+            except VectorizeError:
+                self._vector_program = None
+        return self._vector_program
+
+    def _row_aligned_chunks(self, indptr: np.ndarray,
+                            target: int | None = None) -> list[tuple[int, int]]:
         nnz = int(indptr[-1])
         if nnz == 0:
             return []
         bounds = [0]
-        target = self.chunk_edges
+        if target is None:
+            target = self.chunk_edges
         while bounds[-1] < nnz:
             want = bounds[-1] + target
             if want >= nnz:

@@ -15,10 +15,14 @@ listings exercise:
 - :mod:`repro.tensorir.codegen` -- generation of executable Python kernels
   from the IR, for a CPU target and a simulated-GPU target.
 - :mod:`repro.tensorir.evaluator` -- a vectorized (numpy) interpreter for
-  tensor expressions with batched free variables; the execution engine used
-  by FeatGraph's sparse templates.
+  tensor expressions with batched free variables; the differential oracle
+  and fallback for the compiled programs.
+- :mod:`repro.tensorir.vectorize` -- a batched-UDF compiler that lowers a
+  compute body once into a straight-line vectorized numpy program (constant
+  folding, CSE, dead-branch pruning, buffer reuse); the execution engine
+  used by FeatGraph's sparse templates.
 - :mod:`repro.tensorir.runtime` -- a persistent worker pool modeled on TVM's
-  customized thread pool.
+  customized thread pool, plus runtime execution counters.
 - :mod:`repro.tensorir.validate` -- schedule legality checking and
   structural IR validation, run by :func:`lower` before/after lowering.
 """
@@ -60,7 +64,13 @@ from repro.tensorir.schedule import Schedule, Stage, create_schedule
 from repro.tensorir.evaluator import evaluate, evaluate_batched
 from repro.tensorir.lower import lower
 from repro.tensorir.codegen import build
-from repro.tensorir.runtime import WorkPool, default_pool
+from repro.tensorir.runtime import ExecStats, WorkPool, default_pool
+from repro.tensorir.vectorize import (
+    VectorizeError,
+    VectorProgram,
+    compile_batched,
+    compile_enabled,
+)
 from repro.tensorir.validate import (
     IRValidationError,
     ScheduleError,
@@ -107,8 +117,13 @@ __all__ = [
     "evaluate_batched",
     "lower",
     "build",
+    "ExecStats",
     "WorkPool",
     "default_pool",
+    "VectorizeError",
+    "VectorProgram",
+    "compile_batched",
+    "compile_enabled",
     "ScheduleError",
     "IRValidationError",
     "validate_schedule",

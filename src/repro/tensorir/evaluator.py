@@ -259,5 +259,11 @@ def evaluate_batched(
     env = env.child(shaped)
     env = env.child(_axis_grid(op.axis, batch_ndim=1, axis_ranges=axis_ranges))
     val = eval_expr(op.body, env)
-    out = np.broadcast_to(np.asarray(val), (batch_len,) + out_shape)
-    return np.ascontiguousarray(out, dtype=_np_dtype(tensor.dtype))
+    out = np.asarray(val)
+    full = (batch_len,) + out_shape
+    if out.shape != full:
+        out = np.broadcast_to(out, full)
+    dtype = _np_dtype(tensor.dtype)
+    if out.dtype == dtype and out.flags["C_CONTIGUOUS"]:
+        return out
+    return np.ascontiguousarray(out, dtype=dtype)

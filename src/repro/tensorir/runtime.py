@@ -19,20 +19,76 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
-__all__ = ["WorkPool", "default_pool"]
+__all__ = ["ExecStats", "WorkPool", "default_pool"]
+
+
+class ExecStats:
+    """Cumulative runtime counters for one kernel's executions: per-chunk
+    UDF evaluation and aggregation wall-clock, bytes moved (gathered input
+    plus written output, from the compiled program's load accounting), and
+    how many chunks ran on the compiled vs. interpreted path.  Thread-safe;
+    shared between a template kernel and its compile record."""
+
+    __slots__ = ("eval_seconds", "aggregate_seconds", "bytes_moved",
+                 "chunks", "compiled_chunks", "_lock")
+
+    def __init__(self):
+        self.eval_seconds = 0.0
+        self.aggregate_seconds = 0.0
+        self.bytes_moved = 0
+        self.chunks = 0
+        self.compiled_chunks = 0
+        self._lock = threading.Lock()
+
+    def add_chunk(self, eval_seconds: float, aggregate_seconds: float = 0.0,
+                  bytes_moved: int = 0, compiled: bool = False) -> None:
+        with self._lock:
+            self.eval_seconds += eval_seconds
+            self.aggregate_seconds += aggregate_seconds
+            self.bytes_moved += int(bytes_moved)
+            self.chunks += 1
+            if compiled:
+                self.compiled_chunks += 1
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "eval_seconds": self.eval_seconds,
+                "aggregate_seconds": self.aggregate_seconds,
+                "bytes_moved": self.bytes_moved,
+                "chunks": self.chunks,
+                "compiled_chunks": self.compiled_chunks,
+            }
+
+    def __repr__(self):
+        d = self.as_dict()
+        return (f"ExecStats(chunks={d['chunks']} "
+                f"(compiled {d['compiled_chunks']}), "
+                f"eval={d['eval_seconds']:.4f}s, "
+                f"agg={d['aggregate_seconds']:.4f}s, "
+                f"moved={d['bytes_moved']}B)")
 
 
 class WorkPool:
-    """A persistent thread pool with static-chunked parallel-for."""
+    """A persistent thread pool with static-chunked parallel-for.
+
+    The worker count defaults to the ``FEATGRAPH_NUM_WORKERS`` environment
+    variable when set, else ``min(16, cpu_count)``.
+    """
 
     def __init__(self, num_workers: int | None = None):
         if num_workers is None:
-            num_workers = min(16, os.cpu_count() or 1)
+            env = os.environ.get("FEATGRAPH_NUM_WORKERS")
+            if env:
+                num_workers = int(env)
+            else:
+                num_workers = min(16, os.cpu_count() or 1)
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
         self._executor: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self._chunks_dispatched = 0
 
     def _ensure(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -54,6 +110,8 @@ class WorkPool:
         chunks = num_chunks or self.num_workers
         chunks = max(1, min(chunks, n))
         if chunks == 1 or self.num_workers == 1:
+            with self._lock:
+                self._chunks_dispatched += 1
             fn(0, n)
             return
         bounds = [(i * n) // chunks for i in range(chunks + 1)]
@@ -63,6 +121,8 @@ class WorkPool:
             for i in range(chunks)
             if bounds[i + 1] > bounds[i]
         ]
+        with self._lock:
+            self._chunks_dispatched += len(futures)
         for f in futures:
             f.result()
 
@@ -78,10 +138,21 @@ class WorkPool:
 
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply ``fn`` to items concurrently and return results in order."""
+        with self._lock:
+            self._chunks_dispatched += len(items)
         if self.num_workers == 1 or len(items) <= 1:
             return [fn(x) for x in items]
         ex = self._ensure()
         return list(ex.map(fn, items))
+
+    def stats(self) -> dict:
+        """Simple pool accounting: worker count and chunks dispatched."""
+        with self._lock:
+            return {
+                "workers": self.num_workers,
+                "chunks_dispatched": self._chunks_dispatched,
+                "active": self._executor is not None,
+            }
 
     def shutdown(self) -> None:
         with self._lock:

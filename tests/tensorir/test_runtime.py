@@ -1,11 +1,11 @@
-"""Worker-pool tests."""
+"""Worker-pool and runtime-counter tests."""
 
 import threading
 
 import numpy as np
 import pytest
 
-from repro.tensorir.runtime import WorkPool, default_pool
+from repro.tensorir.runtime import ExecStats, WorkPool, default_pool
 
 
 class TestParallelFor:
@@ -105,3 +105,58 @@ class TestMap:
 
     def test_default_pool_singleton(self):
         assert default_pool() is default_pool()
+
+
+class TestEnvAndStats:
+    def test_num_workers_env_var(self, monkeypatch):
+        monkeypatch.setenv("FEATGRAPH_NUM_WORKERS", "3")
+        assert WorkPool().num_workers == 3
+        monkeypatch.delenv("FEATGRAPH_NUM_WORKERS")
+        assert WorkPool().num_workers >= 1
+
+    def test_explicit_count_beats_env(self, monkeypatch):
+        monkeypatch.setenv("FEATGRAPH_NUM_WORKERS", "3")
+        assert WorkPool(num_workers=2).num_workers == 2
+
+    def test_stats_counts_dispatched_chunks(self):
+        with WorkPool(4) as pool:
+            s = pool.stats()
+            assert s == {"workers": 4, "chunks_dispatched": 0,
+                         "active": False}
+            pool.parallel_for(100, lambda lo, hi: None, num_chunks=10)
+            pool.map(lambda x: x, [1, 2, 3])
+            s = pool.stats()
+            assert s["chunks_dispatched"] == 13
+            assert s["active"]
+
+    def test_inline_paths_counted(self):
+        with WorkPool(1) as pool:
+            pool.parallel_for(5, lambda lo, hi: None)
+            pool.map(lambda x: x, [7])
+            assert pool.stats()["chunks_dispatched"] == 2
+            assert not pool.stats()["active"]  # never spun up threads
+
+
+class TestExecStats:
+    def test_accumulates_and_reports(self):
+        st = ExecStats()
+        st.add_chunk(0.5, 0.25, 100, compiled=True)
+        st.add_chunk(0.5, bytes_moved=50)
+        d = st.as_dict()
+        assert d["eval_seconds"] == 1.0
+        assert d["aggregate_seconds"] == 0.25
+        assert d["bytes_moved"] == 150
+        assert d["chunks"] == 2 and d["compiled_chunks"] == 1
+        assert "chunks=2" in repr(st)
+
+    def test_thread_safe_under_contention(self):
+        st = ExecStats()
+        threads = [threading.Thread(
+            target=lambda: [st.add_chunk(0.001, compiled=True)
+                            for _ in range(500)]) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        d = st.as_dict()
+        assert d["chunks"] == d["compiled_chunks"] == 4000
