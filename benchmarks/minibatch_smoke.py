@@ -1,0 +1,125 @@
+"""CI smoke check for the mini-batch training path (PR-5).
+
+Asserts the three properties the mini-batch engine promises:
+
+1. **Topology-independent kernel reuse**: after the first batch has compiled
+   the layer kernels, every subsequent batch's fresh sampled blocks perform
+   zero expression-building / FDS-fusion / lowering / vectorization work --
+   the pipeline pass counters stay frozen and kernels are served by cheap
+   per-topology binds.
+2. **Analyzer-clean block kernels**: every kernel the run left in the cache
+   (including bound ones) passes the static analyzer with no error-severity
+   diagnostics for its target.
+3. **End-to-end training**: two epochs of ``train_minibatch`` on a synthetic
+   planted-partition task run to completion with finite, decreasing loss.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/minibatch_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.compile import KernelCache, use_kernel_cache
+from repro.graph.datasets import planted_partition
+from repro.minidgl.autograd import Tensor
+from repro.minidgl.backends import get_backend
+from repro.minidgl.models import GraphSage
+from repro.minidgl.sampling import BlockLoader
+from repro.minidgl.train import cross_entropy, train_minibatch
+from repro.tensorir.analysis import analyze_ir
+
+#: the expensive topology-independent pipeline passes that must not re-run
+#: once the first batch has populated the template cache
+FRONT_AND_LOWER_PASSES = ("build_expr", "fuse_fds", "lower", "vectorize")
+
+
+def check_kernel_reuse(ds, log=print):
+    model = GraphSage(ds.features.shape[1], 4, hidden=16, dropout=0.0, seed=1)
+    backend = get_backend("featgraph")
+    train_ids = np.nonzero(ds.train_mask)[0]
+    with use_kernel_cache(KernelCache()) as cache:
+        loader = BlockLoader(ds.adj, train_ids, 64, [5, 5],
+                             rng=np.random.default_rng(0), prefetch=2)
+        after_first = None
+        batches = 0
+        for seeds, blocks in loader:
+            x = Tensor(blocks[0].gather_src_features(ds.features))
+            logits = model.forward_blocks(blocks, x, backend)
+            # backward too: reverse-graph kernels must also be template hits
+            loss = cross_entropy(logits, ds.labels[seeds],
+                                 np.ones(len(seeds), dtype=bool))
+            loss.backward()
+            batches += 1
+            if after_first is None:
+                counts = cache.stats()["pass_counts"]
+                after_first = {p: counts.get(p, 0)
+                               for p in FRONT_AND_LOWER_PASSES}
+        assert batches > 1, "need multiple batches to exercise reuse"
+
+        s = cache.stats()
+        for p in FRONT_AND_LOWER_PASSES:
+            assert s["pass_counts"].get(p, 0) == after_first[p], (
+                f"pass {p!r} re-ran after the first batch: "
+                f"{after_first[p]} -> {s['pass_counts'].get(p, 0)}")
+        assert s["binds"] > 0, "fresh blocks should re-bind cached templates"
+        served = s["hits"] + s["binds"] + s["template_hits"]
+        assert served > s["pipeline_runs"], (
+            f"cache barely used: {served} served vs "
+            f"{s['pipeline_runs']} pipeline runs")
+        log(f"  reuse: {batches} batches, {s['pipeline_runs']} pipeline "
+            f"runs, {s['binds']} binds, pass_counts frozen after batch 1")
+
+        # analyzer gate on everything the run compiled or bound
+        checked = 0
+        for spec in cache.entries():
+            kernel = cache.peek(spec)
+            report = analyze_ir(kernel.lowered_ir(), target=spec.target)
+            assert not report.has_errors, (
+                f"analyzer errors on {spec.template} kernel: "
+                f"{[str(d) for d in report.errors]}")
+            checked += 1
+        assert checked > 0
+        log(f"  analyzer: {checked} cached block kernels, no error-severity "
+            f"diagnostics")
+
+
+def check_training(ds, log=print):
+    model = GraphSage(ds.features.shape[1], 4, hidden=16, dropout=0.0, seed=2)
+    res = train_minibatch(model, ds, get_backend("featgraph"),
+                          fanouts=[5, 5], batch_size=64, epochs=2,
+                          lr=0.05, seed=3, prefetch=2)
+    assert len(res.train_losses) == 2
+    assert all(np.isfinite(loss) for loss in res.train_losses)
+    assert res.train_losses[-1] < res.train_losses[0], (
+        f"loss did not decrease: {res.train_losses}")
+    assert np.isfinite(res.test_accuracy)
+    log(f"  training: losses {['%.3f' % l for l in res.train_losses]}, "
+        f"test acc {res.test_accuracy:.3f}")
+
+
+def main():
+    print("mini-batch smoke")
+    ds = planted_partition(n=300, num_classes=4, feature_dim=16,
+                           avg_degree=10, seed=0)
+    check_kernel_reuse(ds)
+    check_training(ds)
+    print("  OK")
+    return 0
+
+
+# -- pytest entry point ------------------------------------------------------
+
+def test_minibatch_smoke():
+    ds = planted_partition(n=200, num_classes=4, feature_dim=8,
+                           avg_degree=8, seed=0)
+    check_kernel_reuse(ds, log=lambda *a: None)
+    check_training(ds, log=lambda *a: None)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

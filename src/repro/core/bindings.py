@@ -3,6 +3,14 @@
 The templates bind user arrays to UDF placeholders at ``run`` time; this
 module checks shapes and dtypes up front so mistakes fail with a kernel-level
 message instead of a broadcasting error deep inside the evaluator.
+
+It also derives each placeholder's *graph-axis role* from the traced UDF
+expression (:func:`graph_axis_roles`): a tensor whose leading index is the
+template's ``src``/``dst``/``eid`` variable has a leading dimension sized by
+the bound topology (``n_src``/``n_dst``/``m``), not by the kernel interface.
+Kernels rebound to a new topology (sampled blocks) validate those leading
+dimensions against the *current* graph instead of the placeholder shape the
+UDF was traced with.
 """
 
 from __future__ import annotations
@@ -11,22 +19,92 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.tensorir.expr import ComputeOp, Tensor
+from repro.tensorir.expr import ComputeOp, Tensor, TensorElem, Var
 
-__all__ = ["validate_bindings", "BindingError"]
+__all__ = ["validate_bindings", "graph_axis_roles", "BindingError"]
+
+#: graph-axis roles, by the template variable that indexes the leading dim
+_VAR_ROLE = {"src": "n_src", "dst": "n_dst", "eid": "m"}
 
 
 class BindingError(ValueError):
     """A kernel was invoked with missing or mis-shaped arrays."""
 
 
+def graph_axis_roles(out: Tensor) -> dict[str, str]:
+    """Map placeholder names to the graph axis sizing their leading dim.
+
+    Walks the traced UDF expression: a placeholder read as ``XV[src, ...]``
+    gets role ``"n_src"``, ``XV[dst, ...]`` gets ``"n_dst"``, and
+    ``ES[eid, ...]`` gets ``"m"``.  A tensor read through both endpoint
+    variables (``u_add_v``) gets ``"n_max"`` -- its leading dimension must
+    cover both.  Tensors whose leading index is not a template variable
+    (weight matrices, or anything mixed with ``eid``) carry no role: their
+    shape is part of the kernel interface and stays fixed.
+    """
+    roles: dict[str, str] = {}
+    fixed: set[str] = set()
+
+    def note(name: str, role: str | None) -> None:
+        if role is None:
+            fixed.add(name)
+            return
+        prev = roles.get(name)
+        if prev is None or prev == role:
+            roles[name] = role
+        elif {prev, role} == {"n_src", "n_dst"} or "n_max" in (prev, role) \
+                and "m" not in (prev, role):
+            roles[name] = "n_max"
+        else:
+            fixed.add(name)
+
+    def visit(e) -> None:
+        if isinstance(e, TensorElem):
+            t = e.tensor
+            if isinstance(t.op, ComputeOp):
+                visit(t.op.body)
+            else:
+                lead = e.indices[0] if e.indices else None
+                role = (_VAR_ROLE.get(lead.name)
+                        if isinstance(lead, Var) else None)
+                note(t.name, role)
+            for i in e.indices:
+                visit(i)
+            return
+        for child in getattr(e, "__dict__", {}).values():
+            if hasattr(child, "__dict__") or isinstance(child, TensorElem):
+                visit(child)
+        for attr in ("a", "b", "args", "cond", "then", "otherwise", "value",
+                     "source"):
+            child = getattr(e, attr, None)
+            if child is None:
+                continue
+            if isinstance(child, (list, tuple)):
+                for c in child:
+                    visit(c)
+            else:
+                visit(child)
+
+    visit(out.op.body)
+    for name in fixed:
+        roles.pop(name, None)
+    return roles
+
+
 def validate_bindings(udf_output: Tensor, bindings: Mapping[str, np.ndarray],
-                      kernel_name: str) -> None:
+                      kernel_name: str,
+                      graph_dims: Mapping[str, int] | None = None,
+                      graph_roles: Mapping[str, str] | None = None) -> None:
     """Check that ``bindings`` covers every placeholder the UDF reads, with
     matching shapes.
 
     Extra keys are allowed (a shared bindings dict may serve several
     kernels); missing or wrong-shaped entries raise :class:`BindingError`.
+
+    With ``graph_dims``/``graph_roles`` (kernels rebound to a new topology),
+    a placeholder with a graph-axis role validates its leading dimension
+    against the current graph -- at least ``graph_dims[role]`` rows, exact
+    trailing feature dims -- instead of the traced placeholder shape.
     """
     op = udf_output.op
     if not isinstance(op, ComputeOp):
@@ -38,7 +116,18 @@ def validate_bindings(udf_output: Tensor, bindings: Mapping[str, np.ndarray],
                 f"{tensor.name!r} (expected shape {tensor.shape})"
             )
         arr = np.asarray(bindings[tensor.name])
-        if arr.shape != tensor.shape:
+        role = graph_roles.get(tensor.name) if graph_roles else None
+        if role is not None and graph_dims is not None:
+            need = (max(graph_dims["n_src"], graph_dims["n_dst"])
+                    if role == "n_max" else graph_dims[role])
+            if (arr.ndim != tensor.ndim or arr.shape[1:] != tensor.shape[1:]
+                    or arr.shape[0] < need):
+                raise BindingError(
+                    f"{kernel_name}: binding {tensor.name!r} has shape "
+                    f"{arr.shape}, expected (>={need},"
+                    f"{str(tensor.shape[1:])[1:-1].rstrip(',')})"
+                )
+        elif arr.shape != tensor.shape:
             raise BindingError(
                 f"{kernel_name}: binding {tensor.name!r} has shape "
                 f"{arr.shape}, expected {tensor.shape}"

@@ -12,11 +12,25 @@ each factory takes the placeholder tensors and returns the ``msgfunc`` /
 Both :mod:`repro.core.kernels` and :mod:`repro.minidgl.backends` import
 from here, so the same builtin compiled from either layer yields the same
 :class:`~repro.core.compile.KernelSpec`.
+
+Every factory also stamps the returned closure with a ``udf_key`` -- a
+hashable identity covering the builtin name plus each placeholder's name,
+dtype, and *feature* shape (the graph-sized leading dimension is
+deliberately excluded).  The kernel cache uses ``udf_key`` to recognize a
+UDF it has already traced without re-tracing it, which is what makes
+kernels over freshly sampled blocks a cache hit (see
+:mod:`repro.core.compile`).
 """
 
 from __future__ import annotations
 
 from repro import tensorir as T
+
+
+def _feat_sig(t: T.Tensor) -> tuple:
+    """Topology-independent identity of a placeholder: name, dtype, and
+    trailing feature dims (leading dim is graph-sized and excluded)."""
+    return (t.name, t.dtype, tuple(t.shape[1:]))
 
 __all__ = [
     "copy_u_msg",
@@ -39,6 +53,7 @@ def copy_u_msg(XV: T.Tensor):
         return T.compute(feat_shape, lambda *ix: XV[(src,) + ix],
                          name="copy_u_msg")
 
+    msgfunc.udf_key = ("copy_u", _feat_sig(XV))
     return msgfunc
 
 
@@ -55,6 +70,7 @@ def copy_e_msg(XE: T.Tensor):
             return T.compute(feat_shape, lambda *ix: XE[(eid,) + ix],
                              name="copy_e_msg")
 
+    msgfunc.udf_key = ("copy_e", XE.ndim, _feat_sig(XE))
     return msgfunc
 
 
@@ -72,6 +88,7 @@ def _binary_uv_msg(opname: str, XV: T.Tensor):
 
         return T.compute(feat_shape, body, name=f"u_{opname}_v_msg")
 
+    msgfunc.udf_key = (f"u_{opname}_v", _feat_sig(XV))
     return msgfunc
 
 
@@ -105,6 +122,7 @@ def u_mul_e_msg(XV: T.Tensor, EW: T.Tensor):
 
         return T.compute(XV.shape[1:], body, name="u_mul_e_msg")
 
+    msgfunc.udf_key = ("u_mul_e", _feat_sig(XV), _feat_sig(EW))
     return msgfunc
 
 
@@ -129,6 +147,7 @@ def u_dot_v_edge(XA: T.Tensor, XB: T.Tensor):
                 XA[(src,) + hx + (k,)] * XB[(dst,) + hx + (k,)], axis=k),
             name="u_dot_v")
 
+    edgefunc.udf_key = ("u_dot_v", _feat_sig(XA), _feat_sig(XB))
     return edgefunc
 
 

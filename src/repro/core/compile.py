@@ -36,6 +36,21 @@ This module makes compilation first-class:
   fixing the minidgl backend's former habit of mixing canonical CSR copies
   into its kernel dict.
 
+- Kernel identity is split into a **topology-independent** part and the
+  graph binding.  :class:`UniversalSpec` is a :class:`KernelSpec` minus the
+  graph fingerprint, with graph-sized leading dimensions replaced by their
+  axis roles (``n_src``/``n_dst``/``m``; see
+  :func:`repro.core.bindings.graph_axis_roles`).  The cache keeps, per
+  universal spec, a :class:`TemplateEntry` holding everything the front and
+  back passes produced that does not depend on the topology: the traced
+  expression, the applied FDS stage, the vectorized program, and the
+  analysis report.  Compiling the same (UDF, FDS, aggregation, target,
+  options) against a *new* graph -- the sampled-block training loop -- then
+  skips every pass and merely **binds** the template to the new CSR, which
+  is the paper's "compile once, run on every mini-batch" amortization.
+  Builtin UDFs carry a ``udf_key`` and factory FDS objects a ``cache_key``,
+  so the bind path does not even re-trace the UDF to find its template.
+
 Entry points: :func:`compile_spmm` / :func:`compile_sddmm` (used by
 :func:`repro.core.api.spmm` / ``sddmm`` and therefore by every kernel
 builder), :func:`get_kernel_cache` / :func:`use_kernel_cache` for cache
@@ -77,6 +92,8 @@ from repro.tensorir.validate import validate_ir, validate_schedule
 
 __all__ = [
     "KernelSpec",
+    "UniversalSpec",
+    "TemplateEntry",
     "PassTiming",
     "CompileRecord",
     "CompileContext",
@@ -102,7 +119,7 @@ __all__ = [
 # canonical signatures
 # ----------------------------------------------------------------------
 
-def expr_signature(out: E.Tensor) -> str:
+def expr_signature(out: E.Tensor, dim_tokens: dict | None = None) -> str:
     """Canonical structural signature of a traced UDF output tensor.
 
     Iteration variables are renamed ``%0, %1, ...`` in first-visit order, so
@@ -110,6 +127,12 @@ def expr_signature(out: E.Tensor) -> str:
     axes carry different generated names -- yield identical signatures.
     Placeholder tensors keep their names, shapes, and dtypes: kernels bound
     to differently named or shaped inputs are operationally distinct.
+
+    ``dim_tokens`` (placeholder name -> token) symbolizes graph-sized
+    leading dimensions: a mapped placeholder's shape is signed with the
+    token in place of ``shape[0]``, so two traces of the same UDF over
+    differently sized topologies compare equal.  The default (``None``)
+    keeps every dimension concrete.
     """
     if not isinstance(out, E.Tensor) or not isinstance(out.op, E.ComputeOp):
         raise TypeError("expr_signature expects a traced compute Tensor")
@@ -147,7 +170,10 @@ def expr_signature(out: E.Tensor) -> str:
             if isinstance(t.op, E.ComputeOp):
                 head = compute_sig(t)
             else:
-                head = f"{t.name}:{t.dtype}{t.shape}"
+                shape = t.shape
+                if dim_tokens and t.name in dim_tokens and shape:
+                    shape = (dim_tokens[t.name],) + tuple(shape[1:])
+                head = f"{t.name}:{t.dtype}{shape}"
             return f"{head}[{','.join(visit(i) for i in e.indices)}]"
         raise TypeError(f"cannot sign {type(e).__name__}")
 
@@ -233,6 +259,72 @@ class KernelSpec:
 
         return hashlib.sha1(repr(self).encode()).hexdigest()[:12]
 
+    def universal(self) -> "UniversalSpec":
+        """The topology-independent part of this spec (everything but the
+        graph fingerprint)."""
+        return UniversalSpec(
+            template=self.template, udf=self.udf,
+            aggregation=self.aggregation, target=self.target, fds=self.fds,
+            shapes=self.shapes, options=self.options)
+
+
+@dataclass(frozen=True)
+class UniversalSpec:
+    """A :class:`KernelSpec` minus the graph binding.
+
+    The ``udf`` and ``shapes`` fields carry graph-axis *roles*
+    (``n_src``/``n_dst``/``m``) in place of concrete leading dimensions --
+    see :meth:`CompileContext.make_spec` -- so the same UDF/FDS/target
+    request over two different topologies yields the *same* universal spec.
+    This is the key the cache's template namespace is indexed by.
+    """
+
+    template: str
+    udf: str
+    aggregation: str | None
+    target: str
+    fds: str
+    shapes: tuple
+    options: tuple
+
+    def bind(self, graph_fingerprint: str) -> KernelSpec:
+        """The full spec of this template bound to one topology."""
+        return KernelSpec(
+            template=self.template, udf=self.udf,
+            aggregation=self.aggregation, target=self.target, fds=self.fds,
+            graph=graph_fingerprint, shapes=self.shapes,
+            options=self.options)
+
+
+@dataclass
+class TemplateEntry:
+    """Everything a compiled kernel owns that does not depend on topology.
+
+    Produced once per :class:`UniversalSpec` by a full pipeline run and kept
+    in the cache's template namespace; binding it to a new graph
+    (:meth:`CompilePipeline._bind`) constructs a runnable kernel without
+    re-running any compile pass.  The traced expression, stage, and
+    vectorized program are shared read-only across every kernel bound from
+    this entry.
+    """
+
+    universal: UniversalSpec
+    src_var: E.Var
+    dst_var: E.Var
+    eid_var: E.Var
+    #: the traced UDF output (placeholder leading dims are those of the
+    #: topology the template was first compiled against; bound kernels
+    #: validate leading dims against their own graph via ``roles``)
+    out: E.Tensor
+    stage: Stage
+    fds_info: object
+    #: compiled batched-UDF program, or None (tree-walk fallback)
+    vector_program: object | None
+    #: dataflow analysis report of the original lowering
+    analysis: object | None
+    #: placeholder name -> graph-axis role (n_src / n_dst / n_max / m)
+    roles: dict
+
 
 @dataclass(frozen=True)
 class PassTiming:
@@ -286,6 +378,14 @@ class CompileContext:
         self.kernel = None
         self.artifacts: dict = {}
         self.timings: list[PassTiming] = []
+        #: placeholder -> graph-axis role, derived in :meth:`make_spec`
+        self.roles: dict | None = None
+        #: set only on the template-bind path: tells the constructed kernel
+        #: to validate graph-sized leading dims against its *own* topology
+        #: instead of the template's placeholder shapes
+        self.bound_roles: dict | None = None
+        #: vectorized program inherited from a template (bind path)
+        self.bound_program = None
 
     @classmethod
     def from_kernel(cls, kernel) -> "CompileContext":
@@ -310,15 +410,43 @@ class CompileContext:
         ctx.kernel = kernel
         return ctx
 
+    def template_key(self):
+        """Hashable pre-trace identity of the topology-independent kernel,
+        or None when the UDF/FDS carry no declared identity.
+
+        Built from the builtin UDF's ``udf_key`` and the FDS factory's
+        ``cache_key``; available *before* the front passes run, so a
+        template hit skips tracing entirely.  Hand-written UDFs or FDS
+        functions without keys fall back to the trace-then-match path.
+        """
+        udf_key = getattr(self.udf, "udf_key", None)
+        fds_key = getattr(self.fds_obj, "cache_key", None)
+        if udf_key is None or fds_key is None:
+            return None
+        options = tuple(sorted(
+            (k, repr(v)) for k, v in self.options.items()))
+        return (self.template, udf_key, self.aggregation, self.target,
+                fds_key, options)
+
     def make_spec(self) -> KernelSpec:
+        from repro.core.bindings import graph_axis_roles
+
+        self.roles = graph_axis_roles(self.out)
+
+        def sym(t: E.Tensor) -> tuple:
+            role = self.roles.get(t.name)
+            if role is None or not t.shape:
+                return tuple(t.shape)
+            return (role,) + tuple(t.shape[1:])
+
         shapes = tuple(
-            (t.name, t.shape, t.dtype) for t in self.out.op.input_tensors()
+            (t.name, sym(t), t.dtype) for t in self.out.op.input_tensors()
         ) + (("out", self.out.shape, self.out.dtype),)
         options = tuple(sorted(
             (k, repr(v)) for k, v in self.options.items()))
         return KernelSpec(
             template=self.template,
-            udf=expr_signature(self.out),
+            udf=expr_signature(self.out, dim_tokens=self.roles),
             aggregation=self.aggregation,
             target=self.target,
             fds=schedule_signature(self.stage),
@@ -476,12 +604,37 @@ class CompilePipeline:
                         if n not in _FRONT_PASSES])
 
     def compile(self, ctx: CompileContext, cache: "KernelCache"):
-        """Run the pipeline against ``cache``; return the compiled kernel."""
+        """Run the pipeline against ``cache``; return the compiled kernel.
+
+        Resolution order, cheapest first:
+
+        1. *prekey* -- the UDF/FDS declared identities name a cached
+           :class:`TemplateEntry` without tracing; the bound (template,
+           graph) spec is then looked up and, on a kernel miss, bound.
+        2. *trace* -- the front passes run and the exact spec is looked up.
+        3. *template match* -- a trace that missed the kernel cache may
+           still match a template compiled against another topology; bind.
+        4. *full compile* -- back passes run; the kernel and its new
+           template entry are cached.
+        """
+        prekey = ctx.template_key()
+        if prekey is not None:
+            entry = cache.template_for_prekey(prekey)
+            if entry is not None:
+                spec = entry.universal.bind(ctx.A.fingerprint())
+                cached = cache.get(spec)
+                if cached is not None:
+                    return cached
+                return self._bind(ctx, entry, spec, cache)
         self.run_front(ctx)
         ctx.spec = ctx.make_spec()
         cached = cache.get(ctx.spec)
         if cached is not None:
+            cache.note_timings(ctx.timings)
             return cached
+        entry = cache.get_template(ctx.spec.universal())
+        if entry is not None:
+            return self._bind(ctx, entry, ctx.spec, cache)
         self.run_back(ctx)
         record = CompileRecord(spec=ctx.spec, timings=tuple(ctx.timings),
                                artifacts=dict(ctx.artifacts),
@@ -489,7 +642,51 @@ class CompilePipeline:
                                                   None))
         ctx.kernel._compile_record = record
         cache.put(ctx.spec, ctx.kernel, record)
+        cache.put_template(
+            ctx.spec.universal(),
+            TemplateEntry(
+                universal=ctx.spec.universal(),
+                src_var=ctx.src_var, dst_var=ctx.dst_var, eid_var=ctx.eid_var,
+                out=ctx.out, stage=ctx.stage, fds_info=ctx.fds_info,
+                vector_program=ctx.artifacts.get("vector_program"),
+                analysis=ctx.artifacts.get("analysis"),
+                roles=dict(ctx.roles or {})),
+            prekey=prekey)
+        cache.note_timings(ctx.timings)
         return ctx.kernel
+
+    def _bind(self, ctx: CompileContext, entry: TemplateEntry,
+              spec: KernelSpec, cache: "KernelCache"):
+        """Bind a cached template to ``ctx``'s topology: construct the
+        kernel around the new CSR with zero compile passes.
+
+        The kernel is built from the *entry's* traced expression and stage
+        even when ``ctx`` ran the front passes itself (trace-then-match
+        route): the entry's vectorized program is keyed by the entry trace's
+        generated axis names, so mixing it with a fresh trace would make
+        per-tile ``axis_ranges`` lookups miss silently.
+        """
+        t0 = time.perf_counter()
+        ctx.src_var, ctx.dst_var = entry.src_var, entry.dst_var
+        ctx.eid_var = entry.eid_var
+        ctx.out = entry.out
+        ctx.stage = entry.stage
+        ctx.fds_info = entry.fds_info
+        ctx.spec = spec
+        ctx.bound_roles = dict(entry.roles)
+        ctx.bound_program = entry.vector_program
+        kernel = _construct_kernel(ctx)
+        kernel._vector_program = entry.vector_program
+        ctx.timings.append(PassTiming("bind", time.perf_counter() - t0))
+        record = CompileRecord(
+            spec=spec, timings=tuple(ctx.timings),
+            artifacts={"vector_program": entry.vector_program,
+                       "analysis": entry.analysis},
+            exec_stats=getattr(kernel, "exec_stats", None))
+        kernel._compile_record = record
+        cache.put(spec, kernel, record, bound=True)
+        cache.note_timings(ctx.timings)
+        return kernel
 
 
 _DEFAULT_PIPELINE = CompilePipeline()
@@ -520,12 +717,22 @@ class KernelCache:
         self.max_entries = int(max_entries)
         self._lock = threading.RLock()
         self._kernels: "OrderedDict[KernelSpec, object]" = OrderedDict()
-        self._graphs: dict[str, CSRMatrix] = {}
+        self._templates: "OrderedDict[UniversalSpec, TemplateEntry]" = \
+            OrderedDict()
+        self._prekeys: dict = {}
+        self._graphs: "OrderedDict[str, CSRMatrix]" = OrderedDict()
+        self.max_graph_entries = max(self.max_entries, 128)
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._pipeline_runs = 0
         self._compile_seconds = 0.0
+        self._binds = 0
+        self._template_hits = 0
+        self._template_misses = 0
+        self._template_evictions = 0
+        self._pass_counts: dict[str, int] = {}
+        self._pass_seconds: dict[str, float] = {}
 
     # -- kernel entries -------------------------------------------------
     def get(self, spec: KernelSpec):
@@ -544,17 +751,87 @@ class KernelCache:
         with self._lock:
             return self._kernels.get(spec)
 
-    def put(self, spec: KernelSpec, kernel, record: CompileRecord | None = None):
-        """Insert a freshly compiled kernel, evicting LRU entries if full."""
+    def put(self, spec: KernelSpec, kernel,
+            record: CompileRecord | None = None, bound: bool = False):
+        """Insert a compiled kernel, evicting LRU entries if full.
+
+        ``bound`` marks kernels produced by binding a cached template to a
+        new topology (no pipeline run): they count toward ``binds`` instead
+        of ``pipeline_runs``.
+        """
         with self._lock:
             self._kernels[spec] = kernel
             self._kernels.move_to_end(spec)
-            self._pipeline_runs += 1
+            if bound:
+                self._binds += 1
+            else:
+                self._pipeline_runs += 1
             if record is not None:
                 self._compile_seconds += record.total_seconds
             while len(self._kernels) > self.max_entries:
                 self._kernels.popitem(last=False)
                 self._evictions += 1
+
+    # -- template entries (topology-independent) ------------------------
+    def template_for_prekey(self, prekey):
+        """Resolve a pre-trace template key (udf_key/FDS cache_key) to its
+        :class:`TemplateEntry`, or None."""
+        with self._lock:
+            universal = self._prekeys.get(prekey)
+            if universal is None:
+                self._template_misses += 1
+                return None
+            return self._get_template_locked(universal)
+
+    def get_template(self, universal: "UniversalSpec"):
+        """Look up a template by its universal spec; counts hit/miss."""
+        with self._lock:
+            return self._get_template_locked(universal)
+
+    def _get_template_locked(self, universal):
+        entry = self._templates.get(universal)
+        if entry is not None:
+            self._templates.move_to_end(universal)
+            self._template_hits += 1
+            return entry
+        self._template_misses += 1
+        return None
+
+    def put_template(self, universal: "UniversalSpec", entry: "TemplateEntry",
+                     prekey=None) -> None:
+        """Insert a template entry, registering its pre-trace key.
+
+        The template namespace shares ``max_entries`` with the kernel
+        namespace and evicts LRU-first (own ``template_evictions`` counter),
+        so a spec whose kernel was evicted does not silently keep serving
+        binds forever.
+        """
+        with self._lock:
+            self._templates[universal] = entry
+            self._templates.move_to_end(universal)
+            if prekey is not None:
+                self._prekeys[prekey] = universal
+            while len(self._templates) > self.max_entries:
+                dropped, _ = self._templates.popitem(last=False)
+                self._template_evictions += 1
+                for key in [k for k, v in self._prekeys.items()
+                            if v == dropped]:
+                    del self._prekeys[key]
+
+    def note_timings(self, timings) -> None:
+        """Aggregate per-pass run counts and seconds across compiles.
+
+        This is the observable ledger of compile *work*: a mini-batch loop
+        that truly reuses templates shows zero growth in the
+        ``build_expr``/``fuse_fds``/``lower``/``vectorize`` counters after
+        its first batch (only ``bind`` grows).
+        """
+        with self._lock:
+            for t in timings:
+                self._pass_counts[t.name] = \
+                    self._pass_counts.get(t.name, 0) + 1
+                self._pass_seconds[t.name] = \
+                    self._pass_seconds.get(t.name, 0.0) + t.seconds
 
     def entries(self) -> list[KernelSpec]:
         """The cached specs, least-recently used first."""
@@ -588,6 +865,12 @@ class KernelCache:
                 else:
                     canon = CSRMatrix(adj.shape, adj.indptr, adj.indices)
                 self._graphs[fp] = canon
+            # Bounded LRU: sampled-block training creates a fresh topology
+            # per batch, and an unbounded dict would leak one CSR per block
+            # for the life of the process.
+            self._graphs.move_to_end(fp)
+            while len(self._graphs) > self.max_graph_entries:
+                self._graphs.popitem(last=False)
             return canon
 
     def invalidate_graph(self, fingerprint: str) -> int:
@@ -596,7 +879,9 @@ class KernelCache:
         Call after mutating/replacing a graph so stale kernels compiled for
         the old topology cannot be served.  Returns the number of kernel
         entries removed.  Kernels compiled against the canonicalized copy of
-        the fingerprinted graph are removed too.
+        the fingerprinted graph are removed too.  Template entries survive:
+        they are topology-independent, so re-requesting a kernel for the
+        (new or old) graph re-*binds* rather than re-compiles.
         """
         with self._lock:
             targets = {fingerprint}
@@ -626,6 +911,13 @@ class KernelCache:
                 "pipeline_runs": self._pipeline_runs,
                 "compile_seconds": self._compile_seconds,
                 "hit_rate": self._hits / lookups if lookups else 0.0,
+                "binds": self._binds,
+                "templates": len(self._templates),
+                "template_hits": self._template_hits,
+                "template_misses": self._template_misses,
+                "template_evictions": self._template_evictions,
+                "pass_counts": dict(self._pass_counts),
+                "pass_seconds": dict(self._pass_seconds),
             }
 
     def reset_stats(self) -> None:
@@ -634,11 +926,18 @@ class KernelCache:
             self._hits = self._misses = self._evictions = 0
             self._pipeline_runs = 0
             self._compile_seconds = 0.0
+            self._binds = 0
+            self._template_hits = self._template_misses = 0
+            self._template_evictions = 0
+            self._pass_counts = {}
+            self._pass_seconds = {}
 
     def clear(self) -> None:
         """Drop every entry and artifact and zero the counters."""
         with self._lock:
             self._kernels.clear()
+            self._templates.clear()
+            self._prekeys.clear()
             self._graphs.clear()
             self.reset_stats()
 

@@ -54,10 +54,21 @@ class FDSInfo:
 
 
 class FDS:
-    """A user feature-dimension schedule, plus its introspection."""
+    """A user feature-dimension schedule, plus its introspection.
 
-    def __init__(self, schedule_fn: Callable[[Tensor], Schedule] | None):
+    ``cache_key`` is an optional hashable identity for the *decisions* the
+    schedule function makes (e.g. ``("cpu_tile", 8)``).  The ``*_fds``
+    factories below all set one; the kernel cache uses it to recognize
+    structurally identical schedules without applying them, which is what
+    lets compiled kernels be re-bound to new graph topologies without
+    re-running the front compile passes.  A hand-written FDS without a key
+    still compiles fine -- it just never takes the fast re-bind path.
+    """
+
+    def __init__(self, schedule_fn: Callable[[Tensor], Schedule] | None,
+                 cache_key: tuple | None = None):
         self.schedule_fn = schedule_fn
+        self.cache_key = cache_key
 
     def apply(self, out: Tensor) -> Schedule:
         """Run the user schedule function (identity schedule if absent)."""
@@ -117,7 +128,7 @@ def introspect_stage(out: Tensor, stage) -> FDSInfo:
 def default_fds() -> FDS:
     """No feature-dimension optimization -- FeatGraph "degrades to
     traditional graph processing systems" (Sec. III-B)."""
-    return FDS(None)
+    return FDS(None, cache_key=("none",))
 
 
 def default_fds_for(target: str, feature_len: int, kind: str) -> FDS:
@@ -148,7 +159,7 @@ def cpu_tile_fds(factor: int = 8) -> FDS:
         s[out].split(out.op.axis[0], factor=factor)
         return s
 
-    return FDS(fn)
+    return FDS(fn, cache_key=("cpu_tile", factor))
 
 
 def cpu_multilevel_fds(out_factor: int = 8, reduce_factor: int = 8) -> FDS:
@@ -163,7 +174,7 @@ def cpu_multilevel_fds(out_factor: int = 8, reduce_factor: int = 8) -> FDS:
             s[out].split(reduce_axes[0], factor=reduce_factor)
         return s
 
-    return FDS(fn)
+    return FDS(fn, cache_key=("cpu_multilevel", out_factor, reduce_factor))
 
 
 def gpu_feature_thread_fds() -> FDS:
@@ -175,7 +186,7 @@ def gpu_feature_thread_fds() -> FDS:
         s[out].bind(out.op.axis[0], "thread.x")
         return s
 
-    return FDS(fn)
+    return FDS(fn, cache_key=("gpu_feature_thread",))
 
 
 def gpu_tree_reduce_fds() -> FDS:
@@ -190,7 +201,7 @@ def gpu_tree_reduce_fds() -> FDS:
         s[out].tree_reduce(reduce_axes[0], "thread.x")
         return s
 
-    return FDS(fn)
+    return FDS(fn, cache_key=("gpu_tree_reduce",))
 
 
 def gpu_multilevel_fds() -> FDS:
@@ -206,4 +217,4 @@ def gpu_multilevel_fds() -> FDS:
             s[out].tree_reduce(reduce_axes[0], "thread.x")
         return s
 
-    return FDS(fn)
+    return FDS(fn, cache_key=("gpu_multilevel",))

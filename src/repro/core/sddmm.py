@@ -70,8 +70,11 @@ class GeneralizedSDDMM:
         self._vector_program = _UNCOMPILED
         self.exec_stats = ExecStats()
         if _compiled is not None:
-            # Constructed by the compile pipeline's lower pass: the front
-            # passes already traced the UDF and applied/validated the FDS.
+            # Constructed by the compile pipeline: the front passes already
+            # traced the UDF and applied/validated the FDS -- or, on the
+            # template-bind path, another topology's kernel did and this one
+            # inherits the trace (bound_roles then switches binding
+            # validation to graph-axis semantics).
             self.fds = _compiled.fds_obj
             self.src_var = _compiled.src_var
             self.dst_var = _compiled.dst_var
@@ -79,6 +82,7 @@ class GeneralizedSDDMM:
             out = _compiled.out
             self.fds_info: FDSInfo = _compiled.fds_info
             self._stage = _compiled.stage
+            self.graph_roles = getattr(_compiled, "bound_roles", None)
         else:
             if fds is None:
                 self.fds = default_fds()
@@ -94,6 +98,7 @@ class GeneralizedSDDMM:
             if not isinstance(out, Tensor) or not isinstance(out.op, ComputeOp):
                 raise TypeError("edgefunc must return a tensorir compute Tensor")
             self.fds_info = self.fds.inspect(out, target=target)
+            self.graph_roles = None
         self.edge_out = out
         self.out_shape = out.shape
         self.out_width = int(np.prod(out.shape))
@@ -151,7 +156,11 @@ class GeneralizedSDDMM:
         write disjoint edge-id rows, so they are race-free.
         """
         validate_bindings(self.edge_out, bindings,
-                          f"sddmm[{self.edge_out.name}]")
+                          f"sddmm[{self.edge_out.name}]",
+                          graph_dims={"n_src": self.A.num_src,
+                                      "n_dst": self.A.num_dst,
+                                      "m": self.A.nnz},
+                          graph_roles=self.graph_roles)
         m = self.A.nnz
         result = out if out is not None else np.empty(
             (m,) + self.out_shape, dtype=np.float32
@@ -258,14 +267,28 @@ class GeneralizedSDDMM:
         """Representative fused-kernel IR: the loop-nest statement produced
         by the compile pipeline's ``lower`` and ``simplify`` passes (see
         :mod:`repro.core.compile`).  Pretty-print with
-        :func:`repro.tensorir.ir.stmt_to_str`."""
-        return self.compiled.artifacts["ir"]
+        :func:`repro.tensorir.ir.stmt_to_str`.  Kernels bound from a cached
+        template build it on demand against their own topology."""
+        artifacts = self.compiled.artifacts
+        if "ir" not in artifacts:
+            from repro.core.compile import sddmm_loop_nest
+            from repro.tensorir.simplify import simplify_stmt
+
+            artifacts["ir"] = simplify_stmt(sddmm_loop_nest(self))
+        return artifacts["ir"]
 
     def analysis_report(self):
         """The :class:`~repro.tensorir.analysis.AnalysisReport` from the
         compile pipeline's ``analyze`` pass: race, bounds, and footprint
-        diagnostics for this kernel's lowered loop nest."""
-        return self.compiled.artifacts["analysis"]
+        diagnostics for this kernel's lowered loop nest.  Bound kernels
+        inherit their template's report."""
+        artifacts = self.compiled.artifacts
+        if artifacts.get("analysis") is None:
+            from repro.tensorir.analysis import analyze_ir
+
+            artifacts["analysis"] = analyze_ir(self.lowered_ir(),
+                                               target=self.target)
+        return artifacts["analysis"]
 
     def cuda_source(self, name: str = "fused_sddmm",
                     threads_per_block: int = 256) -> str:

@@ -58,6 +58,13 @@ class EdgeSoftmax:
                 lambda i: T.exp(ES[eid, i] - MAXV[dst, i]) / SUMV[dst, i],
                 name="sm_norm")
 
+        # Topology-independent identities (repro.core.compile): an
+        # EdgeSoftmax over a fresh sampled block re-binds the cached phase
+        # templates instead of re-tracing and re-lowering three kernels.
+        max_msg.udf_key = ("edge_softmax_max", h)
+        expsum_msg.udf_key = ("edge_softmax_expsum", h)
+        normalize_edge.udf_key = ("edge_softmax_normalize", h)
+
         # ``cache=None`` targets the shared process-wide KernelCache, so two
         # EdgeSoftmax instances over the same graph reuse compiled kernels.
         self._max_kernel = spmm(self.A, max_msg, "max", target=target,

@@ -127,8 +127,12 @@ class GeneralizedSpMM:
         self._vector_program = _UNCOMPILED
         self.exec_stats = ExecStats()
         if _compiled is not None:
-            # Constructed by the compile pipeline's lower pass: the front
-            # passes already traced the UDF and applied/validated the FDS.
+            # Constructed by the compile pipeline: the front passes already
+            # traced the UDF and applied/validated the FDS -- or, on the
+            # template-bind path, another topology's kernel did and this one
+            # inherits the trace.  bound_roles (bind path only) switches
+            # binding validation to graph-axis semantics, since the
+            # inherited placeholders carry the template's leading dims.
             self.fds = _compiled.fds_obj
             self.src_var = _compiled.src_var
             self.dst_var = _compiled.dst_var
@@ -136,6 +140,7 @@ class GeneralizedSpMM:
             msg = _compiled.out
             self.fds_info: FDSInfo = _compiled.fds_info
             self._stage = _compiled.stage
+            self.graph_roles = getattr(_compiled, "bound_roles", None)
         else:
             if fds is None:
                 self.fds = default_fds()
@@ -155,6 +160,7 @@ class GeneralizedSpMM:
                 raise ValueError(
                     "message must have at least one feature dimension")
             self.fds_info = self.fds.inspect(msg, target=target)
+            self.graph_roles = None
         self.msg = msg
         self.msg_shape = msg.shape
         self.feature_len = int(np.prod(msg.shape))
@@ -193,6 +199,11 @@ class GeneralizedSpMM:
         self._partitions: list[Partition1D] | None = None
 
     # ------------------------------------------------------------------
+    def _graph_dims(self) -> dict:
+        """Leading-dimension requirements of the bound topology, by role."""
+        return {"n_src": self.A.num_src, "n_dst": self.A.num_dst,
+                "m": self.A.nnz}
+
     @property
     def partitions(self) -> list[Partition1D]:
         """Lazily materialized 1D source partitions."""
@@ -213,7 +224,9 @@ class GeneralizedSpMM:
         share one partition's row range at a time (the LLC-contention-
         avoiding schedule of Sec. IV-A).
         """
-        validate_bindings(self.msg, bindings, f"spmm[{self.msg.name}]")
+        validate_bindings(self.msg, bindings, f"spmm[{self.msg.name}]",
+                          graph_dims=self._graph_dims(),
+                          graph_roles=self.graph_roles)
         n_dst = self.A.num_dst
         out_shape = (n_dst,) + self.msg_shape
         base = self.aggregation if self.aggregation != "mean" else "sum"
@@ -397,14 +410,31 @@ class GeneralizedSpMM:
         as a combine-store -- the paper's "directly constructing and
         manipulating the IR" (Sec. IV-A) made visible.  Pretty-print with
         :func:`repro.tensorir.ir.stmt_to_str`.
+
+        Kernels bound from a cached template carry no lowering artifacts
+        (binding skips the back passes); for those the loop nest is built
+        on demand against this kernel's own topology.
         """
-        return self.compiled.artifacts["ir"]
+        artifacts = self.compiled.artifacts
+        if "ir" not in artifacts:
+            from repro.core.compile import spmm_loop_nest
+            from repro.tensorir.simplify import simplify_stmt
+
+            artifacts["ir"] = simplify_stmt(spmm_loop_nest(self))
+        return artifacts["ir"]
 
     def analysis_report(self):
         """The :class:`~repro.tensorir.analysis.AnalysisReport` from the
         compile pipeline's ``analyze`` pass: race, bounds, and footprint
-        diagnostics for this kernel's lowered loop nest."""
-        return self.compiled.artifacts["analysis"]
+        diagnostics for this kernel's lowered loop nest.  Bound kernels
+        inherit their template's report."""
+        artifacts = self.compiled.artifacts
+        if artifacts.get("analysis") is None:
+            from repro.tensorir.analysis import analyze_ir
+
+            artifacts["analysis"] = analyze_ir(self.lowered_ir(),
+                                               target=self.target)
+        return artifacts["analysis"]
 
     def cuda_source(self, name: str = "fused_spmm") -> str:
         """CUDA C source of the fused generalized-SpMM kernel (the compile

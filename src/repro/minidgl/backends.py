@@ -123,9 +123,10 @@ class FeatGraphDGLBackend:
     def _dot(self, adj: CSRMatrix, feat_shape: tuple[int, ...]):
         cache = self._kernel_cache()
         adj = cache.canonical_graph(adj)
-        n = adj.shape[1]
-        XA = T.placeholder((n,) + feat_shape, name="XA")
-        XB = T.placeholder((n,) + feat_shape, name="XB")
+        # XA is gathered by source id, XB by destination id; on a bipartite
+        # sampled block those counts differ, so size each side accordingly.
+        XA = T.placeholder((adj.shape[1],) + feat_shape, name="XA")
+        XB = T.placeholder((adj.shape[0],) + feat_shape, name="XB")
         edgefunc = dgl_builtins.u_dot_v_edge(XA, XB)
         fds = default_fds_for(self.target, feat_shape[-1], "sddmm")
         return fg_sddmm(adj, edgefunc, target=self.target, fds=fds,

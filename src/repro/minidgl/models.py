@@ -19,10 +19,16 @@ from repro.minidgl.nn import Dropout, GATConv, GCNConv, Linear, Module, SAGEConv
 __all__ = ["GCN", "GraphSage", "GAT", "APPNP", "MODELS"]
 
 
+def _check_blocks(blocks, num_layers: int):
+    if len(blocks) != num_layers:
+        raise ValueError(f"expected {num_layers} blocks, got {len(blocks)}")
+
+
 class GCN(Module):
     """2-layer graph convolutional network."""
 
     paper_hidden = 512
+    num_block_layers = 2
 
     def __init__(self, in_dim: int, num_classes: int, hidden: int = 512,
                  dropout: float = 0.1, seed: int = 0):
@@ -37,11 +43,20 @@ class GCN(Module):
         h = self.dropout(h)
         return self.conv2(graph, h, backend)
 
+    def forward_blocks(self, blocks, x: Tensor, backend) -> Tensor:
+        """Mini-batch forward over sampled blocks (one per layer, execution
+        order); ``x`` holds the features of ``blocks[0].src_ids``."""
+        _check_blocks(blocks, self.num_block_layers)
+        h = self.conv1(Graph(blocks[0].adj), x, backend).relu()
+        h = self.dropout(h)
+        return self.conv2(Graph(blocks[1].adj), h, backend)
+
 
 class GraphSage(Module):
     """2-layer GraphSage with mean aggregation."""
 
     paper_hidden = 256
+    num_block_layers = 2
 
     def __init__(self, in_dim: int, num_classes: int, hidden: int = 256,
                  dropout: float = 0.1, seed: int = 0):
@@ -56,11 +71,20 @@ class GraphSage(Module):
         h = self.dropout(h)
         return self.conv2(graph, h, backend)
 
+    def forward_blocks(self, blocks, x: Tensor, backend) -> Tensor:
+        """Mini-batch forward over sampled blocks (one per layer, execution
+        order); ``x`` holds the features of ``blocks[0].src_ids``."""
+        _check_blocks(blocks, self.num_block_layers)
+        h = self.conv1(Graph(blocks[0].adj), x, backend).relu()
+        h = self.dropout(h)
+        return self.conv2(Graph(blocks[1].adj), h, backend)
+
 
 class GAT(Module):
     """2-layer graph attention network."""
 
     paper_hidden = 256
+    num_block_layers = 2
 
     def __init__(self, in_dim: int, num_classes: int, hidden: int = 256,
                  num_heads: int = 4, dropout: float = 0.1, seed: int = 0):
@@ -75,6 +99,14 @@ class GAT(Module):
         h = self.conv1(graph, x, backend).elu()
         h = self.dropout(h)
         return self.conv2(graph, h, backend)
+
+    def forward_blocks(self, blocks, x: Tensor, backend) -> Tensor:
+        """Mini-batch forward over sampled blocks (one per layer, execution
+        order); ``x`` holds the features of ``blocks[0].src_ids``."""
+        _check_blocks(blocks, self.num_block_layers)
+        h = self.conv1(Graph(blocks[0].adj), x, backend).elu()
+        h = self.dropout(h)
+        return self.conv2(Graph(blocks[1].adj), h, backend)
 
 
 class APPNP(Module):

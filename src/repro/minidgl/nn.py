@@ -201,7 +201,12 @@ class SAGEConv(Module):
         agg = copy_u_sum(graph, self.w_neigh(x), backend)
         inv_deg = 1.0 / np.maximum(graph.in_degrees(), 1)
         mean = agg * Tensor(inv_deg.astype(np.float32).reshape(-1, 1))
-        return self.w_self(x) + mean
+        # On a bipartite block the adjacency is (num_dst, num_src) and the
+        # self-term only applies to the destination vertices, which by the
+        # Block convention are the first num_dst source rows.
+        n_dst = graph.adj.shape[0]
+        x_dst = x if x.shape[0] == n_dst else x.gather_rows(np.arange(n_dst))
+        return self.w_self(x_dst) + mean
 
 
 class GATConv(Module):
@@ -232,11 +237,15 @@ class GATConv(Module):
             requires_grad=True, name="attn_r")
 
     def forward(self, graph: Graph, x: Tensor, backend) -> Tensor:
-        n = graph.num_vertices
-        z = self.fc(x).reshape(n, self.num_heads, self.head_dim)
-        el = (z * self.attn_l).sum(axis=2)   # (n, heads)
+        # Source and destination counts differ on bipartite blocks; the
+        # destination scores read the first n_dst rows of er, valid because
+        # a Block's dst_ids are a prefix of its src_ids.
+        n_src = x.shape[0]
+        n_dst = graph.adj.shape[0]
+        z = self.fc(x).reshape(n_src, self.num_heads, self.head_dim)
+        el = (z * self.attn_l).sum(axis=2)   # (n_src, heads)
         er = (z * self.attn_r).sum(axis=2)
         logits = edge_add(graph, el, er).leaky_relu(self.negative_slope)  # (m, heads)
         alpha = edge_softmax(graph, logits, backend)
-        out = u_mul_e_sum(graph, z, alpha, backend)  # (n, heads, head_dim)
-        return out.reshape(n, self.num_heads * self.head_dim)
+        out = u_mul_e_sum(graph, z, alpha, backend)  # (n_dst, heads, head_dim)
+        return out.reshape(n_dst, self.num_heads * self.head_dim)

@@ -136,6 +136,20 @@ class WorkPool:
         for t in tasks:
             self.parallel_for(n_of(t), lambda lo, hi, _t=t: fn(_t, lo, hi))
 
+    def submit(self, fn: Callable, *args, **kwargs):
+        """Schedule ``fn(*args, **kwargs)`` on the pool; returns a Future.
+
+        The asynchronous entry point behind the mini-batch
+        :class:`~repro.minidgl.sampling.BlockLoader`: sampling the next
+        batch's blocks runs here while the main thread computes on the
+        current batch.  Works with a single worker too (the one worker
+        alternates), though overlap then needs the GIL-releasing numpy ops
+        to dominate.
+        """
+        with self._lock:
+            self._chunks_dispatched += 1
+        return self._ensure().submit(fn, *args, **kwargs)
+
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply ``fn`` to items concurrently and return results in order."""
         with self._lock:
