@@ -1,0 +1,225 @@
+"""PR-6 whole-chain fusion bench: staged vs fused GAT attention block.
+
+The staged pipeline is the four-kernel route every GAT layer took before
+fusion: EdgeSoftmax's max / exp-sum / normalize phases followed by a
+separate ``u_mul_e`` sum-SpMM over the materialized ``(m, heads)``
+attention tensor.  The fused pipeline is the same program compiled as one
+kernel chain (:class:`repro.core.fusion.FusedEdgeSoftmax` with
+``feat_shape``): a single CSR sweep, ``exp`` computed once (cross-kernel
+CSE), the attention buffer elided entirely.
+
+``--check`` gates three things and exits nonzero on any miss:
+
+* fused output ``allclose`` to staged (the differential oracle);
+* fused wall-clock >= ``SPEEDUP_FLOOR``x faster than staged;
+* fused ``ExecStats.bytes_moved`` strictly below the staged sum, with at
+  least one full per-edge intermediate recorded in ``plan.elided`` -- the
+  buffer-elision acceptance of this PR;
+* re-building the chain over a second topology is a pure template rebind
+  (``fused_compiles`` stays 1).
+
+Results go to ``BENCH_PR6.json`` at the repo root (and to
+``benchmarks/results/fusion.json`` via :func:`_common.record`).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fusion.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import tensorir as T
+from repro.core.api import spmm
+from repro.core.builtins import u_mul_e_msg
+from repro.core.compile import KernelCache, use_kernel_cache
+from repro.core.fusion import FusedEdgeSoftmax
+from repro.core.softmax import EdgeSoftmax
+from repro.graph.datasets import load
+
+from _common import record
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = ROOT / "BENCH_PR6.json"
+
+#: fused GAT attention block must beat the staged route by this factor
+SPEEDUP_FLOOR = 1.3
+ATOL = 1e-4
+
+
+def _agree(a: np.ndarray, b: np.ndarray, atol: float = ATOL) -> bool:
+    scale = max(1.0, float(np.max(np.abs(b)))) if b.size else 1.0
+    return bool(np.allclose(a, b, atol=atol * scale, rtol=1e-4))
+
+
+def _time_best(fn, repeats: int) -> float:
+    fn()  # warmup: lazy compiles, cache touches
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class StagedAttention:
+    """The pre-fusion GAT attention block: 3-kernel edge softmax plus a
+    separate weighted-aggregation SpMM over the materialized alpha."""
+
+    def __init__(self, adj, heads: int, head_dim: int, cache):
+        self.softmax = EdgeSoftmax(adj, heads, cache=cache, fused=False)
+        n_src, m = adj.shape[1], adj.nnz
+        XV = T.placeholder((n_src, heads, head_dim), name="XV")
+        AL = T.placeholder((m, heads), name="AL")
+        self.agg = spmm(adj, u_mul_e_msg(XV, AL), "sum", cache=cache)
+
+    def run(self, scores: np.ndarray, z: np.ndarray) -> np.ndarray:
+        alpha = self.softmax.run_staged(scores)
+        return self.agg.run({"XV": z, "AL": alpha})
+
+    def bytes_moved(self) -> int:
+        phases = self.softmax.exec_stats()
+        return (sum(phases[p]["bytes_moved"]
+                    for p in ("max", "expsum", "normalize"))
+                + self.agg.exec_stats.as_dict()["bytes_moved"])
+
+
+def run_bench(dataset: str = "reddit", scale: float = 1 / 64,
+              heads: int = 4, head_dim: int = 4, repeats: int = 5,
+              log=print) -> dict:
+    """Execute the attention block both ways; return the result payload."""
+    ds = load(dataset, scale=scale)
+    adj = ds.adj
+    n_src, m = adj.shape[1], adj.nnz
+    rng = np.random.default_rng(0)
+    scores = rng.standard_normal((m, heads)).astype(np.float32)
+    z = rng.standard_normal((n_src, heads, head_dim)).astype(np.float32)
+
+    with use_kernel_cache(KernelCache()) as cache:
+        staged = StagedAttention(adj, heads, head_dim, cache)
+        fused = FusedEdgeSoftmax(adj, heads, cache=cache,
+                                 feat_shape=(heads, head_dim))
+
+        # one measured run each for the per-call byte traffic, before the
+        # timing loop piles more chunks onto the counters
+        ref = staged.run(scores, z)
+        staged_bytes = staged.bytes_moved()
+        got, alpha = fused.run_aggregate(scores, z)
+        fused_bytes = fused.kernel.exec_stats.as_dict()["bytes_moved"]
+        ok = _agree(got, ref)
+        assert alpha is None  # inference: the (m, heads) buffer never exists
+
+        staged_s = _time_best(lambda: staged.run(scores, z), repeats)
+        fused_s = _time_best(lambda: fused.run_aggregate(scores, z), repeats)
+
+        # rebinding the chain over a second topology must not recompile
+        FusedEdgeSoftmax(load(dataset, scale=scale / 2).adj, heads,
+                         cache=cache, feat_shape=(heads, head_dim))
+        cache_stats = cache.stats()
+
+    plan = fused.kernel.plan
+    payload = {
+        "dataset": dataset,
+        "scale": scale,
+        "graph": {"n_dst": adj.shape[0], "n_src": n_src, "nnz": m},
+        "heads": heads,
+        "head_dim": head_dim,
+        "repeats": repeats,
+        "staged_s": staged_s,
+        "fused_s": fused_s,
+        "speedup": staged_s / fused_s,
+        "allclose": ok,
+        "bytes_moved": {"staged": staged_bytes, "fused": fused_bytes},
+        "elided": {
+            "buffers": dict(plan.elided),
+            "bytes_total": plan.bytes_elided(m),
+        },
+        "cse": [list(entry) for entry in plan.cse],
+        "fused_cache": {k: v for k, v in cache_stats.items()
+                        if k.startswith("fused_")},
+    }
+    log(f"  staged {staged_s * 1e3:8.2f} ms   fused {fused_s * 1e3:8.2f} ms"
+        f"   {payload['speedup']:5.2f}x")
+    log(f"  bytes_moved staged {staged_bytes:,}  fused {fused_bytes:,}  "
+        f"({1 - fused_bytes / staged_bytes:.0%} less)")
+    log(f"  elided per-edge buffers: {payload['elided']['buffers']} "
+        f"({payload['elided']['bytes_total']:,} B at m={m})")
+    return payload
+
+
+def check(payload: dict, *, require_speedup: bool = True) -> list[str]:
+    """Return the list of acceptance violations (empty = pass)."""
+    problems = []
+    if not payload["allclose"]:
+        problems.append("fused output diverges from the staged oracle")
+    if require_speedup and payload["speedup"] < SPEEDUP_FLOOR:
+        problems.append(
+            f"fused speedup {payload['speedup']:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x floor")
+    bm = payload["bytes_moved"]
+    if bm["fused"] >= bm["staged"]:
+        problems.append(
+            f"fused moved {bm['fused']:,} B, not below staged "
+            f"{bm['staged']:,} B")
+    if not payload["elided"]["buffers"]:
+        problems.append("no per-edge intermediate buffer was elided")
+    fc = payload["fused_cache"]
+    if fc.get("fused_compiles") != 1 or fc.get("fused_binds", 0) < 1:
+        problems.append(
+            f"second topology was not a pure template rebind: {fc}")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--dataset", default="reddit")
+    ap.add_argument("--scale", type=float, default=1 / 64)
+    ap.add_argument("--heads", type=int, default=4)
+    ap.add_argument("--head-dim", type=int, default=4)
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--check", action="store_true",
+                    help=f"fail unless fused is >={SPEEDUP_FLOOR}x faster, "
+                         "moves fewer bytes, elides a per-edge buffer, and "
+                         "matches the staged oracle")
+    args = ap.parse_args(argv)
+
+    print(f"PR-6 fusion bench: {args.dataset} @ 1/{1 / args.scale:.0f} scale,"
+          f" heads={args.heads}, head_dim={args.head_dim}, "
+          f"best of {args.repeats}")
+    payload = run_bench(args.dataset, args.scale, args.heads, args.head_dim,
+                        args.repeats)
+
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record("fusion", payload)
+    print(f"  wrote {RESULT_PATH.name}")
+
+    problems = check(payload)
+    if problems:
+        for p in problems:
+            print(f"  FAIL: {p}", file=sys.stderr)
+        if args.check:
+            return 1
+    return 0
+
+
+# -- pytest entry point (quick smoke, no timing gate) -----------------------
+
+def test_fusion_bench_smoke():
+    """Tiny-scale run: fused matches staged, moves fewer bytes, elides the
+    attention buffer, and the second topology is a pure rebind.  The
+    wall-clock floor is not asserted at smoke scale (timing noise)."""
+    payload = run_bench(scale=1 / 512, repeats=1, log=lambda *a: None)
+    assert check(payload, require_speedup=False) == []
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -720,6 +720,7 @@ class KernelCache:
         self._templates: "OrderedDict[UniversalSpec, TemplateEntry]" = \
             OrderedDict()
         self._prekeys: dict = {}
+        self._fused: "OrderedDict[tuple, object]" = OrderedDict()
         self._graphs: "OrderedDict[str, CSRMatrix]" = OrderedDict()
         self.max_graph_entries = max(self.max_entries, 128)
         self._hits = 0
@@ -731,6 +732,10 @@ class KernelCache:
         self._template_hits = 0
         self._template_misses = 0
         self._template_evictions = 0
+        self._fused_template_hits = 0
+        self._fused_template_misses = 0
+        self._fused_binds = 0
+        self._fused_compiles = 0
         self._pass_counts: dict[str, int] = {}
         self._pass_seconds: dict[str, float] = {}
 
@@ -817,6 +822,40 @@ class KernelCache:
                 for key in [k for k, v in self._prekeys.items()
                             if v == dropped]:
                     del self._prekeys[key]
+
+    # -- fused templates (cross-kernel chains) ---------------------------
+    def get_fused_template(self, key):
+        """Look up a fused-chain template (:mod:`repro.core.fusion`) by its
+        topology-independent key; counts a fused hit or miss.
+
+        Fused chains get their own namespace and ``fused_*`` counters so
+        benchmarks and CI smoke can tell fused-template hits apart from
+        single-kernel template hits."""
+        with self._lock:
+            entry = self._fused.get(key)
+            if entry is not None:
+                self._fused.move_to_end(key)
+                self._fused_template_hits += 1
+                return entry
+            self._fused_template_misses += 1
+            return None
+
+    def put_fused_template(self, key, entry) -> None:
+        """Insert a fused-chain template (same LRU budget as templates)."""
+        with self._lock:
+            self._fused[key] = entry
+            self._fused.move_to_end(key)
+            while len(self._fused) > self.max_entries:
+                self._fused.popitem(last=False)
+
+    def note_fused(self, bound: bool) -> None:
+        """Record one fused-kernel construction: a cheap per-topology bind
+        of a cached fused template, or a full fused-pipeline compile."""
+        with self._lock:
+            if bound:
+                self._fused_binds += 1
+            else:
+                self._fused_compiles += 1
 
     def note_timings(self, timings) -> None:
         """Aggregate per-pass run counts and seconds across compiles.
@@ -916,6 +955,11 @@ class KernelCache:
                 "template_hits": self._template_hits,
                 "template_misses": self._template_misses,
                 "template_evictions": self._template_evictions,
+                "fused_templates": len(self._fused),
+                "fused_template_hits": self._fused_template_hits,
+                "fused_template_misses": self._fused_template_misses,
+                "fused_binds": self._fused_binds,
+                "fused_compiles": self._fused_compiles,
                 "pass_counts": dict(self._pass_counts),
                 "pass_seconds": dict(self._pass_seconds),
             }
@@ -929,6 +973,8 @@ class KernelCache:
             self._binds = 0
             self._template_hits = self._template_misses = 0
             self._template_evictions = 0
+            self._fused_template_hits = self._fused_template_misses = 0
+            self._fused_binds = self._fused_compiles = 0
             self._pass_counts = {}
             self._pass_seconds = {}
 
@@ -938,6 +984,7 @@ class KernelCache:
             self._kernels.clear()
             self._templates.clear()
             self._prekeys.clear()
+            self._fused.clear()
             self._graphs.clear()
             self.reset_stats()
 

@@ -1,0 +1,1032 @@
+"""Cross-kernel fusion: chains of SpMM/SDDMM kernels in one edge sweep.
+
+FeatGraph compiles each message-passing kernel in isolation, so a pattern
+like GAT's edge softmax runs as sddmm -> max-SpMM -> expsum-SpMM ->
+normalize-SDDMM -> aggregate-SpMM with a full ``(m, heads)`` tensor
+materialized between every pair of stages.  This module adds a graph-level
+IR *above* single-kernel compilation: a :class:`KernelGraph` of stages whose
+producer/consumer edges are placeholder-name references, a fusion planner
+that checks the chain is legal to run in **one** edge sweep, and a fused
+executor that walks the CSR once per chunk, keeping intermediate per-edge
+tensors chunk-local (elided) instead of memory-resident.
+
+What fusion buys, concretely:
+
+- **intermediate edge-buffer elision** -- an sddmm stage consumed only by
+  later stages never allocates its ``(m, *feat)`` output; its chunk values
+  live in cache and die with the chunk;
+- **cross-kernel CSE** -- a stage whose body is (or contains) the same
+  expression as an earlier stage reuses that stage's per-edge values
+  (``alias`` / ``binop`` compute modes) instead of re-evaluating; the fused
+  edge softmax computes ``exp(es - max)`` once, not twice;
+- **single sweep** -- one pass over the CSR instead of one per kernel, with
+  per-destination segments reduced in place as the sweep passes them.
+
+Legality (checked by :func:`plan_fusion`, violations raise
+:class:`FusionError`):
+
+1. the fused sweep is CPU-only (``target="cpu"``);
+2. every stage shares one graph -- one iteration space -- by fingerprint;
+3. SpMM stage aggregations are restricted to ``sum``/``max``/``min``
+   (associative, identity-padded, exactly matching the staged combine);
+4. every stage after the first reads at least one chain buffer (otherwise
+   it is a disconnected kernel, not part of the chain);
+5. a chain *vertex* buffer may only be read through the destination
+   (``dst``): reading a vertex reduction through ``src`` would need the
+   reduction finished for **all** rows before any consumer edge runs --
+   a second edge sweep, which is exactly the boundary fusion must not
+   cross;
+6. a stage reading a chain *edge* buffer (chunk-local, position-indexed)
+   may not also read a real per-edge input (globally ``eid``-indexed):
+   the two index spaces cannot be served by one batch.
+
+Fused kernels are cached as topology-independent **fused templates** (their
+own namespace and ``fused_*`` counters in :class:`~repro.core.compile.
+KernelCache`): a fused chain over a freshly sampled block is a cheap
+``fused_bind``, never a recompile.
+
+The whole path sits behind the ``FEATGRAPH_FUSE`` gate (default off);
+:func:`use_fusion` flips it per-scope for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro import tensorir as T
+from repro.core.api import SparseMat, spmat
+from repro.core.bindings import BindingError
+from repro.core.builtins import u_mul_e_msg
+from repro.core.compile import (PassTiming, compile_sddmm, compile_spmm,
+                                get_kernel_cache)
+from repro.core.spmm import (AGG_IDENTITY, AGG_UFUNC, effective_chunk_edges,
+                             resolve_aggregation, row_aligned_chunks)
+from repro.tensorir import expr as E
+from repro.tensorir import ir as I
+from repro.tensorir.analysis import AnalysisError, analyze_ir, strict_enabled
+from repro.tensorir.evaluator import evaluate_batched
+from repro.tensorir.lower import (inline_computes, replace_tensor_reads,
+                                  substitute)
+from repro.tensorir.runtime import ExecStats
+from repro.tensorir.validate import validate_ir
+
+__all__ = [
+    "FUSE_ENV",
+    "fuse_enabled",
+    "use_fusion",
+    "FusionError",
+    "KernelGraph",
+    "FusionPlan",
+    "PlannedStage",
+    "plan_fusion",
+    "fused_loop_nest",
+    "compile_fused",
+    "FusedKernel",
+    "FusedEdgeSoftmax",
+]
+
+#: environment gate for the fused execution paths (softmax.py, minidgl)
+FUSE_ENV = "FEATGRAPH_FUSE"
+
+_FUSE_OVERRIDE: list = []  # scoped overrides pushed by use_fusion()
+
+#: default edge-chunk size, matching the staged templates
+DEFAULT_CHUNK_EDGES = 1 << 17
+
+#: SpMM aggregations the single-sweep combine supports (rule 3)
+FUSABLE_AGGREGATIONS = ("sum", "max", "min")
+
+#: BinOp tokens the ``binop`` CSE mode can execute directly
+_BINOP_UFUNC = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.true_divide,
+}
+
+#: the fused-pipeline pass ledger (KernelCache.note_timings names)
+FUSED_PASSES = ("fuse_stages", "fuse_plan", "fuse_lower", "fuse_validate",
+                "fuse_analyze", "fuse_codegen")
+
+
+def fuse_enabled() -> bool:
+    """Whether fused execution paths are on (``FEATGRAPH_FUSE`` gate)."""
+    if _FUSE_OVERRIDE:
+        return _FUSE_OVERRIDE[-1]
+    return os.environ.get(FUSE_ENV, "").lower() in ("1", "true", "on")
+
+
+@contextlib.contextmanager
+def use_fusion(flag: bool = True):
+    """Scoped override of the ``FEATGRAPH_FUSE`` gate."""
+    _FUSE_OVERRIDE.append(bool(flag))
+    try:
+        yield
+    finally:
+        _FUSE_OVERRIDE.pop()
+
+
+class FusionError(ValueError):
+    """A kernel chain that cannot legally run as one fused edge sweep."""
+
+
+# ----------------------------------------------------------------------
+# the graph-level IR
+# ----------------------------------------------------------------------
+
+@dataclass
+class _StageDef:
+    """One node of a :class:`KernelGraph` as declared by the user."""
+
+    name: str
+    kind: str            # "spmm" | "sddmm"
+    udf: Callable
+    aggregation: str | None
+    guard_zero: bool
+    A: SparseMat | None  # per-stage override; only useful to *fail* rule 2
+
+
+class KernelGraph:
+    """A DAG of kernel stages chained by placeholder-name references.
+
+    A stage's UDF that reads a placeholder named like an **earlier stage**
+    consumes that stage's output: an ``spmm`` stage's ``(n_dst, *feat)``
+    vertex buffer, or an ``sddmm`` stage's ``(m, *feat)`` per-edge buffer.
+    Everything else is a real input supplied in ``run(bindings)``.
+    """
+
+    def __init__(self, A, target: str = "cpu", outputs=None):
+        self.A = spmat(A)
+        self.target = target
+        self.outputs: tuple = tuple(outputs) if outputs else ()
+        self._stages: list[_StageDef] = []
+
+    def add_stage(self, name: str, kind: str, udf: Callable, *,
+                  aggregation: str | None = None, guard_zero: bool = False,
+                  A=None) -> str:
+        """Append a stage; returns its name (= its output buffer name)."""
+        if kind not in ("spmm", "sddmm"):
+            raise ValueError(f"stage kind must be spmm/sddmm, got {kind!r}")
+        if any(s.name == name for s in self._stages):
+            raise ValueError(f"duplicate stage name {name!r}")
+        if kind == "spmm":
+            aggregation = resolve_aggregation(aggregation or "sum")
+        elif aggregation is not None:
+            raise ValueError("sddmm stages take no aggregation")
+        self._stages.append(_StageDef(name, kind, udf, aggregation,
+                                      bool(guard_zero),
+                                      spmat(A) if A is not None else None))
+        return name
+
+    @property
+    def stage_names(self) -> tuple:
+        return tuple(s.name for s in self._stages)
+
+    def resolved_outputs(self) -> tuple:
+        """Requested outputs, defaulting to the last stage."""
+        if self.outputs:
+            unknown = set(self.outputs) - set(self.stage_names)
+            if unknown:
+                raise ValueError(f"unknown output stages {sorted(unknown)}")
+            return tuple(self.outputs)
+        if not self._stages:
+            raise FusionError("fusion needs at least two stages, got zero")
+        return (self._stages[-1].name,)
+
+    def template_key(self):
+        """Topology-independent identity of the fused chain, or None when a
+        stage UDF carries no ``udf_key`` (then the chain is compiled per
+        call and never cached)."""
+        parts = []
+        for s in self._stages:
+            udf_key = getattr(s.udf, "udf_key", None)
+            if udf_key is None:
+                return None
+            parts.append((s.name, s.kind, s.aggregation, udf_key,
+                          s.guard_zero))
+        return ("fused", tuple(parts), self.target, self.resolved_outputs())
+
+
+# ----------------------------------------------------------------------
+# planning: legality + cross-kernel CSE + elision
+# ----------------------------------------------------------------------
+
+@dataclass
+class PlannedStage:
+    """One stage of a legal fused chain, ready to execute."""
+
+    name: str
+    kind: str                       # "spmm" | "sddmm"
+    aggregation: str | None
+    out: E.Tensor                   # traced UDF output (per-edge values)
+    axes: tuple                     # out.op.axis
+    feat_shape: tuple               # out.shape (feature part only)
+    width: int                      # prod(feat_shape)
+    prog: object | None             # VectorProgram or None (interpret)
+    roles: dict                     # placeholder -> graph-axis role
+    reads: tuple                    # placeholder names the body reads
+    chain_edge_reads: tuple         # of those: earlier sddmm stage outputs
+    chain_vertex_reads: tuple       # of those: earlier spmm stage outputs
+    mode: str = "program"           # "program" | "alias" | "binop"
+    alias_of: str | None = None     # source stage for alias/binop values
+    binop_op: str | None = None     # BinOp token for binop mode
+    binop_operand: tuple | None = None  # (tensor, lead_var, source_is_rhs)
+    guard_zero: bool = False
+    elided: bool = False            # per-edge output never materialized
+
+
+@dataclass
+class FusionPlan:
+    """Executable plan for a fused chain (topology-independent)."""
+
+    stages: list
+    outputs: tuple
+    target: str
+    #: elided stage name -> bytes of per-edge buffer saved, per edge
+    elided: dict = field(default_factory=dict)
+    #: (stage, mode, source-stage) per cross-kernel CSE reuse
+    cse: tuple = ()
+    #: ScheduleCodeGen-style call wrapper (generated text artifact)
+    source: str = ""
+
+    def stage(self, name: str) -> PlannedStage:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def bytes_elided(self, m: int) -> int:
+        """Total bytes of intermediate edge buffers fusion never allocates
+        for an ``m``-edge topology."""
+        return int(m) * sum(self.elided.values())
+
+
+def _collect_placeholders(expr: E.Expr, into: dict) -> None:
+    """Placeholder tensors read anywhere in an (inlined) expression."""
+    if isinstance(expr, E.TensorElem):
+        t = expr.tensor
+        if isinstance(t.op, E.PlaceholderOp):
+            into.setdefault(t.name, t)
+        else:
+            _collect_placeholders(t.op.body, into)
+        for i in expr.indices:
+            _collect_placeholders(i, into)
+        return
+    for c in expr.children():
+        _collect_placeholders(c, into)
+
+
+def _subexpr_signature(expr: E.Expr, axis_seed: dict) -> str:
+    """Canonical signature of a body (sub)expression.
+
+    The same renaming scheme as :func:`repro.core.compile.expr_signature`,
+    but seeded so the stage's own output axes are named by *position*:
+    two stages tracing the same computation with differently named axes
+    compare equal, which is what cross-kernel CSE needs.
+    """
+    names = dict(axis_seed)
+
+    def ref(name: str) -> str:
+        if name not in names:
+            names[name] = f"%{len(names)}"
+        return names[name]
+
+    def visit(e: E.Expr) -> str:
+        if isinstance(e, E.IterVar):
+            return ref(e.name)
+        if isinstance(e, E.Var):
+            return e.name
+        if isinstance(e, E.IntImm):
+            return f"i{e.value}"
+        if isinstance(e, E.FloatImm):
+            return f"f{e.value!r}"
+        if isinstance(e, E.BinOp):
+            return f"({visit(e.a)}{e.op}{visit(e.b)})"
+        if isinstance(e, E.Call):
+            return f"{e.func}({','.join(visit(a) for a in e.args)})"
+        if isinstance(e, E.Select):
+            return (f"select({visit(e.cond)},{visit(e.then)},"
+                    f"{visit(e.otherwise)})")
+        if isinstance(e, E.Cast):
+            return f"cast({visit(e.value)},{e.dtype})"
+        if isinstance(e, E.Reduce):
+            axes = ",".join(f"{ref(a.name)}:{a.extent}" for a in e.axes)
+            return f"{e.combiner}[{axes}]({visit(e.source)})"
+        if isinstance(e, E.TensorElem):
+            t = e.tensor
+            head = f"{t.name}:{t.dtype}{tuple(t.shape)}"
+            return f"{head}[{','.join(visit(i) for i in e.indices)}]"
+        raise TypeError(f"cannot sign {type(e).__name__}")
+
+    return visit(expr)
+
+
+def _axis_seed(axes) -> dict:
+    return {ax.name: f"%a{k}" for k, ax in enumerate(axes)}
+
+
+def _simple_gather(expr: E.Expr, axes) -> tuple | None:
+    """Recognize ``PLACEHOLDER[graphvar, *stage_axes]`` (in order).
+
+    Returns ``(tensor_name, lead_var_name)`` or None.  This is the operand
+    shape the ``binop`` CSE mode can serve with one fancy-index gather.
+    """
+    if not isinstance(expr, E.TensorElem):
+        return None
+    if not isinstance(expr.tensor.op, E.PlaceholderOp):
+        return None
+    idx = expr.indices
+    if len(idx) != 1 + len(axes):
+        return None
+    if not isinstance(idx[0], E.Var) or idx[0].name not in ("src", "dst",
+                                                            "eid"):
+        return None
+    for given, ax in zip(idx[1:], axes):
+        if not (isinstance(given, E.IterVar) and given.name == ax.name):
+            return None
+    return (expr.tensor.name, idx[0].name)
+
+
+def plan_fusion(graph: KernelGraph, cache=None) -> FusionPlan:
+    """Check legality, compile the per-stage kernels (through the normal
+    template cache), detect cross-kernel CSE, and decide buffer elision.
+
+    Raises :class:`FusionError` on any illegal chain.
+    """
+    cache = cache if cache is not None else get_kernel_cache()
+    defs = graph._stages
+    if len(defs) < 2:
+        raise FusionError(
+            f"fusion needs at least two stages, got {len(defs)}")
+    if graph.target != "cpu":
+        raise FusionError(
+            f"fused single-sweep execution is cpu-only, got target="
+            f"{graph.target!r}")
+    fp = graph.A.csr.fingerprint()
+    for s in defs:
+        if s.A is not None and s.A.csr.fingerprint() != fp:
+            raise FusionError(
+                f"stage {s.name!r} iterates a different graph: all fused "
+                "stages must share one edge/vertex iteration space")
+        if s.kind == "spmm" and s.aggregation not in FUSABLE_AGGREGATIONS:
+            raise FusionError(
+                f"stage {s.name!r}: aggregation {s.aggregation!r} cannot be "
+                f"combined in a single sweep (supported: "
+                f"{'/'.join(FUSABLE_AGGREGATIONS)})")
+    outputs = graph.resolved_outputs()
+
+    # compile each stage through the single-kernel pipeline: template-cache
+    # hits make this a cheap rebind, and it hands us traced bodies, roles,
+    # and vectorized per-edge programs
+    kernels = []
+    for s in defs:
+        if s.kind == "spmm":
+            k = compile_spmm(graph.A, s.udf, s.aggregation,
+                             target=graph.target, cache=cache)
+            out = k.msg
+        else:
+            k = compile_sddmm(graph.A, s.udf, target=graph.target,
+                              hilbert=False, cache=cache)
+            out = k.edge_out
+        kernels.append((k, out))
+
+    stages: list[PlannedStage] = []
+    body_sigs: dict[str, str] = {}
+    cse: list[tuple] = []
+    kind_of = {s.name: s.kind for s in defs}
+    for s, (kernel, out) in zip(defs, kernels):
+        roles = kernel.roles
+        try:
+            inlined = inline_computes(out.op.body)
+        except NotImplementedError as exc:
+            raise FusionError(
+                f"stage {s.name!r}: {exc}") from None
+        placeholders: dict = {}
+        _collect_placeholders(inlined, placeholders)
+        reads = tuple(placeholders)
+        earlier = {st.name for st in stages}
+        chain_edge = tuple(n for n in reads
+                           if n in earlier and kind_of[n] == "sddmm")
+        chain_vertex = tuple(n for n in reads
+                             if n in earlier and kind_of[n] == "spmm")
+        if stages and not (chain_edge or chain_vertex):
+            raise FusionError(
+                f"stage {s.name!r} reads no earlier stage's output: a "
+                "disconnected kernel cannot join the fused sweep")
+        for n in chain_vertex:
+            if roles.get(n) != "n_dst":
+                raise FusionError(
+                    f"stage {s.name!r} reads vertex buffer {n!r} through "
+                    f"{roles.get(n)!r}: a vertex reduction consumed other "
+                    "than via dst crosses the reduction boundary and needs "
+                    "a second edge sweep")
+        for n in chain_edge:
+            if roles.get(n) != "m":
+                raise FusionError(
+                    f"stage {s.name!r} reads edge buffer {n!r} through "
+                    f"{roles.get(n)!r}; chain edge buffers are per-edge")
+        if chain_edge:
+            for n in reads:
+                if n not in earlier and roles.get(n) == "m":
+                    raise FusionError(
+                        f"stage {s.name!r} mixes chunk-local chain edge "
+                        f"buffer(s) {list(chain_edge)} with the real "
+                        f"per-edge input {n!r}: one batch cannot serve "
+                        "both index spaces")
+
+        st = PlannedStage(
+            name=s.name, kind=s.kind, aggregation=s.aggregation, out=out,
+            axes=tuple(out.op.axis), feat_shape=tuple(out.shape),
+            width=int(np.prod(out.shape, dtype=np.int64)) if out.shape else 1,
+            prog=kernel.vector_program(), roles=dict(roles), reads=reads,
+            chain_edge_reads=chain_edge, chain_vertex_reads=chain_vertex,
+            guard_zero=s.guard_zero)
+
+        # -- cross-kernel CSE -------------------------------------------
+        seed = _axis_seed(st.axes)
+        sig = _subexpr_signature(inlined, seed)
+        match = next((p for p in stages
+                      if body_sigs[p.name] == sig
+                      and p.feat_shape == st.feat_shape), None)
+        if match is not None:
+            st.mode, st.alias_of = "alias", match.name
+            cse.append((st.name, "alias", match.name))
+        elif isinstance(inlined, E.BinOp) and inlined.op in _BINOP_UFUNC:
+            for source_expr, operand, src_is_rhs in (
+                    (inlined.a, inlined.b, False),
+                    (inlined.b, inlined.a, True)):
+                gather = _simple_gather(operand, st.axes)
+                if gather is None:
+                    continue
+                src_sig = _subexpr_signature(source_expr, _axis_seed(st.axes))
+                match = next((p for p in stages
+                              if body_sigs[p.name] == src_sig
+                              and p.feat_shape == st.feat_shape), None)
+                if match is not None:
+                    st.mode, st.alias_of = "binop", match.name
+                    st.binop_op = inlined.op
+                    st.binop_operand = (*gather, src_is_rhs)
+                    cse.append((st.name, "binop", match.name))
+                    break
+        body_sigs[st.name] = sig
+        stages.append(st)
+
+    # -- intermediate edge-buffer elision -------------------------------
+    elided: dict[str, int] = {}
+    for st in stages:
+        if st.kind == "sddmm" and st.name not in outputs:
+            st.elided = True
+            elided[st.name] = st.width * 4  # float32 bytes per edge
+    plan = FusionPlan(stages=stages, outputs=outputs, target=graph.target,
+                      elided=elided, cse=tuple(cse))
+    plan.source = _codegen_call(plan)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# fused loop nest (lowered-IR artifact for validate/analyze/tests)
+# ----------------------------------------------------------------------
+
+def _inlined_bodies(plan: FusionPlan) -> dict:
+    """Per-stage bodies with every *elided* chain-edge producer spliced in.
+
+    A consumer's read ``P[eid, i...]`` of an elided producer ``P`` becomes
+    the producer's body with its axes substituted by the consumer's feature
+    indices -- the buffer never exists, not even in the IR.
+    """
+    bodies: dict[str, E.Expr] = {}
+    by_name = {st.name: st for st in plan.stages}
+    for st in plan.stages:
+        body = inline_computes(st.out.op.body)
+        for prod_name in st.chain_edge_reads:
+            prod = by_name[prod_name]
+            if not prod.elided:
+                continue
+            pb, paxes = bodies[prod_name], prod.axes
+
+            def splice(idx, pb=pb, paxes=paxes):
+                # idx[0] is the per-edge position: the producer's value for
+                # this very edge of the shared sweep, so only feature
+                # indices substitute
+                return substitute(pb, {ax.name: ix
+                                       for ax, ix in zip(paxes, idx[1:])})
+
+            body = replace_tensor_reads(body, prod_name, splice)
+        bodies[st.name] = body
+    return bodies
+
+
+def fused_loop_nest(plan: FusionPlan, A) -> I.Stmt:
+    """Build the fused single-sweep loop nest.
+
+    One serial destination loop; under it, per surviving stage, an
+    ``edge_range``-annotated edge loop with the stage's feature loops and a
+    combiner store (spmm) or an edge-indexed store (sddmm).  Elided stages
+    emit **no** loops and no stores -- their bodies are inlined into their
+    consumers.  The nest allocates nothing (no ``Allocate``/cache reads),
+    which is what keeps the analyzer report empty.
+    """
+    A = spmat(A)
+    n_dst = A.num_dst
+    nnz = max(A.nnz, 1)
+    indices_t = E.placeholder((nnz,), name="A_indices", dtype="int64")
+    eids_t = E.placeholder((nnz,), name="A_edge_ids", dtype="int64")
+    v_iv = E.IterVar((0, n_dst), name="v")
+    bodies = _inlined_bodies(plan)
+
+    stage_stmts = []
+    for k, st in enumerate(plan.stages):
+        if st.elided:
+            continue
+        e_iv = E.IterVar((0, nnz), name=f"e{k}")
+        mapping = {"src": E.TensorElem(indices_t, (e_iv,)),
+                   "dst": v_iv,
+                   "eid": E.TensorElem(eids_t, (e_iv,))}
+        value = substitute(bodies[st.name], mapping)
+        if st.kind == "spmm":
+            buf = I.BufferRef(st.name, (n_dst,) + st.feat_shape, "float32")
+            store = I.Store(buf, value, [v_iv] + list(st.axes),
+                            combiner=st.aggregation)
+        else:
+            buf = I.BufferRef(st.name, (nnz,) + st.feat_shape, "float32")
+            store = I.Store(buf, value,
+                            [E.TensorElem(eids_t, (e_iv,))] + list(st.axes))
+        body: I.Stmt = store
+        for ax in reversed(st.axes):
+            body = I.For(ax, ax.extent, body)
+        stage_stmts.append(
+            I.AttrStmt("edge_range", "A.indptr[v] : A.indptr[v+1]",
+                       I.For(e_iv, nnz, body)))
+    nest = (stage_stmts[0] if len(stage_stmts) == 1
+            else I.SeqStmt(stage_stmts))
+    return I.For(v_iv, n_dst, nest, kind=I.For.SERIAL)
+
+
+# ----------------------------------------------------------------------
+# call-wrapper codegen (the ScheduleCodeGen-style text artifact)
+# ----------------------------------------------------------------------
+
+def _codegen_call(plan: FusionPlan) -> str:
+    """Generate the outer "call" wrapper as readable source text.
+
+    The wrapper is the human-auditable contract of the fused program: which
+    outputs get allocated (only survivors), which buffers are elided, and
+    in what order the stages run inside the single chunked edge sweep.
+    The executor (:meth:`FusedKernel.run`) is the interpreter of the same
+    plan; tests diff this text for the elision/CSE accounting.
+    """
+    lines = [
+        "def fused_call(A, bindings, keep=()):",
+        f"    # fused chain [{plan.target}]: "
+        + " -> ".join(st.name for st in plan.stages),
+    ]
+    for st in plan.stages:
+        feat = "".join(f", {d}" for d in st.feat_shape)
+        if st.kind == "spmm":
+            guard = ", zero-guard" if st.guard_zero else ""
+            lines.append(
+                f"    {st.name} = full((n_dst{feat}), "
+                f"{AGG_IDENTITY[st.aggregation]!r})"
+                f"  # vertex accumulator ({st.aggregation}{guard})")
+        elif not st.elided:
+            lines.append(f"    {st.name} = empty((m{feat}))"
+                         f"  # surviving edge output")
+    for name, nbytes in plan.elided.items():
+        lines.append(f"    # elided: {name} ({nbytes} B/edge) -- "
+                     "chunk-local, never materialized")
+    lines.append("    for c0, c1 in row_aligned_chunks(A.indptr, "
+                 "chunk_edges):")
+    lines.append("        chunk = edges[c0:c1]; segs = run_starts(chunk.dst)")
+    for st in plan.stages:
+        v = st.name.lower()
+        if st.mode == "alias":
+            rhs = f"vals[{st.alias_of}]  # CSE: alias"
+        elif st.mode == "binop":
+            tname, lead, src_is_rhs = st.binop_operand
+            a = f"vals[{st.alias_of}]"
+            b = f"{tname}[chunk.{lead}]"
+            expr = f"{b} {st.binop_op} {a}" if src_is_rhs else \
+                f"{a} {st.binop_op} {b}"
+            rhs = f"{expr}  # CSE: binop reuse of {st.alias_of}"
+        else:
+            batch = "local_eid" if st.chain_edge_reads else "chunk"
+            rhs = f"eval[{st.name}](bindings, {batch})"
+        lines.append(f"        vals[{st.name}] = {rhs}")
+        if st.kind == "spmm":
+            lines.append(
+                f"        {st.name}[segs.rows] "
+                f"{{{st.aggregation}}}= reduceat(vals[{st.name}], segs)")
+            if st.guard_zero:
+                lines.append(
+                    f"        {st.name}[segs.rows] = where(== 0, 1.0, .)")
+        elif not st.elided:
+            lines.append(
+                f"        {st.name}[chunk.eid] = vals[{st.name}]")
+    lines.append("    finalize(deg == 0 rows)")
+    rets = ", ".join(plan.outputs)
+    lines.append(f"    return {{{rets}}} | keep")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the fused executor
+# ----------------------------------------------------------------------
+
+class FusedKernel:
+    """A fused chain bound to one graph topology.
+
+    ``run(bindings, keep=())`` executes the plan in one row-aligned chunked
+    sweep and returns ``{name: array}`` for the plan outputs plus any
+    ``keep``-requested stage (materializing an otherwise elided buffer).
+    """
+
+    def __init__(self, A, plan: FusionPlan,
+                 chunk_edges: int = DEFAULT_CHUNK_EDGES,
+                 bound: bool = False):
+        self.A = spmat(A)
+        self.plan = plan
+        self.chunk_edges = int(chunk_edges)
+        self.bound = bound
+        self.exec_stats = ExecStats()
+        self.timings: list[PassTiming] = []
+        self._lowered: I.Stmt | None = None
+        self._analysis = None
+
+    # -- artifacts ------------------------------------------------------
+    @property
+    def call_source(self) -> str:
+        return self.plan.source
+
+    def lowered_ir(self) -> I.Stmt:
+        if self._lowered is None:
+            self._lowered = fused_loop_nest(self.plan, self.A)
+        return self._lowered
+
+    def analysis_report(self):
+        if self._analysis is None:
+            self._analysis = analyze_ir(self.lowered_ir(),
+                                        target=self.plan.target)
+        return self._analysis
+
+    def compile_timings(self) -> dict:
+        return {t.name: t.seconds for t in self.timings}
+
+    # -- binding validation ---------------------------------------------
+    def _graph_dims(self) -> dict:
+        return {"n_src": self.A.num_src, "n_dst": self.A.num_dst,
+                "m": self.A.nnz,
+                "n_max": max(self.A.num_src, self.A.num_dst)}
+
+    def _validate(self, bindings: Mapping[str, np.ndarray]) -> None:
+        dims = self._graph_dims()
+        chain = set()
+        for st in self.plan.stages:
+            chain.add(st.name)
+            shapes = {t.name: tuple(t.shape)
+                      for t in self._stage_placeholders(st)}
+            for pname in st.reads:
+                if pname in chain:
+                    continue
+                if pname not in bindings:
+                    raise BindingError(
+                        f"fused[{st.name}]: missing binding {pname!r}")
+                arr = np.asarray(bindings[pname])
+                if not np.issubdtype(arr.dtype, np.floating):
+                    raise BindingError(
+                        f"fused[{st.name}]: binding {pname!r} must be "
+                        f"float, got {arr.dtype}")
+                shape = shapes[pname]
+                role = st.roles.get(pname)
+                if role is None:
+                    if tuple(arr.shape) != tuple(shape):
+                        raise BindingError(
+                            f"fused[{st.name}]: binding {pname!r} expects "
+                            f"shape {tuple(shape)}, got {tuple(arr.shape)}")
+                else:
+                    if tuple(arr.shape[1:]) != tuple(shape[1:]):
+                        raise BindingError(
+                            f"fused[{st.name}]: binding {pname!r} expects "
+                            f"trailing dims {tuple(shape[1:])}, got "
+                            f"{tuple(arr.shape[1:])}")
+                    if arr.shape[0] < dims[role]:
+                        raise BindingError(
+                            f"fused[{st.name}]: binding {pname!r} needs "
+                            f"leading dim >= {dims[role]} ({role}), got "
+                            f"{arr.shape[0]}")
+
+    @staticmethod
+    def _stage_placeholders(st: PlannedStage):
+        placeholders: dict = {}
+        _collect_placeholders(inline_computes(st.out.op.body), placeholders)
+        return placeholders.values()
+
+    # -- execution ------------------------------------------------------
+    def run(self, bindings: Mapping[str, np.ndarray], keep=(),
+            pool=None) -> dict:
+        keep = tuple(keep)
+        unknown = set(keep) - {st.name for st in self.plan.stages}
+        if unknown:
+            raise ValueError(f"keep names unknown stages {sorted(unknown)}")
+        self._validate(bindings)
+        csr = self.A.csr
+        n_dst, m = self.A.num_dst, self.A.nnz
+        want = set(self.plan.outputs) | set(keep)
+
+        vbufs: dict[str, np.ndarray] = {}
+        ebufs: dict[str, np.ndarray] = {}
+        for st in self.plan.stages:
+            if st.kind == "spmm":
+                vbufs[st.name] = np.full(
+                    (n_dst,) + st.feat_shape,
+                    AGG_IDENTITY[st.aggregation], dtype=np.float32)
+            elif (not st.elided) or st.name in keep:
+                ebufs[st.name] = np.empty((m,) + st.feat_shape,
+                                          dtype=np.float32)
+
+        rows = csr.row_of_edge()
+        target = self.chunk_edges
+        for st in self.plan.stages:
+            if st.prog is not None:
+                target = min(target,
+                             effective_chunk_edges(self.chunk_edges,
+                                                   st.prog))
+        compiled = all(st.prog is not None for st in self.plan.stages
+                       if st.mode == "program")
+
+        for c0, c1 in row_aligned_chunks(csr.indptr, target):
+            B = c1 - c0
+            src = csr.indices[c0:c1]
+            dst = rows[c0:c1]
+            eid = csr.edge_ids[c0:c1]
+            local_eid = None
+            starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(dst)) + 1))
+            seg_rows = dst[starts]
+            edge_vals: dict[str, np.ndarray] = {}
+            eval_s = agg_s = 0.0
+            chunk_bytes = 0
+
+            for st in self.plan.stages:
+                t0 = time.perf_counter()
+                if st.mode == "alias":
+                    vals = edge_vals[st.alias_of]
+                elif st.mode == "binop":
+                    tname, lead, src_is_rhs = st.binop_operand
+                    arr = vbufs.get(tname)
+                    if arr is None:
+                        arr = bindings[tname]
+                    lead_idx = {"src": src, "dst": dst, "eid": eid}[lead]
+                    gathered = arr[lead_idx]
+                    ufunc = _BINOP_UFUNC[st.binop_op]
+                    source_vals = edge_vals[st.alias_of]
+                    vals = (ufunc(gathered, source_vals) if src_is_rhs
+                            else ufunc(source_vals, gathered))
+                    chunk_bytes += gathered.nbytes
+                else:
+                    sb = {}
+                    for pname in st.reads:
+                        if pname in st.chain_edge_reads:
+                            sb[pname] = edge_vals[pname]
+                        elif pname in st.chain_vertex_reads:
+                            sb[pname] = vbufs[pname]
+                        else:
+                            sb[pname] = bindings[pname]
+                    if st.chain_edge_reads:
+                        if local_eid is None:
+                            local_eid = np.arange(B, dtype=np.int64)
+                        batch = {"src": src, "dst": dst, "eid": local_eid}
+                    else:
+                        batch = {"src": src, "dst": dst, "eid": eid}
+                    if st.prog is not None:
+                        vals = st.prog.run(sb, batch)
+                        b = st.prog.bytes_moved(
+                            B, exclude=set(st.chain_edge_reads))
+                        if st.elided and st.name not in keep:
+                            b -= vals.nbytes  # output stays chunk-local
+                        chunk_bytes += max(int(b), 0)
+                    else:
+                        vals = evaluate_batched(st.out, sb, batch)
+                eval_s += time.perf_counter() - t0
+
+                t0 = time.perf_counter()
+                edge_vals[st.name] = vals
+                if st.kind == "sddmm":
+                    buf = ebufs.get(st.name)
+                    if buf is not None:
+                        buf[eid] = vals
+                        if st.mode != "program":
+                            chunk_bytes += vals.nbytes
+                else:
+                    ufunc = AGG_UFUNC[st.aggregation]
+                    vb = vbufs[st.name]
+                    seg = ufunc.reduceat(vals, starts, axis=0)
+                    combined = ufunc(vb[seg_rows], seg)
+                    if st.guard_zero:
+                        combined = np.where(combined == 0, 1.0, combined)
+                    vb[seg_rows] = combined
+                agg_s += time.perf_counter() - t0
+            self.exec_stats.add_chunk(eval_s, agg_s, int(chunk_bytes),
+                                      compiled=compiled)
+
+        self._finalize(vbufs)
+        result = {}
+        for name in want:
+            result[name] = vbufs[name] if name in vbufs else ebufs[name]
+        return result
+
+    def _finalize(self, vbufs: dict) -> None:
+        """Rows with no incoming edges, exactly as the staged pipeline
+        leaves them: max/min identities become 0.0 (mirroring
+        ``GeneralizedSpMM._finalize``), zero-guarded sums become 1.0."""
+        deg = np.diff(self.A.csr.indptr)
+        untouched = deg == 0
+        if not untouched.any():
+            return
+        for st in self.plan.stages:
+            if st.kind != "spmm":
+                continue
+            if st.aggregation in ("max", "min"):
+                vbufs[st.name][untouched] = 0.0
+            if st.guard_zero:
+                vbufs[st.name][untouched] = 1.0
+
+    def __repr__(self):
+        chain = " -> ".join(st.name for st in self.plan.stages)
+        return (f"FusedKernel({chain}, m={self.A.nnz}, "
+                f"{'bound' if self.bound else 'compiled'})")
+
+
+# ----------------------------------------------------------------------
+# fused compilation (template cache integration)
+# ----------------------------------------------------------------------
+
+@dataclass
+class FusedTemplate:
+    """Topology-independent fused-chain artifact living in the cache's
+    fused namespace: rebinding to a fresh topology is plan reuse."""
+
+    key: tuple
+    plan: FusionPlan
+
+
+def compile_fused(graph: KernelGraph, *, cache=None,
+                  chunk_edges: int = DEFAULT_CHUNK_EDGES) -> FusedKernel:
+    """Compile (or cheaply rebind) a :class:`KernelGraph` into a
+    :class:`FusedKernel`.
+
+    Resolution order mirrors the single-kernel pipeline: fused-template
+    prekey hit -> ``fused_bind`` (zero compile passes); otherwise the fused
+    pass ledger runs (``fuse_stages`` .. ``fuse_codegen``) and the result
+    is stored as a fused template when every stage UDF carries a
+    ``udf_key``.
+    """
+    cache = cache if cache is not None else get_kernel_cache()
+    prekey = graph.template_key()
+    if prekey is not None:
+        entry = cache.get_fused_template(prekey)
+        if entry is not None:
+            t0 = time.perf_counter()
+            kernel = FusedKernel(graph.A, entry.plan,
+                                 chunk_edges=chunk_edges, bound=True)
+            kernel.timings = [PassTiming("fused_bind",
+                                         time.perf_counter() - t0)]
+            cache.note_timings(kernel.timings)
+            cache.note_fused(bound=True)
+            return kernel
+
+    timings: list[PassTiming] = []
+
+    def timed(name, fn):
+        t0 = time.perf_counter()
+        out = fn()
+        timings.append(PassTiming(name, time.perf_counter() - t0))
+        return out
+
+    plan = timed("fuse_stages", lambda: plan_fusion(graph, cache))
+    # fuse_plan is the legality/CSE/elision decision record; planning runs
+    # inside plan_fusion, so the entry carries its bookkeeping cost (~0)
+    timings.append(PassTiming("fuse_plan", 0.0))
+    stmt = timed("fuse_lower", lambda: fused_loop_nest(plan, graph.A))
+    timed("fuse_validate", lambda: validate_ir(stmt))
+    report = timed("fuse_analyze",
+                   lambda: analyze_ir(stmt, target=graph.target))
+    if strict_enabled() and report.has_errors:
+        raise AnalysisError(report)
+    timed("fuse_codegen", lambda: plan.source)
+
+    kernel = FusedKernel(graph.A, plan, chunk_edges=chunk_edges, bound=False)
+    kernel.timings = timings
+    kernel._lowered = stmt
+    kernel._analysis = report
+    cache.note_timings(timings)
+    cache.note_fused(bound=False)
+    if prekey is not None:
+        cache.put_fused_template(prekey, FusedTemplate(prekey, plan))
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# the flagship chain: fused edge softmax (+ optional aggregation)
+# ----------------------------------------------------------------------
+
+class FusedEdgeSoftmax:
+    """sddmm+softmax+spmm in one pass: the chain of
+    :class:`~repro.core.softmax.EdgeSoftmax` (max / exp-sum / normalize),
+    optionally extended with the GAT aggregation stage
+    (``sum_v alpha_uv * z_u``) when ``feat_shape`` is given.
+
+    Stage UDFs reuse the staged phases' ``udf_key`` identities, so the
+    per-stage compiles share templates with the staged pipeline; the chain
+    itself is cached as one fused template and rebinds across sampled
+    blocks with zero recompiles.
+    """
+
+    def __init__(self, A, num_heads: int = 1, target: str = "cpu",
+                 cache=None, feat_shape: tuple | None = None,
+                 chunk_edges: int = DEFAULT_CHUNK_EDGES):
+        if num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        self.A = spmat(A)
+        self.num_heads = int(num_heads)
+        self.target = target
+        self.feat_shape = tuple(feat_shape) if feat_shape is not None \
+            else None
+        m, n, h = self.A.nnz, self.A.num_dst, self.num_heads
+
+        ES = T.placeholder((m, h), name="ES")
+        MAXV = T.placeholder((n, h), name="MAXV")
+        SUMV = T.placeholder((n, h), name="SUMV")
+
+        def max_msg(src, dst, eid):
+            return T.compute((h,), lambda i: ES[eid, i], name="sm_max")
+
+        def expsum_msg(src, dst, eid):
+            return T.compute((h,), lambda i: T.exp(ES[eid, i] - MAXV[dst, i]),
+                             name="sm_expsum")
+
+        def normalize_edge(src, dst, eid):
+            return T.compute(
+                (h,),
+                lambda i: T.exp(ES[eid, i] - MAXV[dst, i]) / SUMV[dst, i],
+                name="sm_norm")
+
+        max_msg.udf_key = ("edge_softmax_max", h)
+        expsum_msg.udf_key = ("edge_softmax_expsum", h)
+        normalize_edge.udf_key = ("edge_softmax_normalize", h)
+
+        g = KernelGraph(self.A, target=target)
+        g.add_stage("MAXV", "spmm", max_msg, aggregation="max")
+        g.add_stage("SUMV", "spmm", expsum_msg, aggregation="sum",
+                    guard_zero=True)
+        g.add_stage("ALPHA", "sddmm", normalize_edge)
+        if self.feat_shape is not None:
+            XV = T.placeholder((self.A.num_src,) + self.feat_shape,
+                               name="XV")
+            ALPHA = T.placeholder((m, h), name="ALPHA")
+            g.add_stage("OUT", "spmm", u_mul_e_msg(XV, ALPHA),
+                        aggregation="sum")
+            g.outputs = ("OUT",)
+        else:
+            g.outputs = ("ALPHA",)
+        self.graph = g
+        self.kernel = compile_fused(g, cache=cache,
+                                    chunk_edges=chunk_edges)
+
+    def _scores(self, scores: np.ndarray) -> tuple[np.ndarray, bool]:
+        squeeze = scores.ndim == 1
+        es = scores.reshape(self.A.nnz, self.num_heads).astype(np.float32)
+        return es, squeeze
+
+    def run(self, scores: np.ndarray, pool=None) -> np.ndarray:
+        """Normalized attention, one fused sweep (``feat_shape=None``)."""
+        if self.feat_shape is not None:
+            raise ValueError("this chain aggregates; use run_aggregate()")
+        es, squeeze = self._scores(scores)
+        alpha = self.kernel.run({"ES": es}, pool=pool)["ALPHA"]
+        return alpha[:, 0] if squeeze else alpha
+
+    def run_aggregate(self, scores: np.ndarray, z: np.ndarray,
+                      need_alpha: bool = False, pool=None):
+        """``(out, alpha_or_None)``: softmax + weighted aggregation in one
+        sweep.  ``alpha`` is only materialized on request -- in inference
+        the ``(m, heads)`` buffer is fully elided."""
+        if self.feat_shape is None:
+            raise ValueError("construct with feat_shape to aggregate")
+        es, _ = self._scores(scores)
+        z = np.ascontiguousarray(z, dtype=np.float32)
+        keep = ("ALPHA",) if need_alpha else ()
+        res = self.kernel.run({"ES": es, "XV": z}, keep=keep, pool=pool)
+        return res["OUT"], res.get("ALPHA")
+
+    def exec_stats(self) -> dict:
+        return {"fused": self.kernel.exec_stats.as_dict()}
+
+    def __repr__(self):
+        return (f"FusedEdgeSoftmax(m={self.A.nnz}, heads={self.num_heads}, "
+                f"feat={self.feat_shape}, target={self.target})")

@@ -131,6 +131,16 @@ class GeneralizedSDDMM:
         self._order: np.ndarray | None = None
 
     # ------------------------------------------------------------------
+    @property
+    def roles(self) -> dict:
+        """Placeholder name -> graph-axis role, mirroring
+        :attr:`GeneralizedSpMM.roles` for the fusion planner."""
+        if self.graph_roles is not None:
+            return dict(self.graph_roles)
+        from repro.core.bindings import graph_axis_roles
+
+        return graph_axis_roles(self.edge_out)
+
     def _edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(src, dst, eid) in traversal order."""
         csr = self.A.csr

@@ -14,6 +14,12 @@ paper's two patterns:
 
 No per-edge tensor other than the output is materialized.  ``cost()`` sums
 the three phases' machine-model times.
+
+When the ``FEATGRAPH_FUSE`` gate is on (see :mod:`repro.core.fusion`), the
+three phases additionally compile as **one** fused kernel chain that walks
+the CSR once, computing ``exp(s - M)`` a single time (cross-kernel CSE)
+instead of once per consuming phase; ``run()`` dispatches to it and
+``run_staged()`` keeps the three-kernel path available as the oracle.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ class EdgeSoftmax:
     """Fused edge softmax over incoming edges, with ``num_heads`` channels."""
 
     def __init__(self, A, num_heads: int = 1, target: str = "cpu",
-                 cache=None):
+                 cache=None, fused: bool | None = None):
         if num_heads < 1:
             raise ValueError("num_heads must be >= 1")
         self.A = spmat(A)
@@ -74,12 +80,37 @@ class EdgeSoftmax:
         self._norm_kernel = sddmm(self.A, normalize_edge, target=target,
                                   hilbert=False, cache=cache)
 
+        # The single-sweep fused chain (opt-in): the staged kernels above
+        # always exist as the differential oracle and the fallback.
+        if fused is None:
+            from repro.core.fusion import fuse_enabled
+            fused = fuse_enabled() and target == "cpu"
+        self._fused = None
+        if fused:
+            from repro.core.fusion import FusedEdgeSoftmax
+            self._fused = FusedEdgeSoftmax(self.A, self.num_heads,
+                                           target=target, cache=cache)
+
+    @property
+    def fused(self):
+        """The :class:`~repro.core.fusion.FusedEdgeSoftmax` chain, or None
+        when running staged."""
+        return self._fused
+
     def run(self, scores: np.ndarray, pool=None) -> np.ndarray:
         """Normalize ``scores`` (shape ``(m,)`` or ``(m, num_heads)``).
 
-        ``pool`` (a :class:`~repro.tensorir.runtime.WorkPool`) is passed
-        through to all three phase kernels.
+        Dispatches to the fused single-sweep chain when enabled, else to
+        the three staged kernels.  ``pool`` (a
+        :class:`~repro.tensorir.runtime.WorkPool`) is passed through.
         """
+        if self._fused is not None:
+            return self._fused.run(scores, pool=pool)
+        return self.run_staged(scores, pool=pool)
+
+    def run_staged(self, scores: np.ndarray, pool=None) -> np.ndarray:
+        """The three-kernel reference path (always available: it is the
+        oracle fused execution is checked against)."""
         squeeze = scores.ndim == 1
         es = scores.reshape(self.A.nnz, self.num_heads).astype(np.float32)
         maxv = self._max_kernel.run({"ES": es}, pool=pool)
@@ -93,11 +124,14 @@ class EdgeSoftmax:
     def exec_stats(self) -> dict:
         """Runtime counters (eval/aggregate seconds, bytes moved, chunk
         counts) of the three phase kernels, by phase name."""
-        return {
+        stats = {
             "max": self._max_kernel.exec_stats.as_dict(),
             "expsum": self._sum_kernel.exec_stats.as_dict(),
             "normalize": self._norm_kernel.exec_stats.as_dict(),
         }
+        if self._fused is not None:
+            stats["fused"] = self._fused.kernel.exec_stats.as_dict()
+        return stats
 
     def cost(self, spec=None, *, stats=None, threads: int = 1) -> CostReport:
         """Sum of the three phases' machine-model times."""

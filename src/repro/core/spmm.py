@@ -42,7 +42,8 @@ from repro.tensorir.evaluator import evaluate_batched
 from repro.tensorir.expr import ComputeOp, Tensor, Var
 from repro.tensorir.vectorize import VectorizeError, compile_batched, compile_enabled
 
-__all__ = ["GeneralizedSpMM", "PARTITION_TARGET_BYTES", "resolve_aggregation"]
+__all__ = ["GeneralizedSpMM", "PARTITION_TARGET_BYTES", "resolve_aggregation",
+           "row_aligned_chunks", "AGG_UFUNC", "AGG_IDENTITY"]
 
 #: working-set target per (partition, tile) pass; ~2 MB lands the paper's
 #: Fig. 14 optimum (16 graph partitions on reddit at feature tile 32)
@@ -77,6 +78,37 @@ _AGG_UFUNC = {
     "prod": np.multiply,
 }
 _AGG_IDENTITY = {"sum": 0.0, "max": -np.inf, "min": np.inf, "prod": 1.0}
+
+#: public aliases -- the fused executor (repro.core.fusion) combines chunk
+#: segments with exactly the same ufunc/identity tables the staged template
+#: uses, so fused and staged reductions cannot drift apart
+AGG_UFUNC = _AGG_UFUNC
+AGG_IDENTITY = _AGG_IDENTITY
+
+
+def row_aligned_chunks(indptr: np.ndarray,
+                       target: int) -> list[tuple[int, int]]:
+    """Split ``[0, nnz)`` into chunks of ~``target`` edges whose boundaries
+    fall on CSR row boundaries, so every destination row's edges land in
+    exactly one chunk and segmented reduction never splits a row."""
+    nnz = int(indptr[-1])
+    if nnz == 0:
+        return []
+    bounds = [0]
+    while bounds[-1] < nnz:
+        want = bounds[-1] + target
+        if want >= nnz:
+            bounds.append(nnz)
+            break
+        # advance to the smallest row boundary covering `want`; if the
+        # row containing it is huge, take the next boundary past start.
+        j = int(np.searchsorted(indptr, want, side="left"))
+        end = int(indptr[j])
+        if end <= bounds[-1]:
+            j = int(np.searchsorted(indptr, bounds[-1], side="right"))
+            end = int(indptr[j])
+        bounds.append(end)
+    return list(zip(bounds[:-1], bounds[1:]))
 
 
 def resolve_aggregation(aggregation) -> str:
@@ -205,6 +237,19 @@ class GeneralizedSpMM:
                 "m": self.A.nnz}
 
     @property
+    def roles(self) -> dict:
+        """Placeholder name -> graph-axis role ("n_src"/"n_dst"/"m"/"n_max").
+
+        Bound kernels carry the template's roles; freshly compiled ones
+        derive them from the traced UDF.  The fusion planner keys its
+        legality rules (and binding validation) off this map."""
+        if self.graph_roles is not None:
+            return dict(self.graph_roles)
+        from repro.core.bindings import graph_axis_roles
+
+        return graph_axis_roles(self.msg)
+
+    @property
     def partitions(self) -> list[Partition1D]:
         """Lazily materialized 1D source partitions."""
         if self._partitions is None:
@@ -303,26 +348,9 @@ class GeneralizedSpMM:
 
     def _row_aligned_chunks(self, indptr: np.ndarray,
                             target: int | None = None) -> list[tuple[int, int]]:
-        nnz = int(indptr[-1])
-        if nnz == 0:
-            return []
-        bounds = [0]
         if target is None:
             target = self.chunk_edges
-        while bounds[-1] < nnz:
-            want = bounds[-1] + target
-            if want >= nnz:
-                bounds.append(nnz)
-                break
-            # advance to the smallest row boundary covering `want`; if the
-            # row containing it is huge, take the next boundary past start.
-            j = int(np.searchsorted(indptr, want, side="left"))
-            end = int(indptr[j])
-            if end <= bounds[-1]:
-                j = int(np.searchsorted(indptr, bounds[-1], side="right"))
-                end = int(indptr[j])
-            bounds.append(end)
-        return list(zip(bounds[:-1], bounds[1:]))
+        return row_aligned_chunks(indptr, target)
 
     @staticmethod
     def _segmented_combine(acc_tile, dst_sorted, msgs, ufunc) -> None:

@@ -142,6 +142,17 @@ class FeatGraphDGLBackend:
         return EdgeSoftmax(adj, num_heads=num_heads, target=self.target,
                            cache=cache)
 
+    def _fused_softmax_aggregate(self, adj: CSRMatrix, num_heads: int,
+                                 feat_shape: tuple[int, ...]):
+        from repro.core.fusion import FusedEdgeSoftmax
+
+        cache = self._kernel_cache()
+        adj = cache.canonical_graph(adj)
+        # Like _softmax, a thin per-call wrapper: the fused chain is cached
+        # as one topology-independent fused template, so this is a rebind.
+        return FusedEdgeSoftmax(adj, num_heads=num_heads, target=self.target,
+                                cache=cache, feat_shape=feat_shape)
+
     # -- primitives ---------------------------------------------------------
     def spmm_copy_sum(self, adj: CSRMatrix, x: np.ndarray) -> np.ndarray:
         k = self._copy_sum(adj, x.shape[1:])
@@ -151,6 +162,18 @@ class FeatGraphDGLBackend:
         """Fused three-pass edge softmax (no per-edge materialization)."""
         heads = scores.shape[1] if scores.ndim > 1 else 1
         return self._softmax(adj, heads).run(scores)
+
+    def fused_softmax_aggregate(self, adj: CSRMatrix, scores: np.ndarray,
+                                z: np.ndarray, need_alpha: bool = False):
+        """Edge softmax + weighted aggregation as one fused edge sweep.
+
+        Returns ``(out, alpha)``; ``alpha`` is None unless requested (a
+        backward pass needs it), in which case it is materialized from the
+        otherwise-elided chain buffer.
+        """
+        heads = scores.shape[1] if scores.ndim > 1 else 1
+        fes = self._fused_softmax_aggregate(adj, heads, z.shape[1:])
+        return fes.run_aggregate(scores, z, need_alpha=need_alpha)
 
     def spmm_mul_sum(self, adj: CSRMatrix, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         k = self._mul_sum(adj, x.shape[1:], w.ndim)

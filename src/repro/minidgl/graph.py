@@ -15,6 +15,9 @@ The message-passing ops implement the paper's Sec. II-A calculus:
 - :func:`u_dot_v` -- generalized SDDMM; its input gradients follow the SpMM
   pattern.
 - :func:`edge_softmax` -- per-destination softmax over incoming edges.
+- :func:`edge_softmax_mul_sum` -- softmax + weighted aggregation as **one
+  fused kernel chain** (behind the ``FEATGRAPH_FUSE`` gate): the GAT hot
+  path without materializing the attention tensor in inference.
 
 All ops take a kernel backend (Minigun-like or FeatGraph) so end-to-end
 training exercises exactly the integration surface of the paper's Sec. IV-B.
@@ -29,7 +32,7 @@ from repro.graph.sparse import CSRMatrix, from_edges
 from repro.minidgl.autograd import Tensor
 
 __all__ = ["Graph", "copy_u_sum", "u_mul_e_sum", "u_dot_v", "edge_add",
-           "edge_softmax"]
+           "edge_softmax", "edge_softmax_mul_sum"]
 
 
 class Graph:
@@ -169,3 +172,47 @@ def edge_softmax(graph: Graph, scores: Tensor, backend=None) -> Tensor:
         scores._accumulate(ag - alpha * np.repeat(seg, sizes, axis=0))
 
     return Tensor._make(alpha, (scores,), bwd)
+
+
+def edge_softmax_mul_sum(graph: Graph, scores: Tensor, z: Tensor,
+                         backend) -> Tensor:
+    """``out[v] = sum_u softmax_v(s)[uv] * z[u]`` -- the GAT attention block.
+
+    With fusion enabled (``FEATGRAPH_FUSE``) and a backend exposing
+    ``fused_softmax_aggregate``, the forward pass runs the whole chain
+    (max / exp-sum / normalize / aggregate) as one fused edge sweep; the
+    normalized attention tensor is only materialized when a backward pass
+    will need it, so inference elides the full ``(m, heads)`` buffer.
+    Otherwise this is exactly ``u_mul_e_sum(graph, z,
+    edge_softmax(graph, scores, backend), backend)``.
+
+    The backward composes the same primitive gradients as the staged ops:
+    attention-gradient SDDMM, reverse-graph SpMM, and the softmax Jacobian
+    applied via segment reductions.
+    """
+    from repro.core.fusion import fuse_enabled
+
+    if not (fuse_enabled()
+            and hasattr(backend, "fused_softmax_aggregate")
+            and getattr(backend, "target", None) == "cpu"):
+        return u_mul_e_sum(graph, z, edge_softmax(graph, scores, backend),
+                           backend)
+
+    need_alpha = scores.requires_grad or z.requires_grad
+    out_data, alpha = backend.fused_softmax_aggregate(
+        graph.adj, scores.data, z.data, need_alpha=need_alpha)
+
+    def bwd(g):
+        if not need_alpha:
+            return
+        if z.requires_grad:
+            alpha_rev = alpha[graph.reverse.edge_ids]
+            z._accumulate(backend.spmm_mul_sum(graph.reverse, g, alpha_rev))
+        if scores.requires_grad:
+            galpha = backend.sddmm_dot(graph.adj, z.data, g)
+            ag = alpha * galpha
+            seg = segment_reduce(ag, graph.adj.indptr, op="sum")
+            sizes = np.diff(graph.adj.indptr)
+            scores._accumulate(ag - alpha * np.repeat(seg, sizes, axis=0))
+
+    return Tensor._make(out_data, (scores, z), bwd)

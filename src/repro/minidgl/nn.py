@@ -17,8 +17,7 @@ from repro.minidgl.graph import (
     Graph,
     copy_u_sum,
     edge_add,
-    edge_softmax,
-    u_mul_e_sum,
+    edge_softmax_mul_sum,
 )
 
 __all__ = ["Module", "Linear", "Dropout", "GCNConv", "SAGEConv", "GATConv"]
@@ -246,6 +245,7 @@ class GATConv(Module):
         el = (z * self.attn_l).sum(axis=2)   # (n_src, heads)
         er = (z * self.attn_r).sum(axis=2)
         logits = edge_add(graph, el, er).leaky_relu(self.negative_slope)  # (m, heads)
-        alpha = edge_softmax(graph, logits, backend)
-        out = u_mul_e_sum(graph, z, alpha, backend)  # (n_dst, heads, head_dim)
+        # softmax + weighted aggregation; one fused sweep when FEATGRAPH_FUSE
+        # is on, the staged edge_softmax + u_mul_e_sum pair otherwise
+        out = edge_softmax_mul_sum(graph, logits, z, backend)  # (n_dst, heads, head_dim)
         return out.reshape(n_dst, self.num_heads * self.head_dim)

@@ -161,7 +161,8 @@ class ProgramStats:
     hoisted_gathers: int = 0    #: reduce-indexed reads pre-gathered as rows
     loops: int = 0              #: Python reduction loops emitted
     vector_reduces: int = 0     #: reductions lowered to one ufunc.reduce
-    #: (itemsize, reads_batch, axes, trip) per gather, for bytes accounting
+    #: (itemsize, reads_batch, axes, trip, tensor) per gather, for bytes
+    #: accounting; ``tensor`` lets the fused executor exclude chain buffers
     loads: list = field(default_factory=list)
     #: upper bound on bytes gathered per batch element (chunk sizing)
     workset_bytes_per_item: int = 0
@@ -695,6 +696,7 @@ class _Compiler:
 
     def _gather(self, node: E.TensorElem) -> _Value:
         base = self._tensor_alias(node.tensor)
+        self._gather_name = node.tensor.name
         dtype = np.dtype(_np_dtype(node.tensor.dtype))
         idx = [self.compile(i) for i in node.indices]
         self.stats.gathers += 1
@@ -852,7 +854,7 @@ class _Compiler:
     def _record_load(self, dtype, has_batch, axes, trip,
                      extra_extent=1) -> None:
         self.stats.loads.append((dtype.itemsize, has_batch, tuple(axes),
-                                 trip))
+                                 trip, getattr(self, "_gather_name", "")))
         if has_batch:
             ws = dtype.itemsize * extra_extent
             for j in axes:
@@ -1193,14 +1195,21 @@ class VectorProgram:
             return val
         return np.ascontiguousarray(val, dtype=self.out_dtype)
 
-    def bytes_moved(self, batch: int, sizes=None) -> int:
+    def bytes_moved(self, batch: int, sizes=None, exclude=()) -> int:
         """Bytes gathered from input tensors plus bytes written to the
         output, for one chunk of ``batch`` elements over ``sizes``-shaped
-        output axes (defaults to the full axis extents)."""
+        output axes (defaults to the full axis extents).
+
+        ``exclude`` names input tensors whose gathers should not be
+        counted -- the fused executor passes the chunk-resident chain
+        buffers here, since those values never round-trip through memory.
+        """
         sizes = (tuple(sizes) if sizes is not None
                  else self.default_sizes)
         total = 0
-        for itemsize, has_batch, axes, trip in self.stats.loads:
+        for itemsize, has_batch, axes, trip, tname in self.stats.loads:
+            if tname in exclude:
+                continue
             moved = itemsize * trip * (batch if has_batch else 1)
             for j in axes:
                 moved *= sizes[j]

@@ -14,6 +14,13 @@ With ``--analyze``, the static analyzer's verdict is cross-checked too: a
 config the ``analyze`` pass flags with error diagnostics must actually
 diverge from a reference, otherwise the trial fails at stage ``analysis``
 (an analyzer false positive) and is shrunk like any other failure.
+
+With ``--fuse``, every config whose UDF family can head a fused
+softmax-aggregate chain additionally runs the fused-vs-unfused whole-chain
+differential (:func:`repro.testing.differential.run_fused_trial`): the same
+five-stage program executed staged and as one fused edge sweep must agree
+on both the aggregate output and the attention tensor.  Fused failures
+shrink with the fused oracle as the predicate.
 """
 
 from __future__ import annotations
@@ -24,7 +31,9 @@ import sys
 from repro.testing.differential import (
     DEFAULT_ATOL,
     TrialConfig,
+    fusable_chain,
     replay_command,
+    run_fused_trial,
     run_trial,
     run_trials,
     shrink,
@@ -34,8 +43,10 @@ __all__ = ["main"]
 
 
 def _print_coverage(coverage: dict, out=sys.stdout) -> None:
-    for axis in ("kind", "target", "agg", "udf"):
+    for axis in ("kind", "target", "agg", "udf", "fused"):
         counts = coverage.get(axis, {})
+        if not counts:
+            continue
         parts = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
         print(f"  {axis:7s} {parts}", file=out)
 
@@ -57,6 +68,9 @@ def main(argv=None) -> int:
     ap.add_argument("--analyze", action="store_true",
                     help="cross-check the static analyzer's verdict against "
                          "the numerics (analyzer errors must mean divergence)")
+    ap.add_argument("--fuse", action="store_true",
+                    help="also run the fused-vs-unfused whole-chain oracle "
+                         "on every fusable config")
     args = ap.parse_args(argv)
 
     if args.replay is not None:
@@ -67,6 +81,8 @@ def main(argv=None) -> int:
             return 2
         res = run_trial(cfg, atol=args.atol,
                         analyzer_cross_check=args.analyze)
+        if res.ok and args.fuse and fusable_chain(cfg):
+            res = run_fused_trial(cfg, atol=args.atol)
         if res.ok:
             print("replay PASSED")
             return 0
@@ -74,7 +90,8 @@ def main(argv=None) -> int:
         return 1
 
     report = run_trials(args.trials, args.seed, atol=args.atol,
-                        analyzer_cross_check=args.analyze)
+                        analyzer_cross_check=args.analyze,
+                        fused_oracle=args.fuse)
     print(f"{report.trials} trials, {len(report.failures)} failures "
           f"(seed {args.seed}, atol {args.atol:g})")
     _print_coverage(report.coverage)
@@ -84,9 +101,13 @@ def main(argv=None) -> int:
     for cfg, res in report.failures[:5]:
         print(f"\nFAIL [{res.stage}] {res.message}")
         if not args.no_shrink:
-            cfg = shrink(cfg, lambda c: not run_trial(
-                c, atol=args.atol,
-                analyzer_cross_check=args.analyze).ok)
+            if res.stage.startswith("fused"):
+                cfg = shrink(cfg, lambda c: not run_fused_trial(
+                    c, atol=args.atol).ok)
+            else:
+                cfg = shrink(cfg, lambda c: not run_trial(
+                    c, atol=args.atol,
+                    analyzer_cross_check=args.analyze).ok)
             print("minimal repro:")
         print(f"  {replay_command(cfg)}")
     if len(report.failures) > 5:
