@@ -1,0 +1,217 @@
+"""PR-7 benchmark: segment-reduction strategies on GCN aggregation.
+
+Runs the ``gcn_copyu_sum`` workload (copy-u message, sum aggregation,
+F=64) once per execution strategy -- ``reduceat`` (the pre-engine
+baseline), ``bucketed`` (degree-bucketed dense reductions), and
+``parallel`` (WorkPool-sharded reduceat) -- and measures each strategy's
+**aggregate seconds** from the kernel's ``ExecStats`` (the unified engine
+books the segment-combine wall-clock separately from UDF evaluation, so
+the strategies are compared on exactly the code they replace).
+
+Every strategy's output is parity-checked against a float64 ``np.add.at``
+oracle, and ``parallel`` must be bit-identical to ``reduceat``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_aggregate.py            # report
+    PYTHONPATH=src python benchmarks/bench_aggregate.py --check    # CI:
+        # fail unless the auto-selected strategy cuts gcn_copyu_sum
+        # aggregate seconds >=2x vs the reduceat baseline, parity holds,
+        # and nothing regressed >2x vs the committed baseline
+    PYTHONPATH=src python benchmarks/bench_aggregate.py \
+        --write-baseline  # refresh benchmarks/results/BENCH_PR7_baseline.json
+
+Also collectable by pytest: the smoke test runs a tiny scale and asserts
+parity plus stats accounting without touching the committed JSON files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import tensorir as T
+from repro.core import builtins as dgl_builtins
+from repro.core.api import spmat, spmm
+from repro.core.compile import KernelCache, use_kernel_cache
+from repro.graph.datasets import load
+from repro.runtime.strategies import STRATEGY_NAMES, select_strategy
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = ROOT / "BENCH_PR7.json"
+BASELINE_PATH = ROOT / "benchmarks" / "results" / "BENCH_PR7_baseline.json"
+
+#: CI gate: the auto-selected strategy must cut aggregate seconds by at
+#: least this factor vs the reduceat baseline on gcn_copyu_sum.
+SPEEDUP_GATE = 2.0
+
+#: CI gate: a strategy is a regression when its aggregate seconds exceed
+#: the committed baseline by more than this factor.
+REGRESSION_FACTOR = 2.0
+
+FEATURE_WIDTH = 64
+
+
+def _build_kernel(adj, width):
+    A = spmat(adj)
+    n = max(A.num_src, A.num_dst)
+    XV = T.placeholder((n, width), name="XV")
+    return A, spmm(A, dgl_builtins.copy_u_msg(XV), "sum"), n
+
+
+def _oracle(A, x):
+    csr = A.csr
+    out = np.zeros((A.num_dst, x.shape[1]), dtype=np.float64)
+    np.add.at(out, csr.row_of_edge(), x.astype(np.float64)[csr.indices])
+    return out
+
+
+def run_suite(dataset="reddit", scale=1 / 256, repeats=3, width=FEATURE_WIDTH,
+              log=print):
+    """Measure every strategy's aggregate seconds; return the payload."""
+    ds = load(dataset, scale=scale)
+    with use_kernel_cache(KernelCache()):
+        A, kernel, n = _build_kernel(ds.adj, width)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((n, width)).astype(np.float32)
+    bindings = {"XV": x}
+    oracle = _oracle(A, x)
+    tol = 1e-4 * np.maximum(np.abs(oracle), 1.0)
+
+    degrees = np.diff(A.csr.indptr)
+    auto = select_strategy(degrees, width)
+
+    results = {}
+    outputs = {}
+    for name in STRATEGY_NAMES:
+        kernel.agg_strategy = name
+        kernel.run(bindings)  # warmup (also the parity-checked output)
+        outputs[name] = kernel.run(bindings)
+        if not np.all(np.abs(outputs[name] - oracle) <= tol):
+            raise AssertionError(
+                f"strategy {name} disagrees with the float64 oracle "
+                f"(max abs diff "
+                f"{float(np.max(np.abs(outputs[name] - oracle))):.3g})")
+        before = kernel.exec_stats.as_dict()
+        for _ in range(repeats):
+            kernel.run(bindings)
+        after = kernel.exec_stats.as_dict()
+        agg_s = (after["aggregate_seconds"]
+                 - before["aggregate_seconds"]) / repeats
+        eval_s = (after["eval_seconds"] - before["eval_seconds"]) / repeats
+        results[name] = {"aggregate_s": agg_s, "eval_s": eval_s}
+        log(f"  {name:9s} aggregate {agg_s * 1e3:8.2f} ms   "
+            f"eval {eval_s * 1e3:8.2f} ms")
+    kernel.agg_strategy = None
+
+    if not np.array_equal(outputs["parallel"], outputs["reduceat"]):
+        raise AssertionError("parallel is not bit-identical to reduceat")
+
+    base = results["reduceat"]["aggregate_s"]
+    for name, r in results.items():
+        r["speedup_vs_reduceat"] = base / r["aggregate_s"]
+    return {
+        "workload": "gcn_copyu_sum",
+        "dataset": dataset,
+        "scale": scale,
+        "width": width,
+        "repeats": repeats,
+        "auto_strategy": auto,
+        "strategies": results,
+        "auto_speedup": results[auto]["speedup_vs_reduceat"],
+    }
+
+
+def check_speedup_gate(payload):
+    """The auto-selected strategy must clear SPEEDUP_GATE."""
+    auto = payload["auto_strategy"]
+    speedup = payload["auto_speedup"]
+    if auto == "reduceat":
+        return [f"auto-selection picked the baseline ({auto}); the engine "
+                f"is not engaging a faster strategy on this workload"]
+    if speedup < SPEEDUP_GATE:
+        return [f"auto strategy {auto} only {speedup:.2f}x faster than "
+                f"reduceat on aggregate seconds (gate {SPEEDUP_GATE}x)"]
+    return []
+
+
+def check_against_baseline(payload, baseline, log=print):
+    """Compare aggregate seconds to the committed baseline."""
+    problems = []
+    log(f"\n  baseline comparison ({BASELINE_PATH.name}):")
+    for name, r in payload["strategies"].items():
+        base = baseline["strategies"].get(name)
+        if base is None:
+            log(f"  {name:9s} (no baseline entry)")
+            continue
+        ratio = r["aggregate_s"] / base["aggregate_s"]
+        flag = "  REGRESSION" if ratio > REGRESSION_FACTOR else ""
+        log(f"  {name:9s} {ratio:5.2f}x vs baseline{flag}")
+        if ratio > REGRESSION_FACTOR:
+            problems.append(
+                f"{name}: aggregate path {ratio:.2f}x slower than baseline "
+                f"({r['aggregate_s'] * 1e3:.2f} ms vs "
+                f"{base['aggregate_s'] * 1e3:.2f} ms)")
+    return problems
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--dataset", default="reddit")
+    ap.add_argument("--scale", type=float, default=1 / 256)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--check", action="store_true",
+                    help="fail unless the auto strategy clears the "
+                         f"{SPEEDUP_GATE}x aggregate-seconds gate and "
+                         "nothing regressed vs the committed baseline")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help=f"also write {BASELINE_PATH}")
+    args = ap.parse_args(argv)
+
+    print(f"PR-7 aggregation strategies: gcn_copyu_sum on {args.dataset} @ "
+          f"1/{1 / args.scale:.0f} scale, F={FEATURE_WIDTH}, "
+          f"mean of {args.repeats}")
+    payload = run_suite(args.dataset, args.scale, args.repeats)
+    print(f"  auto-selected: {payload['auto_strategy']} "
+          f"({payload['auto_speedup']:.2f}x vs reduceat)")
+
+    problems = check_speedup_gate(payload)
+    if baseline := (json.loads(BASELINE_PATH.read_text())
+                    if BASELINE_PATH.exists() else None):
+        problems += check_against_baseline(payload, baseline)
+    else:
+        print("  (no committed baseline; skipping regression check)")
+
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n  wrote {RESULT_PATH.relative_to(ROOT)}")
+    if args.write_baseline:
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"  wrote {BASELINE_PATH.relative_to(ROOT)}")
+
+    if problems:
+        for p in problems:
+            print(f"  FAIL: {p}", file=sys.stderr)
+        if args.check:
+            return 1
+    return 0
+
+
+# -- pytest entry point (quick smoke, no JSON output) -----------------------
+
+def test_aggregate_strategy_smoke():
+    """Tiny-scale sweep: every strategy passes the oracle parity check and
+    the stats deltas are recorded per strategy."""
+    payload = run_suite(scale=1 / 2048, repeats=1, width=8,
+                        log=lambda *a: None)
+    assert set(payload["strategies"]) == set(STRATEGY_NAMES)
+    assert payload["auto_strategy"] in STRATEGY_NAMES
+    for r in payload["strategies"].values():
+        assert r["aggregate_s"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

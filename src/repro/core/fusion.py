@@ -65,8 +65,12 @@ from repro.core.bindings import BindingError
 from repro.core.builtins import u_mul_e_msg
 from repro.core.compile import (PassTiming, compile_sddmm, compile_spmm,
                                 get_kernel_cache)
-from repro.core.spmm import (AGG_IDENTITY, AGG_UFUNC, effective_chunk_edges,
-                             resolve_aggregation, row_aligned_chunks)
+from repro.core.spmm import resolve_aggregation
+from repro.runtime.engine import AggregateSink, Executor, ScatterSink
+from repro.runtime.plan import (ChunkPolicy, EdgeTask, ExecutionPlan,
+                                GatherPlan, Stage, effective_chunk_edges)
+from repro.runtime.reducers import AGG_IDENTITY, get_reducer
+from repro.runtime.strategies import resolve_strategy
 from repro.tensorir import expr as E
 from repro.tensorir import ir as I
 from repro.tensorir.analysis import AnalysisError, analyze_ir, strict_enabled
@@ -653,6 +657,9 @@ class FusedKernel:
         self.plan = plan
         self.chunk_edges = int(chunk_edges)
         self.bound = bound
+        #: aggregation-strategy override (None = auto/env), as on the
+        #: staged templates
+        self.agg_strategy: str | None = None
         self.exec_stats = ExecStats()
         self.timings: list[PassTiming] = []
         self._lowered: I.Stmt | None = None
@@ -749,96 +756,98 @@ class FusedKernel:
                 ebufs[st.name] = np.empty((m,) + st.feat_shape,
                                           dtype=np.float32)
 
-        rows = csr.row_of_edge()
+        plan = self.execution_plan(vbufs, ebufs, keep, pool=pool)
+        Executor(stats=self.exec_stats, pool=pool).run(plan, bindings)
+
+        result = {}
+        for name in want:
+            result[name] = vbufs[name] if name in vbufs else ebufs[name]
+        return result
+
+    def execution_plan(self, vbufs: dict, ebufs: dict, keep=(),
+                       pool=None) -> ExecutionPlan:
+        """Lower the fused chain to a single multi-stage
+        :class:`~repro.runtime.plan.EdgeTask`: one row-aligned chunked
+        sweep whose per-chunk segment boundaries are computed once and
+        shared by every aggregating stage, with chain-edge values flowing
+        between stages through the chunk context."""
+        csr = self.A.csr
         target = self.chunk_edges
         for st in self.plan.stages:
             if st.prog is not None:
                 target = min(target,
                              effective_chunk_edges(self.chunk_edges,
                                                    st.prog))
-        compiled = all(st.prog is not None for st in self.plan.stages
-                       if st.mode == "program")
+        spmm_width = max((st.width for st in self.plan.stages
+                          if st.kind == "spmm"), default=1)
+        strategy = resolve_strategy(self.agg_strategy, np.diff(csr.indptr),
+                                    spmm_width, pool)
+        keep = set(keep)
 
-        for c0, c1 in row_aligned_chunks(csr.indptr, target):
-            B = c1 - c0
-            src = csr.indices[c0:c1]
-            dst = rows[c0:c1]
-            eid = csr.edge_ids[c0:c1]
-            local_eid = None
-            starts = np.concatenate(
-                ([0], np.flatnonzero(np.diff(dst)) + 1))
-            seg_rows = dst[starts]
-            edge_vals: dict[str, np.ndarray] = {}
-            eval_s = agg_s = 0.0
-            chunk_bytes = 0
-
-            for st in self.plan.stages:
-                t0 = time.perf_counter()
-                if st.mode == "alias":
-                    vals = edge_vals[st.alias_of]
-                elif st.mode == "binop":
+        stages = []
+        for st in self.plan.stages:
+            if st.mode == "alias":
+                def evaluate(bindings, ctx, source=st.alias_of):
+                    return ctx.values[source], 0
+            elif st.mode == "binop":
+                def evaluate(bindings, ctx, st=st):
                     tname, lead, src_is_rhs = st.binop_operand
                     arr = vbufs.get(tname)
                     if arr is None:
                         arr = bindings[tname]
-                    lead_idx = {"src": src, "dst": dst, "eid": eid}[lead]
-                    gathered = arr[lead_idx]
+                    gathered = arr[ctx.batch[lead]]
                     ufunc = _BINOP_UFUNC[st.binop_op]
-                    source_vals = edge_vals[st.alias_of]
+                    source_vals = ctx.values[st.alias_of]
                     vals = (ufunc(gathered, source_vals) if src_is_rhs
                             else ufunc(source_vals, gathered))
-                    chunk_bytes += gathered.nbytes
-                else:
+                    return vals, gathered.nbytes
+            else:
+                def evaluate(bindings, ctx, st=st):
                     sb = {}
                     for pname in st.reads:
                         if pname in st.chain_edge_reads:
-                            sb[pname] = edge_vals[pname]
+                            sb[pname] = ctx.values[pname]
                         elif pname in st.chain_vertex_reads:
                             sb[pname] = vbufs[pname]
                         else:
                             sb[pname] = bindings[pname]
                     if st.chain_edge_reads:
-                        if local_eid is None:
-                            local_eid = np.arange(B, dtype=np.int64)
-                        batch = {"src": src, "dst": dst, "eid": local_eid}
+                        # chain-edge values are chunk-local: evaluate in
+                        # position space, not global edge-id space
+                        batch = {"src": ctx.batch["src"],
+                                 "dst": ctx.batch["dst"],
+                                 "eid": ctx.local_eid}
                     else:
-                        batch = {"src": src, "dst": dst, "eid": eid}
+                        batch = ctx.batch
                     if st.prog is not None:
                         vals = st.prog.run(sb, batch)
                         b = st.prog.bytes_moved(
-                            B, exclude=set(st.chain_edge_reads))
+                            ctx.size, exclude=set(st.chain_edge_reads))
                         if st.elided and st.name not in keep:
                             b -= vals.nbytes  # output stays chunk-local
-                        chunk_bytes += max(int(b), 0)
-                    else:
-                        vals = evaluate_batched(st.out, sb, batch)
-                eval_s += time.perf_counter() - t0
+                        return vals, max(int(b), 0)
+                    return evaluate_batched(st.out, sb, batch), 0
 
-                t0 = time.perf_counter()
-                edge_vals[st.name] = vals
-                if st.kind == "sddmm":
-                    buf = ebufs.get(st.name)
-                    if buf is not None:
-                        buf[eid] = vals
-                        if st.mode != "program":
-                            chunk_bytes += vals.nbytes
-                else:
-                    ufunc = AGG_UFUNC[st.aggregation]
-                    vb = vbufs[st.name]
-                    seg = ufunc.reduceat(vals, starts, axis=0)
-                    combined = ufunc(vb[seg_rows], seg)
-                    if st.guard_zero:
-                        combined = np.where(combined == 0, 1.0, combined)
-                    vb[seg_rows] = combined
-                agg_s += time.perf_counter() - t0
-            self.exec_stats.add_chunk(eval_s, agg_s, int(chunk_bytes),
-                                      compiled=compiled)
+            if st.kind == "spmm":
+                sink = AggregateSink(vbufs[st.name],
+                                     get_reducer(st.aggregation), strategy,
+                                     guard_zero=st.guard_zero)
+            else:
+                buf = ebufs.get(st.name)
+                sink = None if buf is None else ScatterSink(
+                    buf, count_bytes=st.mode != "program")
+            stages.append(Stage(
+                st.name, evaluate, sink,
+                compiled=st.prog is not None or st.mode != "program"))
 
-        self._finalize(vbufs)
-        result = {}
-        for name in want:
-            result[name] = vbufs[name] if name in vbufs else ebufs[name]
-        return result
+        task = EdgeTask(
+            gather=GatherPlan(csr.indices, csr.row_of_edge(), csr.edge_ids),
+            bounds=ChunkPolicy(target).bounds(indptr=csr.indptr),
+            stages=stages)
+        chain = "->".join(st.name for st in self.plan.stages)
+        return ExecutionPlan([task], label=f"fused[{chain}]",
+                             strategy=strategy.name,
+                             finalize=lambda: self._finalize(vbufs))
 
     def _finalize(self, vbufs: dict) -> None:
         """Rows with no incoming edges, exactly as the staged pipeline

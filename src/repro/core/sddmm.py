@@ -17,7 +17,6 @@ Template-side optimizations:
 from __future__ import annotations
 
 import math
-import time
 from typing import Callable, Mapping
 
 import numpy as np
@@ -32,7 +31,9 @@ from repro.hwsim import cpu as cpu_model
 from repro.hwsim import gpu as gpu_model
 from repro.hwsim.report import CostReport
 from repro.hwsim.spec import CPUSpec, GPUSpec, TESLA_V100, XEON_8124M
-from repro.core.spmm import effective_chunk_edges
+from repro.runtime.engine import Executor, ScatterSink
+from repro.runtime.plan import (ChunkPolicy, EdgeTask, ExecutionPlan,
+                                GatherPlan, Stage)
 from repro.tensorir.evaluator import evaluate_batched
 from repro.tensorir.expr import ComputeOp, Tensor, Var
 from repro.tensorir.runtime import ExecStats, WorkPool
@@ -177,41 +178,45 @@ class GeneralizedSDDMM:
         )
         if result.shape != (m,) + self.out_shape:
             raise ValueError("out has wrong shape")
+        plan = self.execution_plan(result)
+        Executor(stats=self.exec_stats, pool=pool).run(plan, bindings)
+        return result
+
+    def execution_plan(self, result: np.ndarray) -> ExecutionPlan:
+        """Lower this bound kernel to an execution plan writing ``result``.
+
+        One :class:`~repro.runtime.plan.EdgeTask` per feature tile over
+        flat (non-row-aligned) chunks of the traversal-ordered edge list;
+        each stage scatters its values into the tile's column window of the
+        edge-id-indexed output.
+        """
         src, dst, eid = self._edge_arrays()
+        gather = GatherPlan(src, dst, eid)
         axis0 = self.edge_out.op.axis[0].name
         prog = self.vector_program() if compile_enabled() else None
-        chunk = effective_chunk_edges(self.chunk_edges, prog)
-        for lo, hi in feature_tiles(self.out_shape[0], self.num_feature_partitions):
+        bounds = ChunkPolicy(self.chunk_edges, row_aligned=False).bounds(
+            nnz=self.A.nnz, prog=prog)
+        tasks = []
+        for lo, hi in feature_tiles(self.out_shape[0],
+                                    self.num_feature_partitions):
             tile_sizes = (hi - lo,) + self.out_shape[1:]
 
-            def process(bounds, lo=lo, hi=hi, tile_sizes=tile_sizes):
-                c0, c1 = bounds
-                batch = {
-                    "src": src[c0:c1],
-                    "dst": dst[c0:c1],
-                    "eid": eid[c0:c1],
-                }
-                t0 = time.perf_counter()
+            def evaluate(bindings, ctx, tile=(lo, hi), sizes=tile_sizes):
                 if prog is not None:
-                    vals = prog.run(bindings, batch,
-                                    axis_ranges={axis0: (lo, hi)})
-                else:
-                    vals = evaluate_batched(self.edge_out, bindings, batch,
-                                            axis_ranges={axis0: (lo, hi)})
-                t1 = time.perf_counter()
-                result[eid[c0:c1], lo:hi] = vals
-                self.exec_stats.add_chunk(
-                    t1 - t0, time.perf_counter() - t1,
-                    prog.bytes_moved(c1 - c0, tile_sizes) if prog else 0,
-                    compiled=prog is not None)
+                    vals = prog.run(bindings, ctx.batch,
+                                    axis_ranges={axis0: tile})
+                    return vals, prog.bytes_moved(ctx.size, sizes)
+                vals = evaluate_batched(self.edge_out, bindings, ctx.batch,
+                                        axis_ranges={axis0: tile})
+                return vals, 0
 
-            bounds = [(c0, min(m, c0 + chunk)) for c0 in range(0, m, chunk)]
-            if pool is not None and len(bounds) > 1:
-                pool.map(process, bounds)
-            else:
-                for b in bounds:
-                    process(b)
-        return result
+            tasks.append(EdgeTask(
+                gather=gather, bounds=bounds,
+                stages=[Stage(self.edge_out.name, evaluate,
+                              ScatterSink(result, tile=(lo, hi)),
+                              compiled=prog is not None)],
+                needs_segments=False))
+        return ExecutionPlan(tasks, label=f"sddmm[{self.edge_out.name}]")
 
     def vector_program(self):
         """The compiled batched-UDF program this kernel executes per chunk

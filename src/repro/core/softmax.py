@@ -37,7 +37,8 @@ class EdgeSoftmax:
     """Fused edge softmax over incoming edges, with ``num_heads`` channels."""
 
     def __init__(self, A, num_heads: int = 1, target: str = "cpu",
-                 cache=None, fused: bool | None = None):
+                 cache=None, fused: bool | None = None,
+                 agg_strategy: str | None = None):
         if num_heads < 1:
             raise ValueError("num_heads must be >= 1")
         self.A = spmat(A)
@@ -79,6 +80,12 @@ class EdgeSoftmax:
                                 cache=cache)
         self._norm_kernel = sddmm(self.A, normalize_edge, target=target,
                                   hilbert=False, cache=cache)
+        # Pin (or clear) the runtime engine's segment-reduction strategy on
+        # the aggregating phases.  Assigned unconditionally: the shared
+        # kernel cache returns the same instances to every EdgeSoftmax over
+        # this graph, so a stale pin must not survive reconstruction.
+        self._max_kernel.agg_strategy = agg_strategy
+        self._sum_kernel.agg_strategy = agg_strategy
 
         # The single-sweep fused chain (opt-in): the staged kernels above
         # always exist as the differential oracle and the fallback.
@@ -90,6 +97,7 @@ class EdgeSoftmax:
             from repro.core.fusion import FusedEdgeSoftmax
             self._fused = FusedEdgeSoftmax(self.A, self.num_heads,
                                            target=target, cache=cache)
+            self._fused.kernel.agg_strategy = agg_strategy
 
     @property
     def fused(self):

@@ -23,7 +23,6 @@ the machine-model time for the paper-scale graph.
 from __future__ import annotations
 
 import math
-import time
 from typing import Callable, Mapping
 
 import numpy as np
@@ -31,6 +30,13 @@ import numpy as np
 from repro.core import cost as cost_analysis
 from repro.core.api import SparseMat
 from repro.core.bindings import validate_bindings
+from repro.runtime.engine import AggregateSink, Executor
+from repro.runtime.plan import (CHUNK_WORKSET_BYTES, MIN_CHUNK_EDGES,
+                                ChunkPolicy, EdgeTask, ExecutionPlan,
+                                GatherPlan, Stage, effective_chunk_edges,
+                                row_aligned_chunks)
+from repro.runtime.reducers import AGG_IDENTITY, AGG_UFUNC, resolve_reducer
+from repro.runtime.strategies import resolve_strategy
 from repro.tensorir.runtime import ExecStats, WorkPool
 from repro.core.fds import FDS, FDSInfo, default_fds
 from repro.graph.partition import Partition1D, feature_tiles, partition_1d
@@ -49,66 +55,14 @@ __all__ = ["GeneralizedSpMM", "PARTITION_TARGET_BYTES", "resolve_aggregation",
 #: Fig. 14 optimum (16 graph partitions on reddit at feature tile 32)
 PARTITION_TARGET_BYTES = 2 * 1024 * 1024
 
-#: per-chunk gathered-bytes target when a compiled program reports its
-#: workset; keeps the chunk's intermediates cache-resident (a UDF touching
-#: 4 KB per edge runs chunks of 2K edges, not 128K)
-CHUNK_WORKSET_BYTES = 8 * 1024 * 1024
-
-#: floor on workset-derived chunk sizes -- tinier chunks would re-expose
-#: the per-chunk dispatch overhead compilation exists to amortize
-MIN_CHUNK_EDGES = 1024
-
 #: "not compiled yet" marker for the lazily built vector program
 _UNCOMPILED = object()
 
-
-def effective_chunk_edges(chunk_edges: int, prog) -> int:
-    """Shrink ``chunk_edges`` so one chunk's gathered workset stays within
-    :data:`CHUNK_WORKSET_BYTES`, using the compiled program's per-item
-    accounting.  No-op for interpreted execution (``prog is None``)."""
-    ws = prog.stats.workset_bytes_per_item if prog is not None else 0
-    if ws <= 0:
-        return chunk_edges
-    return min(chunk_edges, max(MIN_CHUNK_EDGES, CHUNK_WORKSET_BYTES // ws))
-
-_AGG_UFUNC = {
-    "sum": np.add,
-    "max": np.maximum,
-    "min": np.minimum,
-    "prod": np.multiply,
-}
-_AGG_IDENTITY = {"sum": 0.0, "max": -np.inf, "min": np.inf, "prod": 1.0}
-
-#: public aliases -- the fused executor (repro.core.fusion) combines chunk
-#: segments with exactly the same ufunc/identity tables the staged template
-#: uses, so fused and staged reductions cannot drift apart
-AGG_UFUNC = _AGG_UFUNC
-AGG_IDENTITY = _AGG_IDENTITY
-
-
-def row_aligned_chunks(indptr: np.ndarray,
-                       target: int) -> list[tuple[int, int]]:
-    """Split ``[0, nnz)`` into chunks of ~``target`` edges whose boundaries
-    fall on CSR row boundaries, so every destination row's edges land in
-    exactly one chunk and segmented reduction never splits a row."""
-    nnz = int(indptr[-1])
-    if nnz == 0:
-        return []
-    bounds = [0]
-    while bounds[-1] < nnz:
-        want = bounds[-1] + target
-        if want >= nnz:
-            bounds.append(nnz)
-            break
-        # advance to the smallest row boundary covering `want`; if the
-        # row containing it is huge, take the next boundary past start.
-        j = int(np.searchsorted(indptr, want, side="left"))
-        end = int(indptr[j])
-        if end <= bounds[-1]:
-            j = int(np.searchsorted(indptr, bounds[-1], side="right"))
-            end = int(indptr[j])
-        bounds.append(end)
-    return list(zip(bounds[:-1], bounds[1:]))
+#: reducer ufunc/identity views from the runtime registry
+#: (:mod:`repro.runtime.reducers`) -- every segmented reduction in the
+#: repository, staged or fused, combines through the same tables
+_AGG_UFUNC = AGG_UFUNC
+_AGG_IDENTITY = AGG_IDENTITY
 
 
 def resolve_aggregation(aggregation) -> str:
@@ -228,6 +182,9 @@ class GeneralizedSpMM:
         if int(chunk_edges) < 1:
             raise ValueError("chunk_edges must be >= 1")
         self.chunk_edges = int(chunk_edges)
+        #: aggregation-strategy override for this kernel (None = auto/env);
+        #: not part of the cache identity -- a bound kernel can be retargeted
+        self.agg_strategy: str | None = None
         self._partitions: list[Partition1D] | None = None
 
     # ------------------------------------------------------------------
@@ -265,73 +222,72 @@ class GeneralizedSpMM:
             pool: "WorkPool | None" = None) -> np.ndarray:
         """Execute the kernel: returns ``(num_dst, *msg_shape)`` float32.
 
-        With ``pool``, partitions are processed cooperatively: all workers
-        share one partition's row range at a time (the LLC-contention-
-        avoiding schedule of Sec. IV-A).
+        The kernel lowers to an :class:`~repro.runtime.plan.ExecutionPlan`
+        (one task per feature tile x graph partition) and the shared
+        :class:`~repro.runtime.engine.Executor` runs it.  With ``pool``,
+        partitions are processed cooperatively: all workers share one
+        partition's chunks at a time (the LLC-contention-avoiding schedule
+        of Sec. IV-A).
         """
         validate_bindings(self.msg, bindings, f"spmm[{self.msg.name}]",
                           graph_dims=self._graph_dims(),
                           graph_roles=self.graph_roles)
-        n_dst = self.A.num_dst
-        out_shape = (n_dst,) + self.msg_shape
-        base = self.aggregation if self.aggregation != "mean" else "sum"
-        ufunc = _AGG_UFUNC[base]
-        acc = np.full(out_shape, _AGG_IDENTITY[base], dtype=np.float32)
-
-        axis0 = self.msg.op.axis[0].name
-        for lo, hi in self._tiles():
-            acc_tile = acc[:, lo:hi]
-            for part in self.partitions:
-                self._accumulate_partition(part, bindings, acc_tile, (lo, hi),
-                                           axis0, ufunc, pool)
-
-        self._finalize(acc, base)
+        reducer, _ = resolve_reducer(self.aggregation)
+        acc = np.full((self.A.num_dst,) + self.msg_shape, reducer.identity,
+                      dtype=np.float32)
+        plan = self.execution_plan(acc, pool=pool)
+        Executor(stats=self.exec_stats, pool=pool).run(plan, bindings)
         if out is not None:
             out[...] = acc
             return out
         return acc
 
-    def _accumulate_partition(self, part: Partition1D, bindings, acc_tile,
-                              tile: tuple[int, int], axis0: str, ufunc,
-                              pool: WorkPool | None = None) -> None:
-        csr = part.csr
-        nnz = csr.nnz
-        if nnz == 0:
-            return
-        rows = csr.row_of_edge()
+    def execution_plan(self, acc: np.ndarray,
+                       pool: WorkPool | None = None) -> ExecutionPlan:
+        """Lower this bound kernel to an execution plan over ``acc``.
+
+        One :class:`~repro.runtime.plan.EdgeTask` per (feature tile, graph
+        partition) pass, each row-aligned-chunked -- chunk rows are disjoint
+        and sorted, so segmented reduction is vectorized and chunks are
+        race-free under cooperative threading.  The aggregation strategy is
+        resolved from ``self.agg_strategy`` (explicit) >
+        ``FEATGRAPH_AGG_STRATEGY`` (env) > the degree-histogram heuristic.
+        """
+        reducer, _ = resolve_reducer(self.aggregation)
         prog = self.vector_program() if compile_enabled() else None
-        # Row-aligned chunking so each chunk's rows are disjoint from other
-        # chunks' rows and sorted -- enables vectorized segmented reduction,
-        # and makes chunks race-free under cooperative threading.
-        chunk_starts = self._row_aligned_chunks(
-            csr.indptr, effective_chunk_edges(self.chunk_edges, prog))
-        tile_sizes = (tile[1] - tile[0],) + self.msg_shape[1:]
+        strategy = resolve_strategy(self.agg_strategy,
+                                    np.diff(self.A.csr.indptr),
+                                    self.feature_len, pool)
+        axis0 = self.msg.op.axis[0].name
+        policy = ChunkPolicy(self.chunk_edges, row_aligned=True)
+        tasks = []
+        for lo, hi in self._tiles():
+            sink = AggregateSink(acc[:, lo:hi], reducer, strategy)
+            tile_sizes = (hi - lo,) + self.msg_shape[1:]
+            for part in self.partitions:
+                csr = part.csr
+                if csr.nnz == 0:
+                    continue
 
-        def process(bounds):
-            c0, c1 = bounds
-            batch = {
-                "src": csr.indices[c0:c1],
-                "dst": rows[c0:c1],
-                "eid": csr.edge_ids[c0:c1],
-            }
-            t0 = time.perf_counter()
-            if prog is not None:
-                msgs = prog.run(bindings, batch, axis_ranges={axis0: tile})
-            else:
-                msgs = evaluate_batched(self.msg, bindings, batch,
+                def evaluate(bindings, ctx, tile=(lo, hi), sizes=tile_sizes):
+                    if prog is not None:
+                        msgs = prog.run(bindings, ctx.batch,
                                         axis_ranges={axis0: tile})
-            t1 = time.perf_counter()
-            self._segmented_combine(acc_tile, rows[c0:c1], msgs, ufunc)
-            self.exec_stats.add_chunk(
-                t1 - t0, time.perf_counter() - t1,
-                prog.bytes_moved(c1 - c0, tile_sizes) if prog else 0,
-                compiled=prog is not None)
+                        return msgs, prog.bytes_moved(ctx.size, sizes)
+                    msgs = evaluate_batched(self.msg, bindings, ctx.batch,
+                                            axis_ranges={axis0: tile})
+                    return msgs, 0
 
-        if pool is not None and len(chunk_starts) > 1:
-            pool.map(process, chunk_starts)
-        else:
-            for bounds in chunk_starts:
-                process(bounds)
+                tasks.append(EdgeTask(
+                    gather=GatherPlan(csr.indices, csr.row_of_edge(),
+                                      csr.edge_ids),
+                    bounds=policy.bounds(indptr=csr.indptr, prog=prog),
+                    stages=[Stage(self.msg.name, evaluate, sink,
+                                  compiled=prog is not None)]))
+        base = "sum" if self.aggregation == "mean" else self.aggregation
+        return ExecutionPlan(tasks, label=f"spmm[{self.msg.name}]",
+                             strategy=strategy.name,
+                             finalize=lambda: self._finalize(acc, base))
 
     def vector_program(self):
         """The compiled batched-UDF program this kernel executes per chunk
@@ -345,23 +301,6 @@ class GeneralizedSpMM:
             except VectorizeError:
                 self._vector_program = None
         return self._vector_program
-
-    def _row_aligned_chunks(self, indptr: np.ndarray,
-                            target: int | None = None) -> list[tuple[int, int]]:
-        if target is None:
-            target = self.chunk_edges
-        return row_aligned_chunks(indptr, target)
-
-    @staticmethod
-    def _segmented_combine(acc_tile, dst_sorted, msgs, ufunc) -> None:
-        """Combine per-edge messages (rows sorted) into the accumulator."""
-        # boundaries of equal-dst runs
-        starts = np.flatnonzero(np.diff(dst_sorted)) + 1
-        starts = np.concatenate(([0], starts))
-        rows = dst_sorted[starts]
-        seg = ufunc.reduceat(msgs, starts, axis=0)
-        acc_rows = acc_tile[rows]
-        acc_tile[rows] = ufunc(acc_rows, seg)
 
     def _finalize(self, acc: np.ndarray, base: str) -> None:
         deg = np.diff(self.A.csr.indptr)

@@ -11,21 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.reducers import resolve_reducer
+
 __all__ = ["segment_reduce", "segment_reduce_unsorted", "segment_softmax"]
-
-_UFUNC = {
-    "sum": np.add,
-    "max": np.maximum,
-    "min": np.minimum,
-    "prod": np.multiply,
-}
-
-_IDENTITY = {
-    "sum": 0.0,
-    "max": -np.inf,
-    "min": np.inf,
-    "prod": 1.0,
-}
 
 
 def segment_reduce(values: np.ndarray, indptr: np.ndarray, op: str = "sum",
@@ -37,10 +25,7 @@ def segment_reduce(values: np.ndarray, indptr: np.ndarray, op: str = "sum",
     that isolated vertices aggregate to zero).  ``mean`` divides sums by the
     segment size.
     """
-    mean = op == "mean"
-    base_op = "sum" if mean else op
-    if base_op not in _UFUNC:
-        raise ValueError(f"unknown reduction {op!r}")
+    reducer, mean = resolve_reducer(op)
     indptr = np.asarray(indptr, dtype=np.int64)
     n_seg = len(indptr) - 1
     nnz = int(indptr[-1])
@@ -61,7 +46,7 @@ def segment_reduce(values: np.ndarray, indptr: np.ndarray, op: str = "sum",
     # empty), so the boundaries are correct and in range.  Clamping empty
     # starts instead would corrupt the preceding segment's range.
     nonempty = indptr[:-1] < indptr[1:]
-    ufunc = _UFUNC[base_op]
+    ufunc = reducer.ufunc
     out[~nonempty] = 0.0
     if nonempty.any():
         starts = indptr[:-1][nonempty]
@@ -81,20 +66,17 @@ def segment_reduce_unsorted(values: np.ndarray, segment_ids: np.ndarray, n_segme
     With ``accumulate=True``, combines into an existing ``out`` instead of
     reinitializing -- the merge step of partitioned SpMM execution.
     """
-    mean = op == "mean"
-    base_op = "sum" if mean else op
-    if base_op not in _UFUNC:
-        raise ValueError(f"unknown reduction {op!r}")
+    reducer, mean = resolve_reducer(op)
     values = np.asarray(values)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     out_shape = (n_segments,) + values.shape[1:]
     if out is None:
         if accumulate:
             raise ValueError("accumulate=True requires an existing out buffer")
-        out = np.full(out_shape, _IDENTITY[base_op], dtype=values.dtype)
+        out = np.full(out_shape, reducer.identity, dtype=values.dtype)
     elif out.shape != out_shape:
         raise ValueError("out has wrong shape")
-    _UFUNC[base_op].at(out, segment_ids, values)
+    reducer.ufunc.at(out, segment_ids, values)
     if not accumulate:
         # Untouched segments hold the identity; normalize to the 0 convention.
         touched = np.zeros(n_segments, dtype=bool)

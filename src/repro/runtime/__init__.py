@@ -1,0 +1,39 @@
+"""The shared execution engine (PR 7).
+
+Kernel templates lower to :class:`~repro.runtime.plan.ExecutionPlan`
+objects and the :class:`~repro.runtime.engine.Executor` runs them: one
+chunk loop, one stats ledger, and pluggable segment-reduction strategies
+(:mod:`repro.runtime.strategies`) selected from the degree histogram or
+forced via ``FEATGRAPH_AGG_STRATEGY``.  The reducer registry
+(:mod:`repro.runtime.reducers`) is the single source of ufunc/identity
+truth for every segmented reduction in the repository.
+"""
+
+from repro.runtime.engine import (AggregateSink, ChunkCtx, Executor,
+                                  ScatterSink)
+from repro.runtime.plan import (CHUNK_WORKSET_BYTES, MIN_CHUNK_EDGES,
+                                ChunkPolicy, EdgeTask, ExecutionPlan,
+                                GatherPlan, SegmentInfo, Stage,
+                                effective_chunk_edges, row_aligned_chunks,
+                                segment_info)
+from repro.runtime.reducers import (AGG_IDENTITY, AGG_UFUNC, REDUCERS,
+                                    Reducer, get_reducer, resolve_reducer)
+from repro.runtime.strategies import (AGG_STRATEGY_ENV, AggregationStrategy,
+                                      DegreeBucketedStrategy,
+                                      ParallelStrategy, ReduceatStrategy,
+                                      STRATEGY_NAMES, make_strategy,
+                                      resolve_strategy, select_strategy,
+                                      strategy_from_env)
+
+__all__ = [
+    "AggregateSink", "ChunkCtx", "Executor", "ScatterSink",
+    "CHUNK_WORKSET_BYTES", "MIN_CHUNK_EDGES", "ChunkPolicy", "EdgeTask",
+    "ExecutionPlan", "GatherPlan", "SegmentInfo", "Stage",
+    "effective_chunk_edges", "row_aligned_chunks", "segment_info",
+    "AGG_IDENTITY", "AGG_UFUNC", "REDUCERS", "Reducer", "get_reducer",
+    "resolve_reducer",
+    "AGG_STRATEGY_ENV", "AggregationStrategy", "DegreeBucketedStrategy",
+    "ParallelStrategy", "ReduceatStrategy", "STRATEGY_NAMES",
+    "make_strategy", "resolve_strategy", "select_strategy",
+    "strategy_from_env",
+]

@@ -1,0 +1,205 @@
+"""The executor: one interpreter for every kernel family's chunk loop.
+
+``spmm.py``, ``sddmm.py`` and ``fusion.py`` each used to carry a private
+copy of the same runtime loop (slice edges into chunks, gather the batch,
+evaluate, push into an accumulator or output buffer, book the stats).
+They now *lower* to an :class:`~repro.runtime.plan.ExecutionPlan` and hand
+it to the :class:`Executor` here, which owns the loop once:
+
+- per chunk, a :class:`ChunkCtx` lazily materializes the gathered batch,
+  the destination-segment boundaries, and the chunk-local edge ids, and
+  carries the per-stage values dict fused chains read through;
+- stage **evaluates** produce ``(values, bytes_moved)``; stage **sinks**
+  push values out -- :class:`AggregateSink` combines per-destination
+  segments into a vertex accumulator through a pluggable
+  :class:`~repro.runtime.strategies.AggregationStrategy`,
+  :class:`ScatterSink` writes edge-indexed output rows;
+- one :class:`~repro.tensorir.runtime.ExecStats` books every chunk
+  identically across kernel families: evaluate wall-clock vs. sink
+  wall-clock, bytes, and the compiled/interpreted split.
+
+Chunks of a task are row-aligned (disjoint destination rows), so running
+them on a :class:`~repro.tensorir.runtime.WorkPool` is race-free; the
+executor skips chunk-level pooling when the plan's aggregation strategy is
+``parallel`` -- the parallelism then lives *inside* the combine, and
+nesting both on one pool could starve it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.runtime.plan import EdgeTask, ExecutionPlan, SegmentInfo, \
+    segment_info
+from repro.runtime.reducers import Reducer
+from repro.runtime.strategies import AggregationStrategy
+from repro.tensorir.runtime import ExecStats, WorkPool
+
+__all__ = ["ChunkCtx", "AggregateSink", "ScatterSink", "Executor"]
+
+
+class ChunkCtx:
+    """Per-chunk context handed to stage evaluates and sinks.
+
+    Everything derived from the chunk bounds is computed on first access
+    and cached: ``batch`` (the gathered ``src``/``dst``/``eid`` slices),
+    ``segments`` (equal-destination runs, shared by every aggregate sink of
+    a fused chain), and ``local_eid`` (chunk-local positions, the index
+    space chain-edge consumers evaluate in).  ``values`` holds each stage's
+    per-edge output for later stages of the same chunk.
+    """
+
+    __slots__ = ("c0", "c1", "_gather", "_batch", "_segments", "_local_eid",
+                 "values")
+
+    def __init__(self, c0: int, c1: int, gather):
+        self.c0 = int(c0)
+        self.c1 = int(c1)
+        self._gather = gather
+        self._batch: dict | None = None
+        self._segments: SegmentInfo | None = None
+        self._local_eid: np.ndarray | None = None
+        self.values: dict[str, np.ndarray] = {}
+
+    @property
+    def size(self) -> int:
+        return self.c1 - self.c0
+
+    @property
+    def batch(self) -> dict:
+        if self._batch is None:
+            self._batch = self._gather.batch(self.c0, self.c1)
+        return self._batch
+
+    @property
+    def segments(self) -> SegmentInfo:
+        if self._segments is None:
+            self._segments = segment_info(self.batch["dst"])
+        return self._segments
+
+    @property
+    def local_eid(self) -> np.ndarray:
+        if self._local_eid is None:
+            self._local_eid = np.arange(self.size, dtype=np.int64)
+        return self._local_eid
+
+
+class AggregateSink:
+    """Combine a chunk's per-edge values into a vertex accumulator.
+
+    The actual segment reduction is delegated to ``strategy``; this sink
+    owns only the post-combine ``guard_zero`` substitution (isolated-sum
+    guards of the softmax denominator).  Returns the extra bytes the sink
+    moved (none -- accumulator traffic is not booked, matching the
+    pre-engine templates).
+    """
+
+    __slots__ = ("acc", "reducer", "strategy", "guard_zero")
+
+    def __init__(self, acc: np.ndarray, reducer: Reducer,
+                 strategy: AggregationStrategy, guard_zero: bool = False):
+        self.acc = acc
+        self.reducer = reducer
+        self.strategy = strategy
+        self.guard_zero = guard_zero
+
+    def apply(self, vals: np.ndarray, ctx: ChunkCtx) -> int:
+        seg = ctx.segments
+        self.strategy.combine(self.acc, seg, vals, self.reducer)
+        if self.guard_zero:
+            # row-aligned chunks touch each row exactly once per sweep, so
+            # guarding the combined rows here matches a per-row guard
+            rows = seg.seg_rows
+            block = self.acc[rows]
+            self.acc[rows] = np.where(block == 0, 1.0, block)
+        return 0
+
+    def __repr__(self):
+        return (f"AggregateSink({self.reducer.name} via "
+                f"{self.strategy.name})")
+
+
+class ScatterSink:
+    """Write a chunk's per-edge values to edge-id-indexed output rows.
+
+    ``tile`` scatters into a feature-column window (the SDDMM template's
+    feature tiling); ``count_bytes`` books the written bytes for stages
+    whose evaluate has no program-side accounting (fused alias/binop CSE
+    values landing in a surviving edge buffer).
+    """
+
+    __slots__ = ("out", "tile", "count_bytes")
+
+    def __init__(self, out: np.ndarray, tile: tuple[int, int] | None = None,
+                 count_bytes: bool = False):
+        self.out = out
+        self.tile = tile
+        self.count_bytes = count_bytes
+
+    def apply(self, vals: np.ndarray, ctx: ChunkCtx) -> int:
+        eid = ctx.batch["eid"]
+        if self.tile is not None:
+            self.out[eid, self.tile[0]:self.tile[1]] = vals
+        else:
+            self.out[eid] = vals
+        return vals.nbytes if self.count_bytes else 0
+
+
+class Executor:
+    """Runs an :class:`~repro.runtime.plan.ExecutionPlan`.
+
+    Tasks run in order (the cooperative one-partition-at-a-time schedule);
+    a task's chunks are dispatched to ``pool`` when one is given and the
+    plan's combine is not itself pool-parallel.  All stats land in one
+    :class:`~repro.tensorir.runtime.ExecStats` -- the same object the
+    owning kernel and its compile record share.
+    """
+
+    def __init__(self, stats: ExecStats | None = None,
+                 pool: WorkPool | None = None):
+        self.stats = stats if stats is not None else ExecStats()
+        self.pool = pool
+
+    def run(self, plan: ExecutionPlan, bindings=None) -> None:
+        if plan.strategy is not None:
+            self.stats.note_strategy(plan.strategy)
+        for task in plan.tasks:
+            self._run_task(task, bindings)
+        if plan.finalize is not None:
+            plan.finalize()
+
+    def _run_task(self, task: EdgeTask, bindings) -> None:
+        bounds = list(task.bounds)
+        if not bounds:
+            return
+        use_pool = (self.pool is not None and len(bounds) > 1
+                    and not any(isinstance(st.sink, AggregateSink)
+                                and st.sink.strategy.name == "parallel"
+                                for st in task.stages))
+        if use_pool:
+            self.pool.map(lambda b: self._run_chunk(task, bindings, b),
+                          bounds)
+        else:
+            for b in bounds:
+                self._run_chunk(task, bindings, b)
+
+    def _run_chunk(self, task: EdgeTask, bindings,
+                   bounds: tuple[int, int]) -> None:
+        ctx = ChunkCtx(bounds[0], bounds[1], task.gather)
+        eval_s = agg_s = 0.0
+        chunk_bytes = 0
+        compiled = True
+        for st in task.stages:
+            t0 = time.perf_counter()
+            vals, nbytes = st.evaluate(bindings, ctx)
+            eval_s += time.perf_counter() - t0
+            chunk_bytes += int(nbytes)
+            compiled = compiled and st.compiled
+            t0 = time.perf_counter()
+            ctx.values[st.name] = vals
+            if st.sink is not None:
+                chunk_bytes += int(st.sink.apply(vals, ctx))
+            agg_s += time.perf_counter() - t0
+        self.stats.add_chunk(eval_s, agg_s, chunk_bytes, compiled=compiled)

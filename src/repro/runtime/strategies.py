@@ -1,0 +1,302 @@
+"""Pluggable segment-reduction strategies.
+
+Aggregating a chunk's per-edge messages into destination rows is a
+segmented reduction, and *how* the segments are reduced dominates GNN
+aggregation cost -- the chunk's degree histogram decides which shape of
+vectorization wins.  Three strategies implement one interface:
+
+``reduceat``
+    The sorted-CSR baseline: one ``ufunc.reduceat`` over the chunk's
+    segment starts.  One C call, no index construction; the generic inner
+    loop pays per segment, which hurts when rows are long and the feature
+    width is large.
+
+``bucketed``
+    Degree-bucketed vectorization (the paper's hybrid-partitioning idea
+    applied to numpy): rows of equal degree ``d`` are gathered into one
+    dense ``(rows, d, F)`` batch and reduced with a single
+    ``ufunc.reduce`` along the degree axis -- numpy's tight SIMD reduction
+    instead of reduceat's per-segment dispatch.  Pays a fancy-index gather
+    and one Python-level iteration per *distinct* degree, so it wins
+    exactly when segments are plentiful relative to distinct degrees.
+
+``parallel``
+    Rows sharded across :class:`~repro.tensorir.runtime.WorkPool` workers,
+    segment-aligned, each worker reducing its shard with ``reduceat`` into
+    a per-worker slice of a partial buffer; the combine into the
+    accumulator is one vectorized step after all shards land.  Because
+    shard boundaries never split a segment and each segment is reduced by
+    the same ``reduceat`` primitive, results are **bit-identical across
+    worker counts** (and to the ``reduceat`` strategy).  With a
+    process-backed pool the partials land in shared memory, sidestepping
+    the GIL for the Python-level combine work.
+
+Parity contract (pinned by ``tests/runtime/test_strategies.py`` and the
+fuzzer's ``--exec-strategy`` stage): for order-insensitive reducers
+(max/min) every strategy is bit-identical to the ``reduceat`` oracle; for
+sum/prod/mean the bucketed strategy reassociates (numpy's pairwise SIMD
+reduce vs reduceat's internal order), so agreement is bounded at 1e-6
+relative -- ``reduceat`` itself matches neither a sequential nor a
+pairwise Python recomputation bit-for-bit, so exact equality across
+differently-vectorized sums is not a meaningful target.
+
+:func:`select_strategy` picks a strategy from the degree histogram and
+feature width; ``FEATGRAPH_AGG_STRATEGY`` overrides it globally.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.runtime.plan import SegmentInfo
+from repro.runtime.reducers import Reducer
+from repro.tensorir.runtime import WorkPool, default_pool
+
+__all__ = [
+    "AGG_STRATEGY_ENV",
+    "AggregationStrategy",
+    "ReduceatStrategy",
+    "DegreeBucketedStrategy",
+    "ParallelStrategy",
+    "STRATEGY_NAMES",
+    "make_strategy",
+    "strategy_from_env",
+    "select_strategy",
+    "resolve_strategy",
+]
+
+#: environment override: "reduceat" | "bucketed" | "parallel" | "auto"
+AGG_STRATEGY_ENV = "FEATGRAPH_AGG_STRATEGY"
+
+STRATEGY_NAMES = ("reduceat", "bucketed", "parallel")
+
+#: estimated ufunc work (edge-values) that must back each distinct degree
+#: for bucketing's per-bucket Python dispatch to pay for itself
+_BUCKET_WORK_PER_DEGREE = 512
+
+#: minimum edge-values in a chunk before sharding it across workers beats
+#: the dispatch cost of waking the pool
+_PARALLEL_MIN_WORK = 1 << 18
+
+#: below this many edges a parallel combine runs inline (serial reduceat)
+_PARALLEL_MIN_EDGES = 4096
+
+
+class AggregationStrategy:
+    """Interface: combine one chunk's per-edge values into the accumulator.
+
+    ``acc`` is the (rows, \\*feat) accumulator (identity-initialized);
+    ``seg`` the chunk's :class:`~repro.runtime.plan.SegmentInfo`; ``msgs``
+    the (edges, \\*feat) values, CSR-sorted so each segment is contiguous.
+    Implementations must write ``acc[seg.seg_rows] =
+    reducer.ufunc(acc[seg.seg_rows], <per-segment reduction>)`` semantics
+    and nothing else -- rows absent from the chunk stay untouched.
+    """
+
+    name = "?"
+
+    def combine(self, acc: np.ndarray, seg: SegmentInfo, msgs: np.ndarray,
+                reducer: Reducer) -> None:
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class ReduceatStrategy(AggregationStrategy):
+    """Sorted-CSR ``ufunc.reduceat`` -- the baseline and the oracle."""
+
+    name = "reduceat"
+
+    def combine(self, acc, seg, msgs, reducer):
+        vals = reducer.ufunc.reduceat(msgs, seg.starts, axis=0)
+        rows = seg.seg_rows
+        acc[rows] = reducer.ufunc(acc[rows], vals)
+
+
+class DegreeBucketedStrategy(AggregationStrategy):
+    """Equal-degree rows batched into dense ``(rows, d, F)`` reductions."""
+
+    name = "bucketed"
+
+    def combine(self, acc, seg, msgs, reducer):
+        lengths = seg.lengths
+        order = np.argsort(lengths, kind="stable")
+        sorted_len = lengths[order]
+        # bucket boundaries: equal-degree runs of the sorted histogram
+        bnd = np.concatenate(
+            ([0], np.flatnonzero(np.diff(sorted_len)) + 1, [len(order)]))
+        ufunc = reducer.ufunc
+        for b0, b1 in zip(bnd[:-1], bnd[1:]):
+            d = int(sorted_len[b0])
+            segs = order[b0:b1]
+            starts = seg.starts[segs]
+            if d == 1:
+                vals = msgs[starts]
+            else:
+                pos = starts[:, None] + np.arange(d)
+                batch = msgs[pos]
+                if batch.dtype == np.float32 and not reducer.order_insensitive:
+                    # The dense reduction visits elements in CSR order, which
+                    # differs from whatever order produced a caller's oracle;
+                    # for long float32 segments the sequential rounding drift
+                    # between two orders is the dominant error.  Accumulating
+                    # in float64 lands near the true value regardless of
+                    # order, keeping every comparison inside the contract.
+                    vals = ufunc.reduce(
+                        batch, axis=1, dtype=np.float64).astype(np.float32)
+                else:
+                    vals = ufunc.reduce(batch, axis=1)
+            rows = seg.seg_rows[segs]
+            acc[rows] = ufunc(acc[rows], vals)
+
+
+class ParallelStrategy(AggregationStrategy):
+    """Segment-aligned row shards reduced concurrently on a WorkPool.
+
+    Every worker fills its own slice of one per-chunk partial buffer
+    (per-worker partial accumulators), then the main thread folds the
+    whole buffer into ``acc`` in a single deterministic step.  A
+    process-backed pool (``FEATGRAPH_WORKERS_BACKEND=process``) stages the
+    messages and partials in shared memory and ships only shard bounds to
+    the workers.
+    """
+
+    name = "parallel"
+
+    def __init__(self, pool: WorkPool | None = None,
+                 min_edges: int = _PARALLEL_MIN_EDGES):
+        self._pool = pool
+        self.min_edges = min_edges
+
+    @property
+    def pool(self) -> WorkPool:
+        return self._pool if self._pool is not None else default_pool()
+
+    def combine(self, acc, seg, msgs, reducer):
+        pool = self.pool
+        n_seg = len(seg.starts)
+        n_edges = len(seg.rows)
+        workers = pool.num_workers
+        if workers <= 1 or n_edges < self.min_edges or n_seg < 2:
+            ReduceatStrategy().combine(acc, seg, msgs, reducer)
+            return
+        cuts = self._shard_cuts(seg, min(workers, n_seg), n_edges)
+        partial = np.empty((n_seg,) + msgs.shape[1:], dtype=msgs.dtype)
+        if getattr(pool, "backend", "thread") == "process":
+            self._combine_process(pool, cuts, seg, msgs, reducer, partial)
+        else:
+            def shard(bounds):
+                s0, s1 = bounds
+                end = seg.starts[s1] if s1 < n_seg else n_edges
+                partial[s0:s1] = reducer.ufunc.reduceat(
+                    msgs[:end], seg.starts[s0:s1], axis=0)
+            pool.map(shard, list(zip(cuts[:-1], cuts[1:])))
+        rows = seg.seg_rows
+        acc[rows] = reducer.ufunc(acc[rows], partial)
+
+    @staticmethod
+    def _shard_cuts(seg: SegmentInfo, shards: int,
+                    n_edges: int) -> np.ndarray:
+        """Edge-balanced segment-index cuts (never split a segment)."""
+        targets = (np.arange(1, shards) * n_edges) // shards
+        cuts = np.searchsorted(seg.starts, targets, side="left")
+        cuts = np.unique(np.concatenate(([0], cuts, [len(seg.starts)])))
+        return cuts
+
+    @staticmethod
+    def _combine_process(pool, cuts, seg, msgs, reducer, partial):
+        """Shard combine through a process pool via shared memory."""
+        from repro.tensorir.runtime import SharedArray
+
+        msgs = np.ascontiguousarray(msgs)
+        with SharedArray.copy_of(msgs) as shm_msgs, \
+                SharedArray.empty(partial.shape, partial.dtype) as shm_part:
+            n_seg, n_edges = len(seg.starts), len(seg.rows)
+            payloads = []
+            for s0, s1 in zip(cuts[:-1], cuts[1:]):
+                end = int(seg.starts[s1]) if s1 < n_seg else n_edges
+                payloads.append((shm_msgs.spec, shm_part.spec, reducer.name,
+                                 seg.starts[s0:s1].tolist(), int(s0),
+                                 int(end)))
+            pool.map(_process_shard_reduce, payloads)
+            partial[...] = shm_part.array
+
+
+def _process_shard_reduce(payload):
+    """Worker-side shard reduction (module-level: must pickle)."""
+    from repro.runtime.reducers import get_reducer
+    from repro.tensorir.runtime import SharedArray
+
+    msgs_spec, part_spec, reducer_name, starts, s0, end = payload
+    with SharedArray.attach(msgs_spec) as shm_msgs, \
+            SharedArray.attach(part_spec) as shm_part:
+        starts = np.asarray(starts, dtype=np.int64)
+        ufunc = get_reducer(reducer_name).ufunc
+        shm_part.array[s0:s0 + len(starts)] = ufunc.reduceat(
+            shm_msgs.array[:end], starts, axis=0)
+
+
+def make_strategy(name: str, pool: WorkPool | None = None
+                  ) -> AggregationStrategy:
+    """Instantiate a strategy by name."""
+    if name == "reduceat":
+        return ReduceatStrategy()
+    if name == "bucketed":
+        return DegreeBucketedStrategy()
+    if name == "parallel":
+        return ParallelStrategy(pool=pool)
+    raise ValueError(
+        f"unknown aggregation strategy {name!r} "
+        f"(known: {'/'.join(STRATEGY_NAMES)})")
+
+
+def strategy_from_env() -> str | None:
+    """The ``FEATGRAPH_AGG_STRATEGY`` override, validated; None if unset
+    or ``auto``."""
+    value = os.environ.get(AGG_STRATEGY_ENV, "").strip().lower()
+    if value in ("", "auto"):
+        return None
+    if value not in STRATEGY_NAMES:
+        raise ValueError(
+            f"{AGG_STRATEGY_ENV}={value!r}: expected one of "
+            f"{'/'.join(STRATEGY_NAMES)} or 'auto'")
+    return value
+
+
+def select_strategy(degrees: Sequence[int], width: int,
+                    pool: WorkPool | None = None) -> str:
+    """Pick a strategy name from the degree histogram and feature width.
+
+    ``degrees`` is the per-destination in-degree of the topology (or the
+    portion of it one pass covers).  The heuristic estimates whether
+    degree-bucketing's per-distinct-degree Python dispatch is amortized by
+    the vectorized work it unlocks (``nnz * width`` edge-values across
+    ``distinct`` buckets); failing that, large chunks shard across an
+    available multi-worker pool; everything else stays on ``reduceat``.
+    """
+    degrees = np.asarray(degrees)
+    nonzero = degrees[degrees > 0]
+    nnz = int(nonzero.sum())
+    if nnz == 0:
+        return "reduceat"
+    width = max(1, int(width))
+    distinct = len(np.unique(nonzero))
+    if nnz * width >= _BUCKET_WORK_PER_DEGREE * distinct:
+        return "bucketed"
+    workers = (pool.num_workers if pool is not None
+               else min(16, os.cpu_count() or 1))
+    if workers > 1 and nnz * width >= _PARALLEL_MIN_WORK:
+        return "parallel"
+    return "reduceat"
+
+
+def resolve_strategy(requested: str | None, degrees, width: int,
+                     pool: WorkPool | None = None) -> AggregationStrategy:
+    """Resolution order: explicit request > env override > auto-select."""
+    name = requested or strategy_from_env() or \
+        select_strategy(degrees, width, pool)
+    return make_strategy(name, pool=pool)

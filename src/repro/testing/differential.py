@@ -38,6 +38,7 @@ __all__ = [
     "run_trial",
     "fusable_chain",
     "run_fused_trial",
+    "run_strategy_trial",
     "run_trials",
     "shrink",
     "replay_command",
@@ -208,6 +209,28 @@ def _materialize(cfg: TrialConfig, registry=None):
     return csr, instance
 
 
+def _build_kernel(cfg: TrialConfig, csr, instance):
+    """Compile a config's kernel through the public builders.
+
+    ``options["agg_strategy"]`` is not a builder kwarg: it is popped and
+    pinned on the built kernel (the runtime engine's per-kernel strategy
+    override).  Always assigned -- the shared kernel cache returns the same
+    instance for identical specs, so a leftover pin from an earlier trial
+    must be cleared.
+    """
+    adj = spmat(csr)
+    fds = G.make_fds(cfg.fds)
+    opts = dict(cfg.options)
+    strategy = opts.pop("agg_strategy", None)
+    if cfg.kind == "spmm":
+        kernel = spmm(adj, instance.udf, aggregation=cfg.aggregation,
+                      target=cfg.target, fds=fds, **opts)
+        kernel.agg_strategy = strategy
+    else:
+        kernel = sddmm(adj, instance.udf, target=cfg.target, fds=fds, **opts)
+    return kernel
+
+
 def _analysis_errors(kernel) -> tuple:
     """Error-severity diagnostics of a compiled kernel's ``analyze`` pass.
 
@@ -233,14 +256,7 @@ def run_trial(cfg: TrialConfig, atol: float = DEFAULT_ATOL,
     """
     try:
         csr, instance = _materialize(cfg, registry)
-        adj = spmat(csr)
-        fds = G.make_fds(cfg.fds)
-        if cfg.kind == "spmm":
-            kernel = spmm(adj, instance.udf, aggregation=cfg.aggregation,
-                          target=cfg.target, fds=fds, **cfg.options)
-        else:
-            kernel = sddmm(adj, instance.udf, target=cfg.target, fds=fds,
-                           **cfg.options)
+        kernel = _build_kernel(cfg, csr, instance)
     except Exception as exc:  # noqa: BLE001 - report, don't crash the fuzzer
         return TrialResult(False, stage="build",
                            message=f"{type(exc).__name__}: {exc}")
@@ -405,21 +421,114 @@ def run_fused_trial(cfg: TrialConfig, atol: float = DEFAULT_ATOL,
     return TrialResult(True, stage="fused")
 
 
+# ----------------------------------------------------------------------
+# execution-strategy oracle (every segment-reduction strategy, same config)
+# ----------------------------------------------------------------------
+
+def run_strategy_trial(cfg: TrialConfig, atol: float = DEFAULT_ATOL,
+                       registry=None) -> TrialResult:
+    """Differential oracle for the runtime's segment-reduction strategies.
+
+    Runs the config's SpMM kernel once per strategy (``reduceat`` /
+    ``bucketed`` / ``parallel``, pinned via the kernel's ``agg_strategy``
+    override) and checks each output against the plain Python edge-loop
+    oracle (:func:`aggregate_edges`).  The parallel run gets a 4-worker
+    pool so the sharded path is exercised whenever chunks are big enough.
+
+    On top of per-strategy correctness, the cross-strategy parity contract
+    is enforced: ``parallel`` must be bit-identical to ``reduceat`` (same
+    ``reduceat`` primitive per shard, deterministic combine), and for
+    order-insensitive reducers (max/min) ``bucketed`` must be too.
+
+    Failure stages are ``strategy:<name>`` (or ``strategy:parity``) so the
+    shrinker can pin the offending strategy while minimizing.
+    """
+    from repro.runtime.strategies import STRATEGY_NAMES
+    from repro.tensorir.runtime import WorkPool
+
+    if cfg.kind != "spmm":
+        return TrialResult(True, stage="strategy-skipped")
+    try:
+        csr, instance = _materialize(cfg, registry)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the fuzzer
+        return TrialResult(False, stage="strategy:build",
+                           message=f"{type(exc).__name__}: {exc}")
+    bindings = build_bindings(instance, cfg.aggregation, cfg.data_seed)
+    rows = csr.row_of_edge()
+    msgs = instance.reference(bindings, csr.indices, rows, csr.edge_ids)
+    msgs = np.asarray(msgs, dtype=np.float32).reshape(
+        (csr.nnz,) + instance.out_shape)
+    ref = aggregate_edges(msgs, rows, csr.shape[0], cfg.aggregation)
+
+    outputs = {}
+    pool = WorkPool(4)
+    try:
+        for name in STRATEGY_NAMES:
+            scfg = replace(cfg, options={**cfg.options, "agg_strategy": name})
+            try:
+                kernel = _build_kernel(scfg, csr, instance)
+                got = kernel.run(
+                    bindings, pool=pool if name == "parallel" else None)
+            except Exception as exc:  # noqa: BLE001
+                return TrialResult(False, stage=f"strategy:{name}",
+                                   message=f"{type(exc).__name__}: {exc}")
+            if not np.allclose(got, ref, atol=atol, rtol=atol,
+                               equal_nan=True):
+                worst = (float(np.nanmax(np.abs(got - ref)))
+                         if got.size else 0.0)
+                return TrialResult(
+                    False, stage=f"strategy:{name}", max_abs_diff=worst,
+                    message=f"strategy {name} vs edge-loop oracle: max abs "
+                            f"diff {worst:.3g} > atol {atol:g}")
+            outputs[name] = got
+    finally:
+        pool.shutdown()
+
+    if not np.array_equal(outputs["parallel"], outputs["reduceat"]):
+        worst = float(np.max(np.abs(outputs["parallel"]
+                                    - outputs["reduceat"])))
+        return TrialResult(
+            False, stage="strategy:parity", max_abs_diff=worst,
+            message=f"parallel not bit-identical to reduceat "
+                    f"(max abs diff {worst:.3g})")
+    if cfg.aggregation in ("max", "min") and \
+            not np.array_equal(outputs["bucketed"], outputs["reduceat"]):
+        worst = float(np.max(np.abs(outputs["bucketed"]
+                                    - outputs["reduceat"])))
+        return TrialResult(
+            False, stage="strategy:parity", max_abs_diff=worst,
+            message=f"bucketed {cfg.aggregation} not bit-identical to "
+                    f"reduceat (max abs diff {worst:.3g})")
+    return TrialResult(True, stage="strategy")
+
+
 def run_trials(trials: int, seed: int, atol: float = DEFAULT_ATOL,
                registry=None, on_failure=None, *,
                analyzer_cross_check: bool = False,
-               fused_oracle: bool = False) -> FuzzReport:
+               fused_oracle: bool = False,
+               strategy_oracle: bool = False) -> FuzzReport:
     """Run ``trials`` sampled configs; collect failures and coverage.
 
     With ``fused_oracle=True``, every config whose family can head a fused
     chain (see :func:`fusable_chain`) additionally runs the fused-vs-staged
-    differential; coverage gains a ``"fused"`` axis.
+    differential; coverage gains a ``"fused"`` axis.  With
+    ``strategy_oracle=True``, every SpMM config additionally runs once per
+    segment-reduction strategy against the edge-loop oracle
+    (:func:`run_strategy_trial`); coverage gains a ``"strategy"`` axis.
     """
     rnd = random.Random(seed)
     failures = []
     coverage = {"udf": {}, "target": {}, "kind": {}, "agg": {}}
     if fused_oracle:
         coverage["fused"] = {"checked": 0, "skipped": 0}
+    if strategy_oracle:
+        coverage["strategy"] = {"checked": 0, "skipped": 0}
+
+    def record(cfg, res):
+        failures.append((cfg, res))
+        if on_failure is not None:
+            on_failure(cfg, res)
+
     for _ in range(trials):
         cfg = sample_config(rnd)
         res = run_trial(cfg, atol=atol, registry=registry,
@@ -430,19 +539,24 @@ def run_trials(trials: int, seed: int, atol: float = DEFAULT_ATOL,
         agg = cfg.aggregation or "-"
         coverage["agg"][agg] = coverage["agg"].get(agg, 0) + 1
         if not res.ok:
-            failures.append((cfg, res))
-            if on_failure is not None:
-                on_failure(cfg, res)
-        elif fused_oracle:
+            record(cfg, res)
+            continue
+        if fused_oracle:
             if fusable_chain(cfg, registry):
                 coverage["fused"]["checked"] += 1
                 fres = run_fused_trial(cfg, atol=atol, registry=registry)
                 if not fres.ok:
-                    failures.append((cfg, fres))
-                    if on_failure is not None:
-                        on_failure(cfg, fres)
+                    record(cfg, fres)
             else:
                 coverage["fused"]["skipped"] += 1
+        if strategy_oracle:
+            if cfg.kind == "spmm":
+                coverage["strategy"]["checked"] += 1
+                sres = run_strategy_trial(cfg, atol=atol, registry=registry)
+                if not sres.ok:
+                    record(cfg, sres)
+            else:
+                coverage["strategy"]["skipped"] += 1
     return FuzzReport(trials=trials, failures=failures, coverage=coverage)
 
 
@@ -456,6 +570,10 @@ def _shrink_candidates(cfg: TrialConfig):
         yield replace(cfg, fds=None)
     if cfg.options:
         yield replace(cfg, options={})
+        if "agg_strategy" in cfg.options and len(cfg.options) > 1:
+            # strategy-pinned failures: drop everything but the strategy
+            yield replace(
+                cfg, options={"agg_strategy": cfg.options["agg_strategy"]})
     if cfg.kind == "spmm" and cfg.aggregation != "sum":
         yield replace(cfg, aggregation="sum")
     if cfg.target != "cpu":

@@ -21,6 +21,14 @@ differential (:func:`repro.testing.differential.run_fused_trial`): the same
 five-stage program executed staged and as one fused edge sweep must agree
 on both the aggregate output and the attention tensor.  Fused failures
 shrink with the fused oracle as the predicate.
+
+With ``--exec-strategy``, every SpMM config is additionally executed once
+per segment-reduction strategy (``reduceat`` / ``bucketed`` / ``parallel``)
+against the plain edge-loop oracle, plus the cross-strategy bit-parity
+contract (:func:`repro.testing.differential.run_strategy_trial`).  A
+strategy failure pins the offending strategy into the config's options
+(``agg_strategy``) before shrinking, so the minimal repro replays with the
+same strategy.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.testing.differential import (
     fusable_chain,
     replay_command,
     run_fused_trial,
+    run_strategy_trial,
     run_trial,
     run_trials,
     shrink,
@@ -43,7 +52,7 @@ __all__ = ["main"]
 
 
 def _print_coverage(coverage: dict, out=sys.stdout) -> None:
-    for axis in ("kind", "target", "agg", "udf", "fused"):
+    for axis in ("kind", "target", "agg", "udf", "fused", "strategy"):
         counts = coverage.get(axis, {})
         if not counts:
             continue
@@ -71,6 +80,10 @@ def main(argv=None) -> int:
     ap.add_argument("--fuse", action="store_true",
                     help="also run the fused-vs-unfused whole-chain oracle "
                          "on every fusable config")
+    ap.add_argument("--exec-strategy", action="store_true",
+                    help="also run every SpMM config once per "
+                         "segment-reduction strategy against the edge-loop "
+                         "oracle (plus the cross-strategy parity contract)")
     args = ap.parse_args(argv)
 
     if args.replay is not None:
@@ -83,6 +96,8 @@ def main(argv=None) -> int:
                         analyzer_cross_check=args.analyze)
         if res.ok and args.fuse and fusable_chain(cfg):
             res = run_fused_trial(cfg, atol=args.atol)
+        if res.ok and args.exec_strategy and cfg.kind == "spmm":
+            res = run_strategy_trial(cfg, atol=args.atol)
         if res.ok:
             print("replay PASSED")
             return 0
@@ -91,7 +106,8 @@ def main(argv=None) -> int:
 
     report = run_trials(args.trials, args.seed, atol=args.atol,
                         analyzer_cross_check=args.analyze,
-                        fused_oracle=args.fuse)
+                        fused_oracle=args.fuse,
+                        strategy_oracle=args.exec_strategy)
     print(f"{report.trials} trials, {len(report.failures)} failures "
           f"(seed {args.seed}, atol {args.atol:g})")
     _print_coverage(report.coverage)
@@ -104,6 +120,19 @@ def main(argv=None) -> int:
             if res.stage.startswith("fused"):
                 cfg = shrink(cfg, lambda c: not run_fused_trial(
                     c, atol=args.atol).ok)
+            elif res.stage.startswith("strategy"):
+                name = res.stage.split(":", 1)[-1]
+                if name in ("parity", "build"):
+                    cfg = shrink(cfg, lambda c: not run_strategy_trial(
+                        c, atol=args.atol).ok)
+                else:
+                    # pin the failing strategy; the minimal repro replays
+                    # through the ordinary oracle with agg_strategy set
+                    from dataclasses import replace as _replace
+                    cfg = _replace(
+                        cfg, options={**cfg.options, "agg_strategy": name})
+                    cfg = shrink(cfg, lambda c: not run_trial(
+                        c, atol=args.atol).ok)
             else:
                 cfg = shrink(cfg, lambda c: not run_trial(
                     c, atol=args.atol,
