@@ -531,6 +531,27 @@ def _pass_vectorize(ctx: CompileContext) -> None:
         ctx.kernel._vector_program = prog
 
 
+def _pass_verify_plan(ctx: CompileContext) -> None:
+    """Statically verify the kernel's execution plan (FG006-FG010).
+
+    The loop-nest analyzer above judges the lowered IR; this pass judges
+    what the runtime actually executes -- the chunked, strategy-sharded
+    :class:`~repro.runtime.plan.ExecutionPlan` the kernel lowers to
+    (:mod:`repro.runtime.verify`): shard disjointness, determinism class,
+    buffer lifetimes, shared-memory release, gather bounds.  Runs after
+    ``vectorize`` so the plan carries the compiled program (whose ``out=``
+    retirement FG008 scans) without compiling it twice.  Strict mode
+    fails the compile on errors, exactly like ``analyze``.
+    """
+    from repro.runtime.verify import verify_kernel
+    from repro.tensorir.analysis import AnalysisError, strict_enabled
+
+    report = verify_kernel(ctx.kernel)
+    ctx.artifacts["plan_verify"] = report
+    if strict_enabled() and report.has_errors:
+        raise AnalysisError(report)
+
+
 def _pass_codegen(ctx: CompileContext) -> None:
     """Emit target source: CUDA C on gpu, pretty-printed IR on cpu."""
     if ctx.target == "gpu":
@@ -557,7 +578,7 @@ def _construct_kernel(ctx: CompileContext):
 
 #: pipeline pass order; the first two form the spec, the rest run on a miss
 PASS_NAMES = ("build_expr", "fuse_fds", "lower", "validate", "analyze",
-              "simplify", "vectorize", "codegen")
+              "simplify", "vectorize", "verify_plan", "codegen")
 
 _FRONT_PASSES = frozenset(("build_expr", "fuse_fds"))
 
@@ -569,6 +590,7 @@ _DEFAULT_PASSES: tuple[tuple[str, Callable], ...] = (
     ("analyze", _pass_analyze),
     ("simplify", _pass_simplify),
     ("vectorize", _pass_vectorize),
+    ("verify_plan", _pass_verify_plan),
     ("codegen", _pass_codegen),
 )
 
@@ -577,7 +599,8 @@ class CompilePipeline:
     """An ordered sequence of named compile passes.
 
     The default pipeline is ``build_expr -> fuse_fds -> lower -> validate ->
-    analyze -> simplify -> vectorize -> codegen``.  The *front* passes
+    analyze -> simplify -> vectorize -> verify_plan -> codegen``.  The
+    *front* passes
     (``build_expr``, ``fuse_fds``) always run -- they are what forms the
     :class:`KernelSpec` -- while the *back* passes run only on a cache miss.
     """

@@ -664,6 +664,7 @@ class FusedKernel:
         self.timings: list[PassTiming] = []
         self._lowered: I.Stmt | None = None
         self._analysis = None
+        self._plan_verify = None
 
     # -- artifacts ------------------------------------------------------
     @property
@@ -680,6 +681,16 @@ class FusedKernel:
             self._analysis = analyze_ir(self.lowered_ir(),
                                         target=self.plan.target)
         return self._analysis
+
+    def verify_report(self):
+        """The plan verifier's report (FG006-FG010) for the fused chain's
+        execution plan; set by ``compile_fused``'s ``fuse_verify`` step,
+        computed on demand for bound chains."""
+        if getattr(self, "_plan_verify", None) is None:
+            from repro.runtime.verify import verify_kernel
+
+            self._plan_verify = verify_kernel(self)
+        return self._plan_verify
 
     def compile_timings(self) -> dict:
         return {t.name: t.seconds for t in self.timings}
@@ -845,9 +856,29 @@ class FusedKernel:
             bounds=ChunkPolicy(target).bounds(indptr=csr.indptr),
             stages=stages)
         chain = "->".join(st.name for st in self.plan.stages)
-        return ExecutionPlan([task], label=f"fused[{chain}]",
-                             strategy=strategy.name,
-                             finalize=lambda: self._finalize(vbufs))
+        # Chain-read metadata for the plan verifier's FG008 def-before-use
+        # check: which earlier-stage values each stage consumes through the
+        # chunk context (chain-edge values) or through a vertex buffer an
+        # earlier aggregating stage of the same sweep filled.
+        chain_reads: dict[str, list] = {}
+        programs: dict[str, object] = {}
+        for st in self.plan.stages:
+            if st.mode in ("alias", "binop"):
+                reads = [st.alias_of]
+                if st.mode == "binop" and st.binop_operand[0] in vbufs:
+                    reads.append(st.binop_operand[0])
+            else:
+                reads = list(st.chain_edge_reads) + \
+                    list(st.chain_vertex_reads)
+                programs[st.name] = st.prog
+            chain_reads[st.name] = reads
+        return ExecutionPlan(
+            [task], label=f"fused[{chain}]", strategy=strategy.name,
+            finalize=lambda: self._finalize(vbufs),
+            extras={"verify": {"dims": self._graph_dims(),
+                               "chain_reads": chain_reads,
+                               "programs": programs,
+                               "target": f"fused[{chain}]"}})
 
     def _finalize(self, vbufs: dict) -> None:
         """Rows with no incoming edges, exactly as the staged pipeline
@@ -874,6 +905,15 @@ class FusedKernel:
 # ----------------------------------------------------------------------
 # fused compilation (template cache integration)
 # ----------------------------------------------------------------------
+
+def _verify_fused(kernel: FusedKernel):
+    """Run the plan verifier over a freshly compiled chain and cache the
+    report on the kernel (what ``verify_report()`` serves)."""
+    from repro.runtime.verify import verify_kernel
+
+    kernel._plan_verify = verify_kernel(kernel)
+    return kernel._plan_verify
+
 
 @dataclass
 class FusedTemplate:
@@ -933,6 +973,11 @@ def compile_fused(graph: KernelGraph, *, cache=None,
     kernel.timings = timings
     kernel._lowered = stmt
     kernel._analysis = report
+    # plan-layer verification (FG006-FG010): the loop-nest analyzer above
+    # never sees the chunked/sharded execution plan the chain actually runs
+    plan_report = timed("fuse_verify", lambda: _verify_fused(kernel))
+    if strict_enabled() and plan_report.has_errors:
+        raise AnalysisError(plan_report)
     cache.note_timings(timings)
     cache.note_fused(bound=False)
     if prekey is not None:

@@ -216,7 +216,14 @@ class GeneralizedSDDMM:
                               ScatterSink(result, tile=(lo, hi)),
                               compiled=prog is not None)],
                 needs_segments=False))
-        return ExecutionPlan(tasks, label=f"sddmm[{self.edge_out.name}]")
+        return ExecutionPlan(
+            tasks, label=f"sddmm[{self.edge_out.name}]",
+            # role extents + compiled program for the plan verifier
+            extras={"verify": {"dims": {"n_src": self.A.num_src,
+                                        "n_dst": self.A.num_dst,
+                                        "m": self.A.nnz},
+                               "programs": {self.edge_out.name: prog},
+                               "target": f"sddmm[{self.edge_out.name}]"}})
 
     def vector_program(self):
         """The compiled batched-UDF program this kernel executes per chunk
@@ -304,6 +311,19 @@ class GeneralizedSDDMM:
             artifacts["analysis"] = analyze_ir(self.lowered_ir(),
                                                target=self.target)
         return artifacts["analysis"]
+
+    def verify_report(self):
+        """The plan verifier's :class:`AnalysisReport` (rules FG006-FG010,
+        :mod:`repro.runtime.verify`) for this kernel's execution plan; set
+        by the pipeline's ``verify_plan`` pass, computed on demand for
+        bound or directly constructed kernels (topology-dependent, so
+        never inherited from the template)."""
+        artifacts = self.compiled.artifacts
+        if artifacts.get("plan_verify") is None:
+            from repro.runtime.verify import verify_kernel
+
+            artifacts["plan_verify"] = verify_kernel(self)
+        return artifacts["plan_verify"]
 
     def cuda_source(self, name: str = "fused_sddmm",
                     threads_per_block: int = 256) -> str:

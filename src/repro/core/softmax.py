@@ -147,6 +147,14 @@ class EdgeSoftmax:
                 + self._sum_kernel.cost(spec, stats=stats, threads=threads)
                 + self._norm_kernel.cost(spec, stats=stats, threads=threads))
 
+    def verify_report(self):
+        """Merged plan-verifier report (FG006-FG010) over the three phase
+        kernels plus the fused chain when enabled -- the whole softmax's
+        execution plans in one report."""
+        from repro.runtime.verify import verify_kernel
+
+        return verify_kernel(self)
+
     def compile_timings(self) -> dict:
         """Per-pass compile seconds summed over the three phase kernels."""
         total: dict[str, float] = {}

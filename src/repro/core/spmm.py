@@ -285,9 +285,15 @@ class GeneralizedSpMM:
                     stages=[Stage(self.msg.name, evaluate, sink,
                                   compiled=prog is not None)]))
         base = "sum" if self.aggregation == "mean" else self.aggregation
-        return ExecutionPlan(tasks, label=f"spmm[{self.msg.name}]",
-                             strategy=strategy.name,
-                             finalize=lambda: self._finalize(acc, base))
+        return ExecutionPlan(
+            tasks, label=f"spmm[{self.msg.name}]", strategy=strategy.name,
+            finalize=lambda: self._finalize(acc, base),
+            # role extents + compiled program for the plan verifier
+            # (:mod:`repro.runtime.verify`): FG010 checks gathers against
+            # these, FG008 scans the program's out= retirement
+            extras={"verify": {"dims": self._graph_dims(),
+                               "programs": {self.msg.name: prog},
+                               "target": f"spmm[{self.msg.name}]"}})
 
     def vector_program(self):
         """The compiled batched-UDF program this kernel executes per chunk
@@ -402,6 +408,20 @@ class GeneralizedSpMM:
             artifacts["analysis"] = analyze_ir(self.lowered_ir(),
                                                target=self.target)
         return artifacts["analysis"]
+
+    def verify_report(self):
+        """The plan verifier's :class:`AnalysisReport` (rules FG006-FG010,
+        :mod:`repro.runtime.verify`) for this kernel's execution plan.
+        Set by the pipeline's ``verify_plan`` pass; computed on demand for
+        bound or directly constructed kernels.  Unlike the loop-nest
+        analysis this is topology-dependent, so bound kernels verify their
+        own plan rather than inheriting the template's report."""
+        artifacts = self.compiled.artifacts
+        if artifacts.get("plan_verify") is None:
+            from repro.runtime.verify import verify_kernel
+
+            artifacts["plan_verify"] = verify_kernel(self)
+        return artifacts["plan_verify"]
 
     def cuda_source(self, name: str = "fused_spmm") -> str:
         """CUDA C source of the fused generalized-SpMM kernel (the compile

@@ -7,6 +7,12 @@ chunk loop, one stats ledger, and pluggable segment-reduction strategies
 forced via ``FEATGRAPH_AGG_STRATEGY``.  The reducer registry
 (:mod:`repro.runtime.reducers`) is the single source of ufunc/identity
 truth for every segmented reduction in the repository.
+
+The plan verifier (:mod:`repro.runtime.verify`, PR 8) statically proves
+shard disjointness, determinism class, buffer lifetimes, shared-memory
+release, and gather bounds (rules FG006-FG010) over every lowered plan,
+and its sanitizer executor (``FEATGRAPH_SANITIZE=1``) cross-checks those
+verdicts against instrumented runs.
 """
 
 from repro.runtime.engine import (AggregateSink, ChunkCtx, Executor,
@@ -24,6 +30,21 @@ from repro.runtime.strategies import (AGG_STRATEGY_ENV, AggregationStrategy,
                                       STRATEGY_NAMES, make_strategy,
                                       resolve_strategy, select_strategy,
                                       strategy_from_env)
+# verify's names are re-exported lazily: eagerly importing the module here
+# would make ``python -m repro.runtime.verify`` double-execute it (runpy
+# imports the package first, then runs the module as __main__)
+_VERIFY_NAMES = ("SANITIZE_ENV", "SanitizerError", "classify_reduction",
+                 "sanitize_enabled", "sanitized_run", "sanitizing",
+                 "set_sanitize", "verify_kernel", "verify_plan")
+
+
+def __getattr__(name):
+    if name in _VERIFY_NAMES:
+        from repro.runtime import verify
+
+        return getattr(verify, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AggregateSink", "ChunkCtx", "Executor", "ScatterSink",
@@ -36,4 +57,7 @@ __all__ = [
     "ParallelStrategy", "ReduceatStrategy", "STRATEGY_NAMES",
     "make_strategy", "resolve_strategy", "select_strategy",
     "strategy_from_env",
+    "SANITIZE_ENV", "SanitizerError", "classify_reduction",
+    "sanitize_enabled", "sanitized_run", "sanitizing", "set_sanitize",
+    "verify_kernel", "verify_plan",
 ]

@@ -163,6 +163,20 @@ class Executor:
         self.pool = pool
 
     def run(self, plan: ExecutionPlan, bindings=None) -> None:
+        """Execute ``plan``; under ``FEATGRAPH_SANITIZE`` the run is
+        re-routed through the instrumented sanitizer executor
+        (:func:`repro.runtime.verify.sanitized_run`), which statically
+        verifies the plan first and cross-checks runtime behavior against
+        the static verdicts."""
+        # lazy import: verify imports engine's sink types at module level
+        from repro.runtime import verify as _verify
+
+        if _verify.sanitize_enabled():
+            _verify.sanitized_run(self, plan, bindings)
+            return
+        self._execute(plan, bindings)
+
+    def _execute(self, plan: ExecutionPlan, bindings=None) -> None:
         if plan.strategy is not None:
             self.stats.note_strategy(plan.strategy)
         for task in plan.tasks:

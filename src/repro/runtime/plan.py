@@ -145,7 +145,14 @@ class SegmentInfo:
 
 
 def segment_info(dst_sorted: np.ndarray) -> SegmentInfo:
-    """Boundaries of equal-destination runs in a sorted chunk."""
+    """Boundaries of equal-destination runs in a sorted chunk.
+
+    A zero-edge chunk has zero segments (the engine never schedules one,
+    but degenerate graphs reach this through the chunking helpers)."""
+    if len(dst_sorted) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return SegmentInfo(rows=np.asarray(dst_sorted), starts=empty,
+                           seg_rows=empty, lengths=empty)
     starts = np.concatenate(
         ([0], np.flatnonzero(np.diff(dst_sorted)) + 1))
     lengths = np.diff(np.concatenate((starts, [len(dst_sorted)])))

@@ -167,6 +167,13 @@ class ParallelStrategy(AggregationStrategy):
 
     name = "parallel"
 
+    #: FG009 contract (checked by :mod:`repro.runtime.verify`): every
+    #: SharedArray this strategy stages for a process-backed pool is
+    #: released in a ``finally`` path, so worker exceptions cannot leave
+    #: orphaned POSIX shm segments behind.  Subclasses that change the
+    #: staging must re-establish the guarantee or clear the flag.
+    shm_release_guaranteed = True
+
     def __init__(self, pool: WorkPool | None = None,
                  min_edges: int = _PARALLEL_MIN_EDGES):
         self._pool = pool
@@ -209,12 +216,21 @@ class ParallelStrategy(AggregationStrategy):
 
     @staticmethod
     def _combine_process(pool, cuts, seg, msgs, reducer, partial):
-        """Shard combine through a process pool via shared memory."""
+        """Shard combine through a process pool via shared memory.
+
+        Staged segments are released in the ``finally`` path -- a worker
+        exception surfacing through ``pool.map`` must not orphan the shm
+        blocks (they are POSIX objects the OS never reclaims); this is
+        the :attr:`shm_release_guaranteed` contract, regression-tested by
+        ``tests/runtime/test_shm_lifecycle.py``.
+        """
         from repro.tensorir.runtime import SharedArray
 
         msgs = np.ascontiguousarray(msgs)
-        with SharedArray.copy_of(msgs) as shm_msgs, \
-                SharedArray.empty(partial.shape, partial.dtype) as shm_part:
+        shm_msgs = SharedArray.copy_of(msgs)
+        shm_part = None
+        try:
+            shm_part = SharedArray.empty(partial.shape, partial.dtype)
             n_seg, n_edges = len(seg.starts), len(seg.rows)
             payloads = []
             for s0, s1 in zip(cuts[:-1], cuts[1:]):
@@ -224,6 +240,10 @@ class ParallelStrategy(AggregationStrategy):
                                  int(end)))
             pool.map(_process_shard_reduce, payloads)
             partial[...] = shm_part.array
+        finally:
+            if shm_part is not None:
+                shm_part.close()
+            shm_msgs.close()
 
 
 def _process_shard_reduce(payload):
@@ -232,12 +252,18 @@ def _process_shard_reduce(payload):
     from repro.tensorir.runtime import SharedArray
 
     msgs_spec, part_spec, reducer_name, starts, s0, end = payload
-    with SharedArray.attach(msgs_spec) as shm_msgs, \
-            SharedArray.attach(part_spec) as shm_part:
+    shm_msgs = SharedArray.attach(msgs_spec)
+    shm_part = None
+    try:
+        shm_part = SharedArray.attach(part_spec)
         starts = np.asarray(starts, dtype=np.int64)
         ufunc = get_reducer(reducer_name).ufunc
         shm_part.array[s0:s0 + len(starts)] = ufunc.reduceat(
             shm_msgs.array[:end], starts, axis=0)
+    finally:
+        if shm_part is not None:
+            shm_part.close()
+        shm_msgs.close()
 
 
 def make_strategy(name: str, pool: WorkPool | None = None
@@ -294,9 +320,31 @@ def select_strategy(degrees: Sequence[int], width: int,
     return "reduceat"
 
 
+#: env-override strategy names already warned about (one warning per
+#: process, not one per kernel lowering)
+_ENV_OVERRIDE_WARNED: set = set()
+
+
 def resolve_strategy(requested: str | None, degrees, width: int,
                      pool: WorkPool | None = None) -> AggregationStrategy:
-    """Resolution order: explicit request > env override > auto-select."""
-    name = requested or strategy_from_env() or \
-        select_strategy(degrees, width, pool)
+    """Resolution order: explicit request > env override > auto-select.
+
+    When the env override forces a strategy the selector would not have
+    picked for this workload, a :class:`UserWarning` is emitted once per
+    process per strategy name -- a global override hitting hundreds of
+    kernel lowerings must not repeat itself per kernel.
+    """
+    env = None if requested else strategy_from_env()
+    name = requested or env or select_strategy(degrees, width, pool)
+    if env is not None and env not in _ENV_OVERRIDE_WARNED:
+        picked = select_strategy(degrees, width, pool)
+        if picked != env:
+            _ENV_OVERRIDE_WARNED.add(env)
+            import warnings
+
+            warnings.warn(
+                f"{AGG_STRATEGY_ENV}={env!r} overrides the selector's "
+                f"choice ({picked!r} for this workload); further kernels "
+                "will use the override silently", UserWarning,
+                stacklevel=2)
     return make_strategy(name, pool=pool)

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.tensorir.analysis [--suite builtins|bench|all]
                                       [--target cpu|gpu|all]
-                                      [--strict] [--verbose]
+                                      [--strict] [--verbose] [--json]
 
 ``--suite builtins`` compiles every builtin message/edge function from
 :mod:`repro.core.builtins` under its :func:`~repro.core.fds.default_fds_for`
@@ -13,7 +13,9 @@ suite exercises (explicit tiling factors, graph/feature partitioning,
 multi-level FDS, tree reduction, hybrid partitioning).  Every compiled
 kernel's :class:`~repro.tensorir.analysis.AnalysisReport` is summarized;
 ``--strict`` exits non-zero if any kernel carries an error-severity
-diagnostic (this is the CI ``lint-kernels`` gate).
+diagnostic (this is the CI ``lint-kernels`` gate).  ``--json`` emits one
+machine-readable report object (the same shape as
+``python -m repro.runtime.verify --json``) instead of the text listing.
 """
 
 from __future__ import annotations
@@ -116,10 +118,13 @@ def iter_suite(suite: str, targets):
 
 
 def lint(suite: str, targets, *, strict: bool, verbose: bool,
-         out=sys.stdout) -> int:
+         as_json: bool = False, out=sys.stdout) -> int:
     """Run the suite; returns the number of kernels with error diagnostics."""
+    import json
+
     failed = 0
     counts = {Severity.ERROR: 0, Severity.WARNING: 0, Severity.INFO: 0}
+    records = []
     with use_kernel_cache(KernelCache()):
         for label, thunk in iter_suite(suite, targets):
             kernel = thunk()
@@ -128,6 +133,9 @@ def lint(suite: str, targets, *, strict: bool, verbose: bool,
                 counts[d.severity] += 1
             if report.has_errors:
                 failed += 1
+            if as_json:
+                records.append({"kernel": label, **report.as_dict()})
+            elif report.has_errors:
                 print(f"FAIL {label}", file=out)
                 for d in report.sorted():
                     print(f"  {d.render()}", file=out)
@@ -137,11 +145,19 @@ def lint(suite: str, targets, *, strict: bool, verbose: bool,
                       file=out)
                 for d in report.sorted():
                     print(f"  {d.render()}", file=out)
-    print(f"lint-kernels: {counts[Severity.ERROR]} errors, "
-          f"{counts[Severity.WARNING]} warnings, "
-          f"{counts[Severity.INFO]} notes; "
-          f"{failed} kernel(s) failing"
-          f"{' (strict)' if strict else ''}", file=out)
+    if as_json:
+        json.dump({"suite": suite, "kernels": records,
+                   "errors": counts[Severity.ERROR],
+                   "warnings": counts[Severity.WARNING],
+                   "notes": counts[Severity.INFO],
+                   "failing": failed}, out, indent=2)
+        print(file=out)
+    else:
+        print(f"lint-kernels: {counts[Severity.ERROR]} errors, "
+              f"{counts[Severity.WARNING]} warnings, "
+              f"{counts[Severity.INFO]} notes; "
+              f"{failed} kernel(s) failing"
+              f"{' (strict)' if strict else ''}", file=out)
     return failed
 
 
@@ -156,9 +172,12 @@ def main(argv=None) -> int:
                     help="exit non-zero when any error diagnostic is found")
     ap.add_argument("--verbose", "-v", action="store_true",
                     help="also print clean kernels and their notes")
+    ap.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit one machine-readable JSON report")
     ns = ap.parse_args(argv)
     targets = ("cpu", "gpu") if ns.target == "all" else (ns.target,)
-    failed = lint(ns.suite, targets, strict=ns.strict, verbose=ns.verbose)
+    failed = lint(ns.suite, targets, strict=ns.strict, verbose=ns.verbose,
+                  as_json=ns.as_json)
     return 1 if (ns.strict and failed) else 0
 
 

@@ -63,6 +63,31 @@ RULES: dict[str, tuple[str, str]] = {
     "FG005": (Severity.INFO,
               "footprint note: estimated working set of an allocation or "
               "cooperative-reduction staging buffer"),
+    # FG006-FG010 are the execution-plan verifier's rules
+    # (:mod:`repro.runtime.verify`): they judge the runtime layer --
+    # ExecutionPlan chunking, strategy sharding, sink buffers, shared
+    # memory, gather index arrays -- not the lowered loop-nest IR.
+    "FG006": (Severity.ERROR,
+              "shard disjointness: a plan's parallel chunks or strategy "
+              "shards can write the same destination row, or a chunk "
+              "boundary splits a destination segment across workers"),
+    "FG007": (Severity.INFO,
+              "determinism classification: whether a plan's reduction is "
+              "bit-identical, reassociated-fp, or nondeterministic under "
+              "its strategy's combine order"),
+    "FG008": (Severity.ERROR,
+              "buffer lifetime: a plan stage reads a chunk-local value "
+              "before any stage defines it, sink buffers alias within a "
+              "task, or a compiled program writes out= into a live or "
+              "bound buffer"),
+    "FG009": (Severity.ERROR,
+              "shared-memory lifecycle: a process-backed plan stages "
+              "SharedArray segments without a release that is reached on "
+              "all paths, including worker exceptions"),
+    "FG010": (Severity.ERROR,
+              "gather bounds: a GatherPlan index array escapes the extent "
+              "its graph-axis role implies, or chunk bounds escape the "
+              "gathered edge domain"),
 }
 
 
@@ -88,6 +113,11 @@ class Diagnostic:
 
     def render(self) -> str:
         return f"{self.rule} {self.severity:<7} {self.loc}: {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (the ``--json`` lint CLIs emit these)."""
+        return {"rule": self.rule, "severity": self.severity,
+                "loc": self.loc, "message": self.message}
 
     def __str__(self):
         return self.render()
@@ -129,6 +159,15 @@ class AnalysisReport:
         return tuple(sorted(
             self.diagnostics,
             key=lambda d: (-Severity.rank(d.severity), d.rule, d.loc)))
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping: diagnostics (most severe first) + counts."""
+        return {
+            "target": self.target,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.as_dict() for d in self.sorted()],
+        }
 
     def render(self) -> str:
         if not self.diagnostics:

@@ -97,7 +97,20 @@ class SharedArray:
     physical pages, so large message/partial buffers cross the process
     boundary without pickling.  The creating side unlinks the block on
     context exit; attached views just close their mapping.
+
+    Owned blocks are tracked in a process-wide registry until released:
+    :meth:`live_segments` names every staged segment whose unlink has not
+    run yet.  POSIX shm outlives the creating process, so a missed release
+    is a resource leak the OS never reclaims -- the registry is what makes
+    the strategies' release-on-all-paths contract (rule ``FG009`` in
+    :mod:`repro.runtime.verify`) falsifiable: tests and the sanitizer
+    executor assert it is empty after every combine, including ones whose
+    workers raised.
     """
+
+    _live_lock = threading.Lock()
+    #: shm block names this process created and has not yet unlinked
+    _live: set = set()
 
     def __init__(self, shm, shape, dtype, owner: bool):
         self._shm = shm
@@ -106,6 +119,15 @@ class SharedArray:
         self._owner = owner
         self.array = np.ndarray(self.shape, dtype=self.dtype,
                                 buffer=shm.buf)
+        if owner:
+            with SharedArray._live_lock:
+                SharedArray._live.add(shm.name)
+
+    @classmethod
+    def live_segments(cls) -> tuple:
+        """Names of owned shm blocks not yet released (sorted)."""
+        with cls._live_lock:
+            return tuple(sorted(cls._live))
 
     @property
     def spec(self) -> tuple:
@@ -141,6 +163,8 @@ class SharedArray:
         self._shm.close()
         if self._owner:
             self._shm.unlink()
+            with SharedArray._live_lock:
+                SharedArray._live.discard(self._shm.name)
 
     def __enter__(self):
         return self

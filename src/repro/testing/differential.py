@@ -39,6 +39,7 @@ __all__ = [
     "fusable_chain",
     "run_fused_trial",
     "run_strategy_trial",
+    "run_sanitize_trial",
     "run_trials",
     "shrink",
     "replay_command",
@@ -502,11 +503,95 @@ def run_strategy_trial(cfg: TrialConfig, atol: float = DEFAULT_ATOL,
     return TrialResult(True, stage="strategy")
 
 
+def run_sanitize_trial(cfg: TrialConfig, atol: float = DEFAULT_ATOL,
+                       registry=None) -> TrialResult:
+    """Sanitizer cross-check: the plan verifier's static verdicts must
+    survive an instrumented run.
+
+    Executes the config's kernel under the dynamic sanitizer executor
+    (:func:`repro.runtime.verify.sanitizing`), which statically verifies
+    every plan (FG006-FG010) and then instruments the actual execution:
+    shard write-sets are tracked against the disjointness proof, combine
+    results against the determinism classification, gather indices against
+    the bounds proof, and shared-memory segments against the release
+    guarantee.  Any disagreement is a harness bug -- either the verifier
+    promised something the runtime does not deliver, or the instrumentation
+    is wrong -- and fails the trial.
+
+    SpMM configs run once per segment-reduction strategy (pinned via
+    ``agg_strategy``; ``parallel`` gets a 4-worker pool) so every strategy's
+    static contract is exercised; SDDMM configs run once.  Failure stages
+    are ``sanitize:<strategy>`` / ``sanitize:sddmm``.
+    """
+    from repro.runtime.strategies import STRATEGY_NAMES
+    from repro.runtime.verify import SanitizerError, sanitizing
+    from repro.tensorir.analysis import AnalysisError
+    from repro.tensorir.runtime import WorkPool
+
+    try:
+        csr, instance = _materialize(cfg, registry)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the fuzzer
+        return TrialResult(False, stage="sanitize:build",
+                           message=f"{type(exc).__name__}: {exc}")
+    bindings = build_bindings(instance, cfg.aggregation, cfg.data_seed)
+
+    # independent reference: the sanitizer must observe, never perturb
+    rows = csr.row_of_edge()
+    msgs = instance.reference(bindings, csr.indices, rows, csr.edge_ids)
+    msgs = np.asarray(msgs, dtype=np.float32).reshape(
+        (csr.nnz,) + instance.out_shape)
+    if cfg.kind == "spmm":
+        ref = aggregate_edges(msgs, rows, csr.shape[0], cfg.aggregation)
+        names = STRATEGY_NAMES
+        pool = WorkPool(4)
+    else:
+        ref = np.zeros((csr.nnz,) + instance.out_shape, dtype=np.float32)
+        ref[csr.edge_ids] = msgs
+        names = (None,)
+        pool = None
+
+    try:
+        for name in names:
+            stage = f"sanitize:{name}" if name else "sanitize:sddmm"
+            scfg = (replace(cfg, options={**cfg.options, "agg_strategy": name})
+                    if name else cfg)
+            try:
+                kernel = _build_kernel(scfg, csr, instance)
+                with sanitizing():
+                    got = kernel.run(
+                        bindings, pool=pool if name == "parallel" else None)
+            except SanitizerError as exc:
+                return TrialResult(
+                    False, stage=stage,
+                    message=f"static verdict contradicted at runtime: {exc}")
+            except AnalysisError as exc:
+                return TrialResult(
+                    False, stage=stage,
+                    message=f"plan verifier rejected the plan: {exc}")
+            except Exception as exc:  # noqa: BLE001
+                return TrialResult(False, stage=stage,
+                                   message=f"{type(exc).__name__}: {exc}")
+            if not np.allclose(got, ref, atol=atol, rtol=atol,
+                               equal_nan=True):
+                worst = (float(np.nanmax(np.abs(got - ref)))
+                         if got.size else 0.0)
+                return TrialResult(
+                    False, stage=stage, max_abs_diff=worst,
+                    message=f"sanitized run diverged from the independent "
+                            f"reference: max abs diff {worst:.3g} > atol "
+                            f"{atol:g} (instrumentation perturbed execution)")
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return TrialResult(True, stage="sanitize")
+
+
 def run_trials(trials: int, seed: int, atol: float = DEFAULT_ATOL,
                registry=None, on_failure=None, *,
                analyzer_cross_check: bool = False,
                fused_oracle: bool = False,
-               strategy_oracle: bool = False) -> FuzzReport:
+               strategy_oracle: bool = False,
+               sanitize_oracle: bool = False) -> FuzzReport:
     """Run ``trials`` sampled configs; collect failures and coverage.
 
     With ``fused_oracle=True``, every config whose family can head a fused
@@ -515,6 +600,10 @@ def run_trials(trials: int, seed: int, atol: float = DEFAULT_ATOL,
     ``strategy_oracle=True``, every SpMM config additionally runs once per
     segment-reduction strategy against the edge-loop oracle
     (:func:`run_strategy_trial`); coverage gains a ``"strategy"`` axis.
+    With ``sanitize_oracle=True``, every config additionally runs under the
+    dynamic sanitizer executor (:func:`run_sanitize_trial`), cross-checking
+    the plan verifier's static verdicts against instrumented execution;
+    coverage gains a ``"sanitize"`` axis.
     """
     rnd = random.Random(seed)
     failures = []
@@ -523,6 +612,8 @@ def run_trials(trials: int, seed: int, atol: float = DEFAULT_ATOL,
         coverage["fused"] = {"checked": 0, "skipped": 0}
     if strategy_oracle:
         coverage["strategy"] = {"checked": 0, "skipped": 0}
+    if sanitize_oracle:
+        coverage["sanitize"] = {"checked": 0}
 
     def record(cfg, res):
         failures.append((cfg, res))
@@ -557,6 +648,11 @@ def run_trials(trials: int, seed: int, atol: float = DEFAULT_ATOL,
                     record(cfg, sres)
             else:
                 coverage["strategy"]["skipped"] += 1
+        if sanitize_oracle:
+            coverage["sanitize"]["checked"] += 1
+            zres = run_sanitize_trial(cfg, atol=atol, registry=registry)
+            if not zres.ok:
+                record(cfg, zres)
     return FuzzReport(trials=trials, failures=failures, coverage=coverage)
 
 

@@ -29,6 +29,14 @@ contract (:func:`repro.testing.differential.run_strategy_trial`).  A
 strategy failure pins the offending strategy into the config's options
 (``agg_strategy``) before shrinking, so the minimal repro replays with the
 same strategy.
+
+With ``--sanitize``, every config additionally runs under the dynamic
+sanitizer executor (:func:`repro.testing.differential.run_sanitize_trial`):
+the plan verifier's static verdicts (FG006-FG010 -- shard disjointness,
+determinism class, gather bounds, shared-memory release) are cross-checked
+against an instrumented run, per segment-reduction strategy for SpMM
+configs.  A disagreement means the static proof or the runtime is lying;
+either way the trial fails at stage ``sanitize:<strategy>``.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from repro.testing.differential import (
     fusable_chain,
     replay_command,
     run_fused_trial,
+    run_sanitize_trial,
     run_strategy_trial,
     run_trial,
     run_trials,
@@ -52,7 +61,8 @@ __all__ = ["main"]
 
 
 def _print_coverage(coverage: dict, out=sys.stdout) -> None:
-    for axis in ("kind", "target", "agg", "udf", "fused", "strategy"):
+    for axis in ("kind", "target", "agg", "udf", "fused", "strategy",
+                 "sanitize"):
         counts = coverage.get(axis, {})
         if not counts:
             continue
@@ -84,6 +94,11 @@ def main(argv=None) -> int:
                     help="also run every SpMM config once per "
                          "segment-reduction strategy against the edge-loop "
                          "oracle (plus the cross-strategy parity contract)")
+    ap.add_argument("--sanitize", action="store_true",
+                    help="also run every config under the dynamic sanitizer "
+                         "executor, cross-checking the plan verifier's "
+                         "static verdicts (FG006-FG010) against an "
+                         "instrumented run")
     args = ap.parse_args(argv)
 
     if args.replay is not None:
@@ -98,6 +113,8 @@ def main(argv=None) -> int:
             res = run_fused_trial(cfg, atol=args.atol)
         if res.ok and args.exec_strategy and cfg.kind == "spmm":
             res = run_strategy_trial(cfg, atol=args.atol)
+        if res.ok and args.sanitize:
+            res = run_sanitize_trial(cfg, atol=args.atol)
         if res.ok:
             print("replay PASSED")
             return 0
@@ -107,7 +124,8 @@ def main(argv=None) -> int:
     report = run_trials(args.trials, args.seed, atol=args.atol,
                         analyzer_cross_check=args.analyze,
                         fused_oracle=args.fuse,
-                        strategy_oracle=args.exec_strategy)
+                        strategy_oracle=args.exec_strategy,
+                        sanitize_oracle=args.sanitize)
     print(f"{report.trials} trials, {len(report.failures)} failures "
           f"(seed {args.seed}, atol {args.atol:g})")
     _print_coverage(report.coverage)
@@ -119,6 +137,9 @@ def main(argv=None) -> int:
         if not args.no_shrink:
             if res.stage.startswith("fused"):
                 cfg = shrink(cfg, lambda c: not run_fused_trial(
+                    c, atol=args.atol).ok)
+            elif res.stage.startswith("sanitize"):
+                cfg = shrink(cfg, lambda c: not run_sanitize_trial(
                     c, atol=args.atol).ok)
             elif res.stage.startswith("strategy"):
                 name = res.stage.split(":", 1)[-1]

@@ -2,8 +2,8 @@
 
 Covers the :mod:`repro.core.compile` contract: every kernel goes through
 the named pass sequence (build_expr -> fuse_fds -> lower -> validate ->
-analyze -> simplify -> vectorize -> codegen), structurally identical requests
-produce equal
+analyze -> simplify -> vectorize -> verify_plan -> codegen), structurally
+identical requests produce equal
 :class:`KernelSpec` keys (and therefore one compiled kernel), and per-pass
 wall-clock timings are retrievable from the compiled object.
 """
@@ -49,7 +49,7 @@ class TestPassPipeline:
         assert default_pipeline().pass_names == PASS_NAMES
         assert CompilePipeline().pass_names == (
             "build_expr", "fuse_fds", "lower", "validate", "analyze",
-            "simplify", "vectorize", "codegen")
+            "simplify", "vectorize", "verify_plan", "codegen")
 
     def test_compiled_kernel_records_every_pass(self):
         with use_kernel_cache(KernelCache()):
@@ -106,7 +106,7 @@ class TestPassPipeline:
         # only the back passes run (front ran at construction time)
         assert tuple(record.timings_dict()) == (
             "lower", "validate", "analyze", "simplify", "vectorize",
-            "codegen")
+            "verify_plan", "codegen")
         assert record.spec.template == "spmm"
 
         ks = GeneralizedSDDMM(

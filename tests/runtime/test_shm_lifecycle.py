@@ -1,0 +1,90 @@
+"""Shared-memory lifecycle: the FG009 release-on-all-paths contract.
+
+POSIX shm segments outlive the creating process; a combine that stages
+messages for a process-backed pool and then dies in a worker must still
+unlink every block.  :meth:`SharedArray.live_segments` (the process-wide
+owned-block registry) is what makes the claim testable: after any
+combine -- successful or not -- the registry must be exactly as empty as
+it was before.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.plan import segment_info
+from repro.runtime.reducers import Reducer, get_reducer
+from repro.runtime.strategies import ParallelStrategy
+from repro.tensorir.runtime import SharedArray, WorkPool
+
+
+def _chunk(n_rows=64, n_edges=2048, width=4, seed=0):
+    rng = np.random.default_rng(seed)
+    dst = np.sort(rng.integers(0, n_rows, n_edges))
+    msgs = rng.standard_normal((n_edges, width)).astype(np.float32)
+    return dst, msgs, segment_info(dst)
+
+
+@pytest.fixture
+def process_pool():
+    pool = WorkPool(2, backend="process")
+    yield pool
+    pool.shutdown()
+
+
+class TestRegistry:
+    def test_owner_registered_until_close(self):
+        arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+        shm = SharedArray.copy_of(arr)
+        try:
+            assert shm._shm.name in SharedArray.live_segments()
+        finally:
+            shm.close()
+        assert shm._shm.name not in SharedArray.live_segments()
+
+    def test_attached_views_do_not_register(self):
+        shm = SharedArray.empty((4,), np.float32)
+        try:
+            view = SharedArray.attach(shm.spec)
+            before = SharedArray.live_segments()
+            view.close()
+            assert SharedArray.live_segments() == before
+        finally:
+            shm.close()
+
+
+class TestProcessCombineRelease:
+    def test_successful_combine_releases_everything(self, process_pool):
+        dst, msgs, seg = _chunk()
+        before = SharedArray.live_segments()
+        strategy = ParallelStrategy(process_pool, min_edges=0)
+        acc = np.zeros((64, msgs.shape[1]), dtype=np.float32)
+        strategy.combine(acc, seg, msgs, get_reducer("sum"))
+        assert SharedArray.live_segments() == before
+        ref = np.zeros_like(acc)
+        np.add.at(ref, dst, msgs)
+        np.testing.assert_allclose(acc, ref, rtol=1e-5, atol=1e-5)
+
+    def test_worker_exception_releases_everything(self, process_pool):
+        """The regression this file exists for: a worker that raises
+        mid-shard (here: a reducer name the worker-side registry rejects)
+        must not orphan the staged msgs/partial segments."""
+        dst, msgs, seg = _chunk(seed=1)
+        bogus = Reducer("median", np.add, 0.0, False)  # unknown to workers
+        before = SharedArray.live_segments()
+        strategy = ParallelStrategy(process_pool, min_edges=0)
+        acc = np.zeros((64, msgs.shape[1]), dtype=np.float32)
+        with pytest.raises(Exception, match="median"):
+            strategy.combine(acc, seg, msgs, bogus)
+        assert SharedArray.live_segments() == before
+
+    def test_thread_backend_stages_nothing(self):
+        pool = WorkPool(2, backend="thread")
+        try:
+            dst, msgs, seg = _chunk(seed=2)
+            before = SharedArray.live_segments()
+            strategy = ParallelStrategy(pool, min_edges=0)
+            acc = np.zeros((64, msgs.shape[1]), dtype=np.float32)
+            strategy.combine(acc, seg, msgs, get_reducer("sum"))
+            assert SharedArray.live_segments() == before
+        finally:
+            pool.shutdown()
