@@ -62,15 +62,18 @@ import numpy as np
 from repro import tensorir as T
 from repro.core.api import SparseMat, spmat
 from repro.core.bindings import BindingError
-from repro.core.builtins import u_mul_e_msg
+from repro.core.builtins import copy_u_msg, u_mul_e_msg
 from repro.core.compile import (PassTiming, compile_sddmm, compile_spmm,
                                 get_kernel_cache)
 from repro.core.spmm import resolve_aggregation
 from repro.runtime.engine import AggregateSink, Executor, ScatterSink
-from repro.runtime.plan import (ChunkPolicy, EdgeTask, ExecutionPlan,
-                                GatherPlan, Stage, effective_chunk_edges)
+from repro.runtime.histogram import chunk_bounds, chunk_shapes, degree_stats
+from repro.runtime.plan import (EdgeTask, ExecutionPlan, GatherPlan, Stage,
+                                effective_chunk_edges)
 from repro.runtime.reducers import AGG_IDENTITY, get_reducer
-from repro.runtime.strategies import resolve_strategy
+from repro.runtime.strategies import (make_strategy, resolve_request,
+                                      resolve_strategy,
+                                      select_chunk_strategies)
 from repro.tensorir import expr as E
 from repro.tensorir import ir as I
 from repro.tensorir.analysis import AnalysisError, analyze_ir, strict_enabled
@@ -93,6 +96,7 @@ __all__ = [
     "compile_fused",
     "FusedKernel",
     "FusedEdgeSoftmax",
+    "FusedCopyUAggregate",
 ]
 
 #: environment gate for the fused execution paths (softmax.py, minidgl)
@@ -103,8 +107,16 @@ _FUSE_OVERRIDE: list = []  # scoped overrides pushed by use_fusion()
 #: default edge-chunk size, matching the staged templates
 DEFAULT_CHUNK_EDGES = 1 << 17
 
-#: SpMM aggregations the single-sweep combine supports (rule 3)
-FUSABLE_AGGREGATIONS = ("sum", "max", "min")
+#: SpMM aggregations the single-sweep combine supports (rule 3); "mean"
+#: combines as "sum" during the sweep with a per-degree divide at finalize
+FUSABLE_AGGREGATIONS = ("sum", "max", "min", "mean")
+
+
+def _agg_base(aggregation: str) -> str:
+    """The combine-time base of an aggregation: ``mean`` accumulates as
+    ``sum`` (the degree divide happens at finalize, mirroring
+    :meth:`repro.core.spmm.GeneralizedSpMM._finalize`)."""
+    return "sum" if aggregation == "mean" else aggregation
 
 #: BinOp tokens the ``binop`` CSE mode can execute directly
 _BINOP_UFUNC = {
@@ -365,7 +377,10 @@ def plan_fusion(graph: KernelGraph, cache=None) -> FusionPlan:
     """
     cache = cache if cache is not None else get_kernel_cache()
     defs = graph._stages
-    if len(defs) < 2:
+    if len(defs) < 2 and not (len(defs) == 1 and defs[0].kind == "spmm"):
+        # a lone spmm stage is a legal "chain": message + aggregate in one
+        # sweep (the GCN/SAGE copy-u path) still buys the chunked fused
+        # executor and its per-chunk adaptive strategies
         raise FusionError(
             f"fusion needs at least two stages, got {len(defs)}")
     if graph.target != "cpu":
@@ -404,6 +419,7 @@ def plan_fusion(graph: KernelGraph, cache=None) -> FusionPlan:
     body_sigs: dict[str, str] = {}
     cse: list[tuple] = []
     kind_of = {s.name: s.kind for s in defs}
+    agg_of = {s.name: s.aggregation for s in defs}
     for s, (kernel, out) in zip(defs, kernels):
         roles = kernel.roles
         try:
@@ -430,6 +446,11 @@ def plan_fusion(graph: KernelGraph, cache=None) -> FusionPlan:
                     f"{roles.get(n)!r}: a vertex reduction consumed other "
                     "than via dst crosses the reduction boundary and needs "
                     "a second edge sweep")
+            if agg_of.get(n) == "mean":
+                raise FusionError(
+                    f"stage {s.name!r} reads mean-aggregated buffer {n!r}: "
+                    "the degree divide happens at finalize, after the "
+                    "sweep, so in-sweep consumers would read raw sums")
         for n in chain_edge:
             if roles.get(n) != "m":
                 raise FusionError(
@@ -556,7 +577,7 @@ def fused_loop_nest(plan: FusionPlan, A) -> I.Stmt:
         if st.kind == "spmm":
             buf = I.BufferRef(st.name, (n_dst,) + st.feat_shape, "float32")
             store = I.Store(buf, value, [v_iv] + list(st.axes),
-                            combiner=st.aggregation)
+                            combiner=_agg_base(st.aggregation))
         else:
             buf = I.BufferRef(st.name, (nnz,) + st.feat_shape, "float32")
             store = I.Store(buf, value,
@@ -596,7 +617,7 @@ def _codegen_call(plan: FusionPlan) -> str:
             guard = ", zero-guard" if st.guard_zero else ""
             lines.append(
                 f"    {st.name} = full((n_dst{feat}), "
-                f"{AGG_IDENTITY[st.aggregation]!r})"
+                f"{AGG_IDENTITY[_agg_base(st.aggregation)]!r})"
                 f"  # vertex accumulator ({st.aggregation}{guard})")
         elif not st.elided:
             lines.append(f"    {st.name} = empty((m{feat}))"
@@ -762,7 +783,8 @@ class FusedKernel:
             if st.kind == "spmm":
                 vbufs[st.name] = np.full(
                     (n_dst,) + st.feat_shape,
-                    AGG_IDENTITY[st.aggregation], dtype=np.float32)
+                    AGG_IDENTITY[_agg_base(st.aggregation)],
+                    dtype=np.float32)
             elif (not st.elided) or st.name in keep:
                 ebufs[st.name] = np.empty((m,) + st.feat_shape,
                                           dtype=np.float32)
@@ -781,7 +803,13 @@ class FusedKernel:
         :class:`~repro.runtime.plan.EdgeTask`: one row-aligned chunked
         sweep whose per-chunk segment boundaries are computed once and
         shared by every aggregating stage, with chain-edge values flowing
-        between stages through the chunk context."""
+        between stages through the chunk context.
+
+        The aggregation request resolves exactly as on the staged SpMM
+        template: a concrete name pins one strategy for the sweep,
+        ``"adaptive"`` assigns per chunk from the chunk's shape statistics
+        (the adaptive executor applies **inside** fused plans), a name
+        sequence pins an explicit per-chunk cycle."""
         csr = self.A.csr
         target = self.chunk_edges
         for st in self.plan.stages:
@@ -791,8 +819,27 @@ class FusedKernel:
                                                    st.prog))
         spmm_width = max((st.width for st in self.plan.stages
                           if st.kind == "spmm"), default=1)
-        strategy = resolve_strategy(self.agg_strategy, np.diff(csr.indptr),
-                                    spmm_width, pool)
+        bounds = chunk_bounds(csr, target)
+        mode, names = resolve_request(self.agg_strategy)
+        if mode in ("auto", "single"):
+            strategy = resolve_strategy(
+                names[0] if mode == "single" else None,
+                degree_stats(csr).degrees, spmm_width, pool)
+            plan_label = strategy.name
+            chunk_strats = None
+        else:
+            strategy = make_strategy("reduceat", pool=pool)
+            plan_label = "adaptive" if mode == "adaptive" else "mixed"
+            if mode == "adaptive":
+                assigned = select_chunk_strategies(
+                    chunk_shapes(csr, target, spmm_width), pool)
+            else:
+                assigned = [names[i % len(names)]
+                            for i in range(len(bounds))]
+            instances = {"reduceat": strategy}
+            chunk_strats = [
+                instances.setdefault(n, make_strategy(n, pool=pool))
+                for n in assigned]
         keep = set(keep)
 
         stages = []
@@ -841,8 +888,8 @@ class FusedKernel:
 
             if st.kind == "spmm":
                 sink = AggregateSink(vbufs[st.name],
-                                     get_reducer(st.aggregation), strategy,
-                                     guard_zero=st.guard_zero)
+                                     get_reducer(_agg_base(st.aggregation)),
+                                     strategy, guard_zero=st.guard_zero)
             else:
                 buf = ebufs.get(st.name)
                 sink = None if buf is None else ScatterSink(
@@ -853,8 +900,9 @@ class FusedKernel:
 
         task = EdgeTask(
             gather=GatherPlan(csr.indices, csr.row_of_edge(), csr.edge_ids),
-            bounds=ChunkPolicy(target).bounds(indptr=csr.indptr),
-            stages=stages)
+            bounds=bounds,
+            stages=stages,
+            chunk_strategies=chunk_strats)
         chain = "->".join(st.name for st in self.plan.stages)
         # Chain-read metadata for the plan verifier's FG008 def-before-use
         # check: which earlier-stage values each stage consumes through the
@@ -873,7 +921,7 @@ class FusedKernel:
                 programs[st.name] = st.prog
             chain_reads[st.name] = reads
         return ExecutionPlan(
-            [task], label=f"fused[{chain}]", strategy=strategy.name,
+            [task], label=f"fused[{chain}]", strategy=plan_label,
             finalize=lambda: self._finalize(vbufs),
             extras={"verify": {"dims": self._graph_dims(),
                                "chain_reads": chain_reads,
@@ -881,20 +929,25 @@ class FusedKernel:
                                "target": f"fused[{chain}]"}})
 
     def _finalize(self, vbufs: dict) -> None:
-        """Rows with no incoming edges, exactly as the staged pipeline
-        leaves them: max/min identities become 0.0 (mirroring
-        ``GeneralizedSpMM._finalize``), zero-guarded sums become 1.0."""
+        """Post-sweep fixups, exactly as the staged pipeline applies them
+        (mirroring ``GeneralizedSpMM._finalize``): rows with no incoming
+        edges have max/min identities become 0.0 and zero-guarded sums
+        become 1.0; mean accumulators divide by ``max(degree, 1)``."""
         deg = np.diff(self.A.csr.indptr)
         untouched = deg == 0
-        if not untouched.any():
-            return
+        any_untouched = bool(untouched.any())
         for st in self.plan.stages:
             if st.kind != "spmm":
                 continue
-            if st.aggregation in ("max", "min"):
-                vbufs[st.name][untouched] = 0.0
-            if st.guard_zero:
-                vbufs[st.name][untouched] = 1.0
+            if any_untouched:
+                if st.aggregation in ("max", "min"):
+                    vbufs[st.name][untouched] = 0.0
+                if st.guard_zero:
+                    vbufs[st.name][untouched] = 1.0
+            if st.aggregation == "mean":
+                buf = vbufs[st.name]
+                d = np.maximum(deg, 1).astype(np.float32)
+                buf /= d.reshape((-1,) + (1,) * (buf.ndim - 1))
 
     def __repr__(self):
         chain = " -> ".join(st.name for st in self.plan.stages)
@@ -1084,3 +1137,54 @@ class FusedEdgeSoftmax:
     def __repr__(self):
         return (f"FusedEdgeSoftmax(m={self.A.nnz}, heads={self.num_heads}, "
                 f"feat={self.feat_shape}, target={self.target})")
+
+
+# ----------------------------------------------------------------------
+# the GCN/SAGE chain: copy-u message + sum/mean aggregation in one sweep
+# ----------------------------------------------------------------------
+
+class FusedCopyUAggregate:
+    """``copy_u`` -> sum/mean aggregation as a fused single-sweep plan.
+
+    The message+aggregate core of GCN and GraphSAGE: gather the source
+    feature row per edge and segment-reduce into destinations.  Staged
+    execution runs it through ``GeneralizedSpMM`` with a separate degree
+    normalization afterwards; this chain runs the same computation through
+    the fused executor, so the adaptive per-chunk strategies apply and the
+    mean divide folds into the plan's finalize.  The single stage reuses
+    :func:`~repro.core.builtins.copy_u_msg`'s ``udf_key``, so the chain
+    caches as a fused template and rebinds across sampled blocks.
+    """
+
+    def __init__(self, A, feat_shape, aggregation: str = "sum",
+                 target: str = "cpu", cache=None,
+                 chunk_edges: int = DEFAULT_CHUNK_EDGES):
+        self.A = spmat(A)
+        self.feat_shape = tuple(int(d) for d in feat_shape)
+        if not self.feat_shape:
+            raise ValueError("feat_shape must have at least one dim")
+        self.aggregation = resolve_aggregation(aggregation)
+        if self.aggregation not in FUSABLE_AGGREGATIONS:
+            raise FusionError(
+                f"copy-u chain cannot fuse aggregation "
+                f"{self.aggregation!r}")
+        self.target = target
+        XV = T.placeholder((self.A.num_src,) + self.feat_shape, name="XV")
+        g = KernelGraph(self.A, target=target, outputs=("COUT",))
+        g.add_stage("COUT", "spmm", copy_u_msg(XV),
+                    aggregation=self.aggregation)
+        self.graph = g
+        self.kernel = compile_fused(g, cache=cache, chunk_edges=chunk_edges)
+
+    def run(self, x: np.ndarray, pool=None) -> np.ndarray:
+        """Aggregated ``(n_dst, *feat_shape)`` output for features ``x``."""
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        return self.kernel.run({"XV": x}, pool=pool)["COUT"]
+
+    def exec_stats(self) -> dict:
+        return {"fused": self.kernel.exec_stats.as_dict()}
+
+    def __repr__(self):
+        return (f"FusedCopyUAggregate(m={self.A.nnz}, "
+                f"feat={self.feat_shape}, agg={self.aggregation}, "
+                f"target={self.target})")

@@ -35,8 +35,11 @@ from repro.runtime.plan import (CHUNK_WORKSET_BYTES, MIN_CHUNK_EDGES,
                                 ChunkPolicy, EdgeTask, ExecutionPlan,
                                 GatherPlan, Stage, effective_chunk_edges,
                                 row_aligned_chunks)
+from repro.runtime.histogram import chunk_bounds, chunk_shapes, degree_stats
 from repro.runtime.reducers import AGG_IDENTITY, AGG_UFUNC, resolve_reducer
-from repro.runtime.strategies import resolve_strategy
+from repro.runtime.strategies import (make_strategy, resolve_request,
+                                      resolve_strategy,
+                                      select_chunk_strategies)
 from repro.tensorir.runtime import ExecStats, WorkPool
 from repro.core.fds import FDS, FDSInfo, default_fds
 from repro.graph.partition import Partition1D, feature_tiles, partition_1d
@@ -182,9 +185,11 @@ class GeneralizedSpMM:
         if int(chunk_edges) < 1:
             raise ValueError("chunk_edges must be >= 1")
         self.chunk_edges = int(chunk_edges)
-        #: aggregation-strategy override for this kernel (None = auto/env);
+        #: aggregation-strategy request for this kernel (None = auto/env):
+        #: a concrete name, ``"adaptive"`` (per-chunk cost-model
+        #: selection), or a sequence of names (explicit per-chunk cycle);
         #: not part of the cache identity -- a bound kernel can be retargeted
-        self.agg_strategy: str | None = None
+        self.agg_strategy = None
         self._partitions: list[Partition1D] | None = None
 
     # ------------------------------------------------------------------
@@ -249,17 +254,45 @@ class GeneralizedSpMM:
         One :class:`~repro.runtime.plan.EdgeTask` per (feature tile, graph
         partition) pass, each row-aligned-chunked -- chunk rows are disjoint
         and sorted, so segmented reduction is vectorized and chunks are
-        race-free under cooperative threading.  The aggregation strategy is
+        race-free under cooperative threading.  The aggregation request is
         resolved from ``self.agg_strategy`` (explicit) >
-        ``FEATGRAPH_AGG_STRATEGY`` (env) > the degree-histogram heuristic.
+        ``FEATGRAPH_AGG_STRATEGY`` (env) > the selector: a concrete name
+        pins one strategy for the whole kernel, ``"adaptive"`` assigns a
+        strategy **per chunk** from each chunk's shape statistics
+        (cost-model-driven when calibrated), and a sequence of names pins
+        an explicit per-chunk cycle.  Heterogeneous assignments land on
+        :attr:`~repro.runtime.plan.EdgeTask.chunk_strategies`; chunk
+        bounds, degree histograms, and per-chunk shapes come from the
+        fingerprint-keyed caches in :mod:`repro.runtime.histogram`.
         """
         reducer, _ = resolve_reducer(self.aggregation)
         prog = self.vector_program() if compile_enabled() else None
-        strategy = resolve_strategy(self.agg_strategy,
-                                    np.diff(self.A.csr.indptr),
-                                    self.feature_len, pool)
+        mode, names = resolve_request(self.agg_strategy)
+        target = effective_chunk_edges(self.chunk_edges, prog)
+        if mode in ("auto", "single"):
+            strategy = resolve_strategy(
+                names[0] if mode == "single" else None,
+                degree_stats(self.A.csr).degrees, self.feature_len, pool)
+            plan_label = strategy.name
+            per_chunk = None
+        else:
+            # heterogeneous plan: every chunk carries its own assignment,
+            # the sink default (reduceat) is never consulted
+            strategy = make_strategy("reduceat", pool=pool)
+            plan_label = "adaptive" if mode == "adaptive" else "mixed"
+            instances = {"reduceat": strategy}
+
+            def per_chunk(csr, n_chunks):
+                if mode == "adaptive":
+                    assigned = select_chunk_strategies(
+                        chunk_shapes(csr, target, self.feature_len), pool)
+                else:
+                    assigned = [names[i % len(names)]
+                                for i in range(n_chunks)]
+                return [instances.setdefault(n, make_strategy(n, pool=pool))
+                        for n in assigned]
+
         axis0 = self.msg.op.axis[0].name
-        policy = ChunkPolicy(self.chunk_edges, row_aligned=True)
         tasks = []
         for lo, hi in self._tiles():
             sink = AggregateSink(acc[:, lo:hi], reducer, strategy)
@@ -278,15 +311,18 @@ class GeneralizedSpMM:
                                             axis_ranges={axis0: tile})
                     return msgs, 0
 
+                bounds = chunk_bounds(csr, target)
                 tasks.append(EdgeTask(
                     gather=GatherPlan(csr.indices, csr.row_of_edge(),
                                       csr.edge_ids),
-                    bounds=policy.bounds(indptr=csr.indptr, prog=prog),
+                    bounds=bounds,
                     stages=[Stage(self.msg.name, evaluate, sink,
-                                  compiled=prog is not None)]))
+                                  compiled=prog is not None)],
+                    chunk_strategies=(per_chunk(csr, len(bounds))
+                                      if per_chunk is not None else None)))
         base = "sum" if self.aggregation == "mean" else self.aggregation
         return ExecutionPlan(
-            tasks, label=f"spmm[{self.msg.name}]", strategy=strategy.name,
+            tasks, label=f"spmm[{self.msg.name}]", strategy=plan_label,
             finalize=lambda: self._finalize(acc, base),
             # role extents + compiled program for the plan verifier
             # (:mod:`repro.runtime.verify`): FG010 checks gathers against

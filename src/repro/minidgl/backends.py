@@ -153,10 +153,27 @@ class FeatGraphDGLBackend:
         return FusedEdgeSoftmax(adj, num_heads=num_heads, target=self.target,
                                 cache=cache, feat_shape=feat_shape)
 
+    def _fused_copy_u(self, adj: CSRMatrix, feat_shape: tuple[int, ...],
+                      aggregation: str):
+        from repro.core.fusion import FusedCopyUAggregate
+
+        cache = self._kernel_cache()
+        adj = cache.canonical_graph(adj)
+        return FusedCopyUAggregate(adj, feat_shape, aggregation=aggregation,
+                                   target=self.target, cache=cache)
+
     # -- primitives ---------------------------------------------------------
     def spmm_copy_sum(self, adj: CSRMatrix, x: np.ndarray) -> np.ndarray:
         k = self._copy_sum(adj, x.shape[1:])
         return k.run({"XV": x})
+
+    def fused_copy_u_aggregate(self, adj: CSRMatrix, x: np.ndarray,
+                               aggregation: str = "sum") -> np.ndarray:
+        """Copy-u message + aggregation as one fused edge sweep -- the
+        GCN/SAGE hot path; ``mean`` divides by in-degree in the fused
+        kernel's finalize step, never materializing the sum separately."""
+        k = self._fused_copy_u(adj, x.shape[1:], aggregation)
+        return k.run(x)
 
     def edge_softmax(self, adj: CSRMatrix, scores: np.ndarray) -> np.ndarray:
         """Fused three-pass edge softmax (no per-edge materialization)."""

@@ -8,7 +8,12 @@ scores, weights) are indexed in that order, so segment operations over
 The message-passing ops implement the paper's Sec. II-A calculus:
 
 - :func:`copy_u_sum` -- generalized SpMM; its input gradient is another SpMM
-  on the reverse graph.
+  on the reverse graph.  Behind ``FEATGRAPH_FUSE`` the forward routes
+  through the backend's fused copy-u chain (one edge sweep, per-chunk
+  adaptive strategies apply inside it).
+- :func:`copy_u_mean` -- mean aggregation as one kernel: fused, the
+  in-degree divide happens in the chain's finalize step instead of a
+  separate elementwise pass over the output.
 - :func:`u_mul_e_sum` -- attention-weighted aggregation; its edge-weight
   gradient is an SDDMM (dot of endpoint features), "the gradient computation
   of SpMM with respect to A follows the SDDMM pattern".
@@ -31,8 +36,8 @@ from repro.graph.segment import segment_reduce, segment_softmax
 from repro.graph.sparse import CSRMatrix, from_edges
 from repro.minidgl.autograd import Tensor
 
-__all__ = ["Graph", "copy_u_sum", "u_mul_e_sum", "u_dot_v", "edge_add",
-           "edge_softmax", "edge_softmax_mul_sum"]
+__all__ = ["Graph", "copy_u_sum", "copy_u_mean", "u_mul_e_sum", "u_dot_v",
+           "edge_add", "edge_softmax", "edge_softmax_mul_sum"]
 
 
 class Graph:
@@ -85,13 +90,53 @@ class Graph:
 # autograd message-passing ops
 # ----------------------------------------------------------------------
 
+def _fused_copy_u_enabled(backend) -> bool:
+    """Same gate shape as :func:`edge_softmax_mul_sum`'s fused path."""
+    from repro.core.fusion import fuse_enabled
+
+    return (fuse_enabled()
+            and hasattr(backend, "fused_copy_u_aggregate")
+            and getattr(backend, "target", None) == "cpu")
+
+
 def copy_u_sum(graph: Graph, x: Tensor, backend) -> Tensor:
-    """``out[v] = sum_{u in N(v)} x[u]`` -- generalized SpMM (GCN pattern)."""
-    out_data = backend.spmm_copy_sum(graph.adj, x.data)
+    """``out[v] = sum_{u in N(v)} x[u]`` -- generalized SpMM (GCN pattern).
+
+    With fusion enabled (``FEATGRAPH_FUSE``) and a backend exposing
+    ``fused_copy_u_aggregate``, the forward runs through the fused copy-u
+    chain; the backward is the reverse-graph SpMM either way.
+    """
+    if _fused_copy_u_enabled(backend):
+        out_data = backend.fused_copy_u_aggregate(graph.adj, x.data, "sum")
+    else:
+        out_data = backend.spmm_copy_sum(graph.adj, x.data)
 
     def bwd(g):
         if x.requires_grad:
             x._accumulate(backend.spmm_copy_sum(graph.reverse, g))
+
+    return Tensor._make(out_data, (x,), bwd)
+
+
+def copy_u_mean(graph: Graph, x: Tensor, backend) -> Tensor:
+    """``out[v] = mean_{u in N(v)} x[u]`` -- the GCN/SAGE neighbor mean.
+
+    Fused, the in-degree divide runs in the chain's finalize step; staged,
+    it is the copy-sum followed by an elementwise scale.  The input
+    gradient scales the output gradient by ``1/deg(v)`` and scatters it
+    through the reverse-graph SpMM (mean and scale commute).
+    """
+    inv_deg = (1.0 / np.maximum(graph.in_degrees(), 1)).astype(np.float32)
+    if _fused_copy_u_enabled(backend):
+        out_data = backend.fused_copy_u_aggregate(graph.adj, x.data, "mean")
+    else:
+        agg = backend.spmm_copy_sum(graph.adj, x.data)
+        out_data = agg * inv_deg.reshape((-1,) + (1,) * (agg.ndim - 1))
+
+    def bwd(g):
+        if x.requires_grad:
+            gd = g * inv_deg.reshape((-1,) + (1,) * (g.ndim - 1))
+            x._accumulate(backend.spmm_copy_sum(graph.reverse, gd))
 
     return Tensor._make(out_data, (x,), bwd)
 

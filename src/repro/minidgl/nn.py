@@ -15,7 +15,7 @@ import numpy as np
 from repro.minidgl.autograd import Tensor
 from repro.minidgl.graph import (
     Graph,
-    copy_u_sum,
+    copy_u_mean,
     edge_add,
     edge_softmax_mul_sum,
 )
@@ -177,9 +177,9 @@ class GCNConv(Module):
 
     def forward(self, graph: Graph, x: Tensor, backend) -> Tensor:
         h = self.linear(x)
-        agg = copy_u_sum(graph, h, backend)
-        inv_deg = 1.0 / np.maximum(graph.in_degrees(), 1)
-        return agg * Tensor(inv_deg.astype(np.float32).reshape(-1, 1))
+        # D^-1 A h is exactly the neighbor mean: one kernel, and behind
+        # FEATGRAPH_FUSE one fused edge sweep with the divide in finalize
+        return copy_u_mean(graph, h, backend)
 
 
 class SAGEConv(Module):
@@ -197,9 +197,7 @@ class SAGEConv(Module):
         # Transform before aggregating (legal for mean aggregation since the
         # two commute); keeps the SpMM feature width at out_dim, the same
         # optimization DGL's SAGEConv applies when in_dim > out_dim.
-        agg = copy_u_sum(graph, self.w_neigh(x), backend)
-        inv_deg = 1.0 / np.maximum(graph.in_degrees(), 1)
-        mean = agg * Tensor(inv_deg.astype(np.float32).reshape(-1, 1))
+        mean = copy_u_mean(graph, self.w_neigh(x), backend)
         # On a bipartite block the adjacency is (num_dst, num_src) and the
         # self-term only applies to the destination vertices, which by the
         # Block convention are the first num_dst source rows.

@@ -15,7 +15,10 @@ the plan layer the same static safety net:
     ``parallel`` strategy the shard cuts are additionally checked per
     chunk, symbolically from :func:`~repro.runtime.plan.segment_info`:
     cuts must cover the segment index space without overlap and must
-    never split a destination segment across workers.
+    never split a destination segment across workers.  Heterogeneous
+    plans (``EdgeTask.chunk_strategies``) are verified per chunk: the
+    assignment list must align with the bounds, and the cut checks run
+    for exactly the chunks whose *effective* strategy shards.
 
 ``FG007`` **determinism classification.**  Every (strategy, reducer)
     pair a plan aggregates through is labeled ``bit-identical`` /
@@ -185,11 +188,23 @@ def classify_reduction(strategy_name: str, reducer) -> str:
 
 
 def _aggregate_sinks(plan: ExecutionPlan):
-    """Yield ``(task_index, stage, sink)`` for every aggregating stage."""
+    """Yield ``(task_index, task, stage, sink)`` per aggregating stage."""
     for ti, task in enumerate(plan.tasks):
         for st in task.stages:
             if isinstance(st.sink, AggregateSink):
-                yield ti, st, st.sink
+                yield ti, task, st, st.sink
+
+
+def _effective_strategies(task, sink):
+    """Yield ``(chunk_index, strategy)`` -- the strategy each chunk of
+    ``task`` actually combines through for ``sink``: the per-chunk
+    assignment on heterogeneous plans, else the sink default."""
+    assigned = task.chunk_strategies
+    for ci in range(len(list(task.bounds))):
+        s = None
+        if assigned is not None and ci < len(assigned):
+            s = assigned[ci]
+        yield ci, (s if s is not None else sink.strategy)
 
 
 # ----------------------------------------------------------------------
@@ -280,14 +295,17 @@ def _check_row_alignment(ctx: _Ctx, ti: int, task) -> None:
                     "would combine the same accumulator row concurrently")
 
 
-def _check_parallel_cuts(ctx: _Ctx, ti: int, task, strategy) -> None:
+def _check_parallel_cuts(ctx: _Ctx, ti: int, task, strategy,
+                         chunks=None) -> None:
     """FG006: the parallel strategy's shard cuts, probed symbolically.
 
     For every chunk the real ``segment_info`` is derived from the gather
     (no UDF is evaluated) and ``ParallelStrategy._shard_cuts`` is run for
     several worker counts; the cuts must cover the segment index space
     exactly once and each cut's edge offset must land on a segment
-    boundary.
+    boundary.  ``chunks`` restricts the probe to the chunk indices whose
+    effective strategy is ``strategy`` (heterogeneous plans); ``None``
+    probes every chunk.
     """
     loc = f"task[{ti}]"
     dst = np.asarray(task.gather.dst)
@@ -297,6 +315,8 @@ def _check_parallel_cuts(ctx: _Ctx, ti: int, task, strategy) -> None:
     if pool_workers and pool_workers > 1:
         probes.add(int(pool_workers))
     for ci, (c0, c1) in enumerate(task.bounds):
+        if chunks is not None and ci not in chunks:
+            continue
         seg = segment_info(dst[c0:c1])
         n_seg = len(seg.starts)
         n_edges = c1 - c0
@@ -324,20 +344,41 @@ def _check_parallel_cuts(ctx: _Ctx, ti: int, task, strategy) -> None:
                 break
 
 
+def _check_chunk_strategies(ctx: _Ctx, ti: int, task) -> None:
+    """FG006: a heterogeneous task's assignment list must align with its
+    chunk bounds -- a length mismatch means some chunk combines through
+    a strategy no static check ever classified."""
+    assigned = task.chunk_strategies
+    if assigned is None:
+        return
+    n_chunks = len(list(task.bounds))
+    if len(assigned) != n_chunks:
+        ctx.add("FG006", f"task[{ti}]",
+                f"per-chunk strategy list has {len(assigned)} entries for "
+                f"{n_chunks} chunks: assignments and bounds disagree, so "
+                "chunks beyond the shorter list would fall back silently")
+
+
 def _check_determinism(ctx: _Ctx) -> None:
-    """FG007: one classification per distinct (strategy, reducer) pair."""
+    """FG007: one classification per distinct (strategy, reducer) pair,
+    counting every effective per-chunk strategy of heterogeneous plans."""
     seen = set()
-    for ti, st, sink in _aggregate_sinks(ctx.plan):
-        key = (sink.strategy.name, sink.reducer.name)
-        if key in seen:
-            continue
-        seen.add(key)
-        label = classify_reduction(*key)
-        severity = (Severity.WARNING if label == NONDETERMINISTIC
-                    else Severity.INFO)
-        ctx.add("FG007", f"task[{ti}].{st.name}",
-                f"reduction {sink.reducer.name} via strategy "
-                f"{sink.strategy.name}: {label}", severity=severity)
+    for ti, task, st, sink in _aggregate_sinks(ctx.plan):
+        names = {strat.name
+                 for _, strat in _effective_strategies(task, sink)}
+        if not names:
+            names = {sink.strategy.name}
+        for name in sorted(names):
+            key = (name, sink.reducer.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            label = classify_reduction(*key)
+            severity = (Severity.WARNING if label == NONDETERMINISTIC
+                        else Severity.INFO)
+            ctx.add("FG007", f"task[{ti}].{st.name}",
+                    f"reduction {sink.reducer.name} via strategy "
+                    f"{name}: {label}", severity=severity)
 
 
 _OUT_RE = re.compile(r"\bout=(\w+)")
@@ -408,28 +449,32 @@ def _check_shared_memory(ctx: _Ctx) -> None:
     """FG009: process-backed combines must route shared memory through a
     strategy whose staging provably releases on all paths."""
     seen = set()
-    for ti, st, sink in _aggregate_sinks(ctx.plan):
-        strategy = sink.strategy
-        if strategy.name != "parallel" or id(strategy) in seen:
-            continue
-        seen.add(id(strategy))
-        pool = getattr(strategy, "pool", None)
-        if getattr(pool, "backend", "thread") != "process":
-            continue
-        loc = f"task[{ti}].{st.name}"
-        if not getattr(strategy, "shm_release_guaranteed", False):
-            ctx.add("FG009", loc,
-                    f"strategy {type(strategy).__name__} stages "
-                    "SharedArray segments for a process pool without "
-                    "declaring a release reached on all paths (worker "
-                    "exceptions included); orphaned POSIX shm outlives "
-                    "the process")
-        else:
-            ctx.add("FG009", loc,
-                    "process-backed combine: staged SharedArray segments "
-                    "release in a finally path on all exits; the live-"
-                    "segment registry is checked by the sanitizer",
-                    severity=Severity.INFO)
+    for ti, task, st, sink in _aggregate_sinks(ctx.plan):
+        candidates = [strategy
+                      for _, strategy in _effective_strategies(task, sink)]
+        if not candidates:
+            candidates = [sink.strategy]
+        for strategy in candidates:
+            if strategy.name != "parallel" or id(strategy) in seen:
+                continue
+            seen.add(id(strategy))
+            pool = getattr(strategy, "pool", None)
+            if getattr(pool, "backend", "thread") != "process":
+                continue
+            loc = f"task[{ti}].{st.name}"
+            if not getattr(strategy, "shm_release_guaranteed", False):
+                ctx.add("FG009", loc,
+                        f"strategy {type(strategy).__name__} stages "
+                        "SharedArray segments for a process pool without "
+                        "declaring a release reached on all paths (worker "
+                        "exceptions included); orphaned POSIX shm outlives "
+                        "the process")
+            else:
+                ctx.add("FG009", loc,
+                        "process-backed combine: staged SharedArray "
+                        "segments release in a finally path on all exits; "
+                        "the live-segment registry is checked by the "
+                        "sanitizer", severity=Severity.INFO)
 
 
 def _check_gather_bounds(ctx: _Ctx, ti: int, task) -> None:
@@ -478,12 +523,21 @@ def verify_plan(plan: ExecutionPlan) -> AnalysisReport:
         structured = _check_bounds_structure(ctx, ti, task)
         if structured:
             _check_row_alignment(ctx, ti, task)
+            _check_chunk_strategies(ctx, ti, task)
+            # cut checks run per chunk, against each chunk's *effective*
+            # strategy -- the per-chunk assignment on heterogeneous plans
             for st in task.stages:
                 sink = st.sink
-                if isinstance(sink, AggregateSink) and \
-                        isinstance(sink.strategy, ParallelStrategy):
-                    _check_parallel_cuts(ctx, ti, task, sink.strategy)
-                    break
+                if not isinstance(sink, AggregateSink):
+                    continue
+                sharded: dict[int, tuple] = {}
+                for ci, strat in _effective_strategies(task, sink):
+                    if isinstance(strat, ParallelStrategy):
+                        sharded.setdefault(id(strat), (strat, set()))
+                        sharded[id(strat)][1].add(ci)
+                for strat, chunks in sharded.values():
+                    _check_parallel_cuts(ctx, ti, task, strat, chunks)
+                break
         _check_gather_bounds(ctx, ti, task)
     _check_determinism(ctx)
     _check_lifetimes(ctx)
@@ -537,8 +591,11 @@ def verify_kernel(kernel, pool=None) -> AnalysisReport:
         vbufs, ebufs = {}, {}
         for st in kernel.plan.stages:
             if st.kind == "spmm":
+                # mean fuses as a running sum (finalize divides), so its
+                # chain buffer seeds with sum's identity
+                base = "sum" if st.aggregation == "mean" else st.aggregation
                 vbufs[st.name] = np.full((n_dst,) + st.feat_shape,
-                                         AGG_IDENTITY[st.aggregation],
+                                         AGG_IDENTITY[base],
                                          dtype=np.float32)
             elif not st.elided:
                 ebufs[st.name] = np.empty((m,) + st.feat_shape,
@@ -585,13 +642,16 @@ class _Violations:
 
 
 class _AggregateProxy:
-    """Records and checks one task's aggregating stage at runtime."""
+    """Records and checks one task's aggregating stage at runtime.
 
-    def __init__(self, sink: AggregateSink, loc: str, label: str,
+    The FG007 label is computed per combine call from the strategy the
+    chunk context carries -- on heterogeneous plans different chunks of
+    one stage legitimately earn different classifications."""
+
+    def __init__(self, sink: AggregateSink, loc: str,
                  violations: _Violations):
         self.sink = sink
         self.loc = loc
-        self.label = label
         self.violations = violations
         self._lock = threading.Lock()
         self._seen = np.zeros(sink.acc.shape[0], dtype=bool)
@@ -617,13 +677,16 @@ class _AggregateProxy:
             self._seen[rows] = True
         # disjoint rows across concurrent chunks make the before/after
         # slices race-free even under a thread pool
+        strategy = ctx.strategy if getattr(ctx, "strategy", None) is not None \
+            else self.sink.strategy
         before = self.sink.acc[rows].copy() if rows.size else None
         ret = self.sink.apply(vals, ctx)
         if before is not None:
-            self._check_combine(vals, seg, rows, before)
+            self._check_combine(vals, seg, rows, before, strategy)
         return ret
 
-    def _check_combine(self, vals, seg, rows, before) -> None:
+    def _check_combine(self, vals, seg, rows, before, strategy) -> None:
+        label = classify_reduction(strategy.name, self.sink.reducer)
         reducer = self.sink.reducer
         oracle = reducer.ufunc(
             before, reducer.ufunc.reduceat(vals, seg.starts, axis=0))
@@ -631,21 +694,21 @@ class _AggregateProxy:
             oracle = np.where(oracle == 0, 1.0, oracle)
         oracle = oracle.astype(self.sink.acc.dtype, copy=False)
         actual = self.sink.acc[rows]
-        if self.label == BIT_IDENTICAL:
+        if label == BIT_IDENTICAL:
             if not np.array_equal(actual, oracle):
                 worst = float(np.max(np.abs(actual - oracle)))
                 self.violations.add(
                     "FG007", self.loc,
-                    f"strategy {self.sink.strategy.name} classified "
+                    f"strategy {strategy.name} classified "
                     f"bit-identical but diverged from the reduceat oracle "
                     f"by {worst:.3g}")
-        elif self.label == REASSOCIATED:
+        elif label == REASSOCIATED:
             if not np.allclose(actual, oracle, rtol=1e-4, atol=1e-5,
                                equal_nan=True):
                 worst = float(np.nanmax(np.abs(actual - oracle)))
                 self.violations.add(
                     "FG007", self.loc,
-                    f"strategy {self.sink.strategy.name} classified "
+                    f"strategy {strategy.name} classified "
                     f"reassociated-fp but diverged from the reduceat "
                     f"oracle by {worst:.3g} (beyond reassociation error)")
 
@@ -689,13 +752,13 @@ def _instrumented(plan: ExecutionPlan, violations: _Violations
             sink = st.sink
             loc = f"task[{ti}].{st.name}"
             if isinstance(sink, AggregateSink):
-                label = classify_reduction(sink.strategy.name, sink.reducer)
-                sink = _AggregateProxy(sink, loc, label, violations)
+                sink = _AggregateProxy(sink, loc, violations)
             elif isinstance(sink, ScatterSink):
                 sink = _ScatterProxy(sink, loc, violations)
             stages.append(Stage(st.name, st.evaluate, sink, st.compiled))
         tasks.append(EdgeTask(task.gather, task.bounds, stages,
-                              task.needs_segments))
+                              task.needs_segments,
+                              chunk_strategies=task.chunk_strategies))
     return ExecutionPlan(tasks, label=plan.label, strategy=plan.strategy,
                          finalize=plan.finalize, extras=plan.extras)
 
@@ -797,6 +860,26 @@ def iter_suite(suite: str, pool=None):
         yield (f"softmax/fused/{strat}", strat,
                lambda s=strat: EdgeSoftmax(adj, num_heads=2, fused=True,
                                            agg_strategy=s))
+
+    # heterogeneous plans: cost-model-driven per-chunk selection, plus an
+    # explicit mixed per-chunk cycle; chunk_edges is small enough that the
+    # lint graph really lowers to multi-chunk assignments
+    copy_u = dgl_builtins.BUILTIN_MESSAGE_FUNCTIONS["copy_u"]
+    for hlabel, request in (("adaptive", "adaptive"),
+                            ("mixed", ("reduceat", "bucketed", "parallel"))):
+        for agg in ("sum", "max", "mean"):
+            def hthunk(req=request, a=agg):
+                k = make_spmm(adj, copy_u(*_msg_inputs("copy_u")), a,
+                              chunk_edges=16)
+                k.agg_strategy = req
+                return k
+            yield (f"spmm/copy_u/{agg}/{hlabel}", hlabel, hthunk)
+        yield (f"softmax/staged/{hlabel}", hlabel,
+               lambda req=request: EdgeSoftmax(adj, num_heads=2, fused=False,
+                                               agg_strategy=req))
+        yield (f"softmax/fused/{hlabel}", hlabel,
+               lambda req=request: EdgeSoftmax(adj, num_heads=2, fused=True,
+                                               agg_strategy=req))
 
 
 def lint(suite: str, *, verbose: bool, as_json: bool, workers: int,

@@ -1,0 +1,180 @@
+"""Per-chunk heterogeneous plans: adaptive lowering, explicit maps, caches.
+
+The contract (see ``repro/core/spmm.py`` lowering and
+``repro/runtime/engine.py``): an ``"adaptive"`` request expands into one
+concrete strategy per chunk (``EdgeTask.chunk_strategies`` aligned with
+the chunk bounds), an explicit list request assigns strategies cyclically,
+and the executor dispatches every chunk through its assigned strategy
+while keeping the combine order -- and therefore the numerics --
+identical to a homogeneous run.  The topology statistics feeding the
+selector are memoized in ``repro.runtime.histogram`` keyed by the CSR
+fingerprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro import tensorir as T
+from repro.core import builtins as dgl_builtins
+from repro.core.api import spmat, spmm
+from repro.core.compile import KernelCache, use_kernel_cache
+from repro.core.cost import COST_PROFILE_ENV
+from repro.graph.sparse import CSRMatrix, from_edges
+from repro.runtime.histogram import (
+    cache_info,
+    chunk_bounds,
+    chunk_shapes,
+    clear_caches,
+    degree_stats,
+)
+from repro.runtime.strategies import (
+    STRATEGY_NAMES,
+    reset_cost_model_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def _cold_start(monkeypatch, tmp_path):
+    """Pin a nonexistent profile so adaptive expands via the heuristics
+    (deterministic on every machine) and leave no cache behind."""
+    monkeypatch.setenv(COST_PROFILE_ENV, str(tmp_path / "absent.json"))
+    reset_cost_model_cache()
+    yield
+    reset_cost_model_cache()
+
+
+def _mixed_graph(n_src=64):
+    """Uniform-degree rows then cycling degrees: chunks of both shapes."""
+    deg = np.concatenate([np.full(128, 4, dtype=np.int64),
+                          np.tile(np.arange(1, 9, dtype=np.int64), 32)])
+    indptr = np.concatenate([[0], np.cumsum(deg)])
+    rng = np.random.default_rng(3)
+    indices = rng.integers(0, n_src, int(deg.sum()))
+    return CSRMatrix((len(deg), n_src), indptr, indices)
+
+
+def _kernel(csr, width=4, chunk_edges=64, request=None):
+    A = spmat(csr)
+    XV = T.placeholder((csr.shape[1], width), name="XV")
+    with use_kernel_cache(KernelCache()):
+        k = spmm(A, dgl_builtins.copy_u_msg(XV), "sum",
+                 chunk_edges=chunk_edges)
+    k.agg_strategy = request
+    return k
+
+
+def _run(kernel, csr, width=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((csr.shape[1], width)).astype(np.float32)
+    return x, kernel.run({"XV": x})
+
+
+class TestAdaptivePlans:
+    def test_adaptive_assigns_one_strategy_per_chunk(self):
+        csr = _mixed_graph()
+        k = _kernel(csr, request="adaptive")
+        acc = np.zeros((csr.shape[0], 4), np.float32)
+        plan = k.execution_plan(acc)
+        task = plan.tasks[0]
+        assert task.chunk_strategies is not None
+        assert len(task.chunk_strategies) == len(list(task.bounds))
+        names = {s.name for s in task.chunk_strategies}
+        assert names <= set(STRATEGY_NAMES)
+        assert plan.strategy == "adaptive"
+
+    def test_adaptive_matches_reduceat_numerics(self):
+        csr = _mixed_graph()
+        x, expected = _run(_kernel(csr, request="reduceat"), csr)
+        _, got = _run(_kernel(csr, request="adaptive"), csr)
+        np.testing.assert_allclose(got, expected, rtol=1e-5, atol=1e-5)
+
+    def test_adaptive_equal_instances_are_shared(self):
+        # chunks assigned the same strategy name share one instance, so
+        # the verifier's per-strategy grouping sees a small set
+        csr = _mixed_graph()
+        k = _kernel(csr, request="adaptive")
+        acc = np.zeros((csr.shape[0], 4), np.float32)
+        task = k.execution_plan(acc).tasks[0]
+        by_name = {}
+        for s in task.chunk_strategies:
+            by_name.setdefault(s.name, set()).add(id(s))
+        for name, ids in by_name.items():
+            assert len(ids) == 1, f"{name} not deduplicated"
+
+
+class TestExplicitMaps:
+    def test_list_request_assigns_cyclically(self):
+        csr = _mixed_graph()
+        k = _kernel(csr, request=["reduceat", "bucketed"])
+        acc = np.zeros((csr.shape[0], 4), np.float32)
+        task = k.execution_plan(acc).tasks[0]
+        names = [s.name for s in task.chunk_strategies]
+        want = ["reduceat", "bucketed"] * (len(names) // 2 + 1)
+        assert names == want[:len(names)]
+        assert k.execution_plan(acc).strategy == "mixed"
+
+    def test_map_matches_single_strategy_numerics(self):
+        csr = _mixed_graph()
+        x, expected = _run(_kernel(csr, request="reduceat"), csr)
+        for req in (["reduceat", "bucketed"],
+                    ["bucketed", "reduceat", "parallel"]):
+            _, got = _run(_kernel(csr, request=req), csr)
+            np.testing.assert_allclose(got, expected, rtol=1e-5, atol=1e-5,
+                                       err_msg=f"map {req}")
+
+    def test_order_preserving_map_is_bit_identical(self):
+        # reduceat and parallel share the same per-segment reduction
+        # order, so a map mixing only those two is exact
+        csr = _mixed_graph()
+        x, expected = _run(_kernel(csr, request="reduceat"), csr)
+        _, got = _run(_kernel(csr, request=["reduceat", "parallel"]), csr)
+        assert np.array_equal(got, expected)
+
+    def test_unknown_name_in_map_rejected(self):
+        csr = _mixed_graph()
+        k = _kernel(csr, request=["reduceat", "nope"])
+        with pytest.raises(ValueError, match="nope"):
+            k.run({"XV": np.zeros((csr.shape[1], 4), np.float32)})
+
+
+class TestHistogramCaches:
+    def test_degree_stats_cached_by_fingerprint(self):
+        clear_caches()
+        csr = _mixed_graph()
+        a = degree_stats(csr)
+        b = degree_stats(csr)
+        assert a is b
+        assert a.nnz == csr.nnz
+        # same structure, different object: same cache entry
+        clone = CSRMatrix(csr.shape, csr.indptr.copy(), csr.indices.copy())
+        assert degree_stats(clone) is a
+        assert cache_info()["degree"] == 1
+
+    def test_chunk_shapes_align_with_bounds(self):
+        clear_caches()
+        csr = _mixed_graph()
+        bounds = chunk_bounds(csr, 64)
+        shapes = chunk_shapes(csr, 64, width=4)
+        assert len(shapes) == len(bounds)
+        assert sum(s.n_edges for s in shapes) == csr.nnz
+        for (c0, c1), s in zip(bounds, shapes):
+            assert s.n_edges == c1 - c0
+            assert s.width == 4
+
+    def test_chunk_shapes_width_independent_cache(self):
+        clear_caches()
+        csr = _mixed_graph()
+        chunk_shapes(csr, 64, width=4)
+        assert cache_info()["shapes"] == 1
+        wide = chunk_shapes(csr, 64, width=32)
+        assert cache_info()["shapes"] == 1  # width did not fork the entry
+        assert all(s.width == 32 for s in wide)
+
+    def test_different_edges_graph_forks_the_entry(self):
+        clear_caches()
+        csr = _mixed_graph()
+        other = CSRMatrix(csr.shape, csr.indptr,
+                          (csr.indices + 1) % csr.shape[1])
+        degree_stats(csr)
+        degree_stats(other)
+        assert cache_info()["degree"] == 2

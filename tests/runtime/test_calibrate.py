@@ -1,0 +1,229 @@
+"""Cost-model calibration: fit, persistence, validation, cold start.
+
+The contract (see ``repro/runtime/calibrate.py`` and
+``repro/core/cost.py``): calibration from identical timings is
+deterministic down to the profile bytes; a missing/corrupt/stale profile
+is a *cold-start signal* (``load_profile`` returns None, selection falls
+back to the hand-tuned heuristics) and never an error; and all fitted
+coefficients are non-negative so predictions are monotone in every chunk
+statistic.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.cost import (
+    COST_PROFILE_ENV,
+    COST_PROFILE_VERSION,
+    ChunkShape,
+    CostModel,
+    StrategyCost,
+    load_profile,
+)
+from repro.runtime.calibrate import (
+    Workload,
+    calibrate,
+    fit_costs,
+    main as calibrate_main,
+    measure_combine,
+    save_profile,
+    workloads,
+)
+from repro.runtime.strategies import (
+    cost_model,
+    reset_cost_model_cache,
+    select_strategy,
+)
+
+
+def _synthetic_measure(name, wl):
+    """Deterministic timings with each strategy's real cost shape."""
+    s = wl.shape
+    if name == "bucketed":
+        return 1e-4 + 1e-5 * s.n_distinct + 1e-10 * s.values
+    if name == "parallel":
+        return 5e-4 + 2e-10 * s.values + 1e-8 * s.n_segments
+    return 2e-5 + 5e-7 * s.n_segments + 3e-10 * s.values
+
+
+@pytest.fixture(autouse=True)
+def _isolated_profile(monkeypatch, tmp_path):
+    """Every test sees no pre-existing profile and leaves no cache."""
+    monkeypatch.setenv(COST_PROFILE_ENV, str(tmp_path / "profile.json"))
+    reset_cost_model_cache()
+    yield
+    reset_cost_model_cache()
+
+
+class TestWorkloads:
+    def test_grid_spans_the_separating_regimes(self):
+        grid = workloads()
+        shapes = [wl.shape for wl in grid]
+        # uniform chunks (one distinct degree) and high-distinct chunks
+        assert any(s.n_distinct == 1 for s in shapes)
+        assert any(s.n_distinct >= 32 for s in shapes)
+        # narrow and wide features
+        widths = {s.width for s in shapes}
+        assert 1 in widths and max(widths) >= 64
+
+    def test_materialize_matches_shape(self):
+        wl = Workload("t", np.array([3, 0, 2, 3]), width=4)
+        acc, seg, msgs = wl.materialize()
+        assert wl.shape == ChunkShape(n_edges=8, n_segments=3,
+                                      n_distinct=2, width=4)
+        assert msgs.shape == (8, 4)
+        assert acc.shape == (3, 4)
+        assert seg.starts.tolist() == [0, 3, 5]
+
+    def test_measure_combine_runs_real_strategies(self):
+        wl = Workload("t", np.tile(np.arange(1, 5), 8), width=2)
+        for name in ("reduceat", "bucketed"):
+            assert measure_combine(name, wl, repeats=1) > 0
+
+
+class TestFit:
+    def test_fit_recovers_known_coefficients(self):
+        true = StrategyCost(per_call=1e-4, per_value=2e-9,
+                            per_segment=3e-7, per_distinct=5e-6)
+        samples = [(wl.shape, true.seconds(wl.shape)) for wl in workloads()]
+        fitted = fit_costs(samples, "reduceat", workers=1)
+        for field in ("per_call", "per_value", "per_segment", "per_distinct"):
+            assert getattr(fitted, field) == pytest.approx(
+                getattr(true, field), rel=1e-3, abs=1e-12)
+
+    def test_fit_never_returns_negative_coefficients(self):
+        # Timings that anti-correlate with n_distinct: a plain lstsq would
+        # fit per_distinct < 0; the active-set NNLS must drop the column
+        # and refit instead of clamping (which distorts the survivors).
+        samples = [(wl.shape,
+                    1e-4 + 1e-9 * wl.shape.values
+                    - 1e-7 * wl.shape.n_distinct)
+                   for wl in workloads()]
+        fitted = fit_costs(samples, "reduceat", workers=1)
+        assert fitted.per_distinct == 0.0
+        assert fitted.per_call >= 0 and fitted.per_value >= 0
+        assert fitted.per_segment >= 0
+        # the surviving fit still tracks the dominant terms
+        for wl in workloads():
+            got = fitted.seconds(wl.shape)
+            want = 1e-4 + 1e-9 * wl.shape.values
+            assert got == pytest.approx(want, rel=0.05)
+
+
+class TestCalibrateDeterminism:
+    def test_same_measure_same_profile_bytes(self, tmp_path):
+        a = calibrate(measure=_synthetic_measure)
+        b = calibrate(measure=_synthetic_measure)
+        assert a.as_dict() == b.as_dict()
+        pa = save_profile(a, tmp_path / "a.json")
+        pb = save_profile(b, tmp_path / "b.json")
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_profile_round_trips_through_load(self, tmp_path):
+        model = calibrate(measure=_synthetic_measure)
+        path = save_profile(model, tmp_path / "p.json")
+        loaded = load_profile(path)
+        assert loaded is not None
+        assert loaded.costs.keys() == model.costs.keys()
+        shape = ChunkShape(2048, 512, 4, 64)
+        for name in model.costs:
+            assert loaded.predict(name, shape, workers=2) == pytest.approx(
+                model.predict(name, shape, workers=2))
+
+    def test_parallel_skipped_on_single_worker_pool(self):
+        class OnePool:
+            num_workers = 1
+        model = calibrate(measure=_synthetic_measure, pool=OnePool())
+        assert "parallel" not in model.costs
+        assert {"reduceat", "bucketed"} <= set(model.costs)
+
+
+class TestColdStart:
+    def test_missing_profile_means_no_model(self):
+        assert cost_model() is None
+
+    def test_heuristics_apply_without_profile(self):
+        # the hand-tuned thresholds, not a model, decide on cold start
+        assert select_strategy(np.full(4096, 8), 16) == "bucketed"
+        assert select_strategy(np.arange(1, 40), 1) == "reduceat"
+
+    def test_corrupt_profile_rejected(self, tmp_path):
+        path = tmp_path / "profile.json"
+        for garbage in ("not json{", "[1, 2]", '{"version": 1}',
+                        json.dumps({"version": COST_PROFILE_VERSION,
+                                    "cpu_count": os.cpu_count(),
+                                    "numpy": np.__version__,
+                                    "coefficients": {"bucketed": {}}})):
+            path.write_text(garbage)
+            assert load_profile(path) is None
+            reset_cost_model_cache()
+            assert cost_model() is None
+
+    def test_stale_profile_rejected(self, tmp_path):
+        model = calibrate(measure=_synthetic_measure)
+        path = save_profile(model, tmp_path / "profile.json")
+        assert load_profile(path) is not None
+
+        data = json.loads(path.read_text())
+        for key, wrong in (("cpu_count", (os.cpu_count() or 1) + 64),
+                           ("numpy", "0.0.0"),
+                           ("version", COST_PROFILE_VERSION + 1)):
+            stale = {**data, key: wrong}
+            path.write_text(json.dumps(stale))
+            assert load_profile(path) is None, f"stale {key} accepted"
+        path.write_text(json.dumps(data))
+        assert load_profile(path) is not None
+
+
+class TestMonotonicity:
+    def test_predictions_monotone_in_every_statistic(self):
+        model = calibrate(measure=_synthetic_measure)
+        base = ChunkShape(n_edges=4096, n_segments=512, n_distinct=8,
+                          width=16)
+        grown = [
+            ChunkShape(8192, 512, 8, 16),   # more edges
+            ChunkShape(4096, 1024, 8, 16),  # more segments
+            ChunkShape(4096, 512, 32, 16),  # more distinct degrees
+            ChunkShape(4096, 512, 8, 64),   # wider features
+        ]
+        for name in model.costs:
+            lo = model.predict(name, base, workers=4)
+            for shape in grown:
+                assert model.predict(name, shape, workers=4) >= lo
+
+    def test_negative_coefficients_clamped_at_load(self, tmp_path):
+        path = tmp_path / "profile.json"
+        payload = {
+            "version": COST_PROFILE_VERSION,
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "coefficients": {
+                "reduceat": {"per_call": 1e-5, "per_value": -1e-9,
+                             "per_segment": 1e-7, "per_distinct": 0.0},
+            },
+        }
+        path.write_text(json.dumps(payload))
+        model = load_profile(path)
+        assert model is not None
+        narrow = ChunkShape(1024, 128, 4, 1)
+        wide = ChunkShape(1024, 128, 4, 64)
+        assert model.predict("reduceat", wide) >= \
+            model.predict("reduceat", narrow)
+
+
+class TestCLI:
+    def test_calibrate_write_then_check(self, tmp_path, capsys):
+        path = tmp_path / "cli.json"
+        # tiny repeats: the CLI runs the real microbenchmarks
+        assert calibrate_main(["--output", str(path), "--repeats", "1"]) == 0
+        assert calibrate_main(["--output", str(path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated" in out and "OK: profile" in out
+
+    def test_check_fails_without_profile(self, tmp_path, capsys):
+        assert calibrate_main(
+            ["--output", str(tmp_path / "none.json"), "--check"]) == 1
+        assert "FAIL" in capsys.readouterr().out

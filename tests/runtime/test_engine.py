@@ -136,6 +136,18 @@ class TestChunkCtx:
 
 
 class TestStrategySelection:
+    @pytest.fixture(autouse=True)
+    def _no_cost_profile(self, monkeypatch, tmp_path):
+        # These tests assert the hand-tuned cold-start thresholds; a real
+        # calibrated profile on this machine must not perturb them.
+        from repro.core.cost import COST_PROFILE_ENV
+        from repro.runtime.strategies import reset_cost_model_cache
+
+        monkeypatch.setenv(COST_PROFILE_ENV, str(tmp_path / "absent.json"))
+        reset_cost_model_cache()
+        yield
+        reset_cost_model_cache()
+
     def test_auto_prefers_bucketed_on_regular_graphs(self):
         degrees = np.full(4096, 8)  # one distinct degree, plenty of work
         assert select_strategy(degrees, 16) == "bucketed"
