@@ -37,6 +37,8 @@ class GCN(Module):
         self.conv1 = GCNConv(in_dim, hidden, rng=rng)
         self.conv2 = GCNConv(hidden, num_classes, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
+        #: logits width -- lets harnesses shape empty/zero-seed outputs
+        self.out_dim = num_classes
 
     def forward(self, graph: Graph, x: Tensor, backend) -> Tensor:
         h = self.conv1(graph, x, backend).relu()
@@ -65,6 +67,7 @@ class GraphSage(Module):
         self.conv1 = SAGEConv(in_dim, hidden, rng=rng)
         self.conv2 = SAGEConv(hidden, num_classes, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
+        self.out_dim = num_classes
 
     def forward(self, graph: Graph, x: Tensor, backend) -> Tensor:
         h = self.conv1(graph, x, backend).relu()
@@ -94,6 +97,7 @@ class GAT(Module):
         # final layer: single head onto the class logits
         self.conv2 = GATConv(hidden, num_classes, num_heads=1, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
+        self.out_dim = num_classes
 
     def forward(self, graph: Graph, x: Tensor, backend) -> Tensor:
         h = self.conv1(graph, x, backend).elu()
@@ -132,6 +136,7 @@ class APPNP(Module):
         self.lin1 = Linear(in_dim, hidden, rng=rng)
         self.lin2 = Linear(hidden, num_classes, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
+        self.out_dim = num_classes
         self.k_hops = k_hops
         self.alpha = alpha
 

@@ -327,21 +327,30 @@ class BlockLoader:
         out: "queue.Queue" = queue.Queue(maxsize=self.prefetch)
         stop = threading.Event()
 
+        def put_or_stop(msg) -> bool:
+            """Offer ``msg`` to the queue, giving up once the consumer has
+            stopped.  Every producer-side put -- items, the terminal "end",
+            and error propagation -- must go through this: an unconditional
+            ``out.put`` blocks forever when the consumer abandoned the loop
+            with the queue full, leaking the thread (and, with a ``pool``,
+            deadlocking the consumer's ``finally: future.result()``)."""
+            while not stop.is_set():
+                try:
+                    out.put(msg, timeout=0.1)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
         def produce():
             try:
                 for seeds in self._batches():
                     blocks = self._sample(seeds)
-                    while not stop.is_set():
-                        try:
-                            out.put(("item", (seeds, blocks)), timeout=0.1)
-                            break
-                        except queue.Full:
-                            continue
-                    if stop.is_set():
+                    if not put_or_stop(("item", (seeds, blocks))):
                         return
-                out.put(("end", None))
+                put_or_stop(("end", None))
             except BaseException as exc:  # propagate to the consumer
-                out.put(("error", exc))
+                put_or_stop(("error", exc))
 
         if self.pool is not None:
             future = self.pool.submit(produce)

@@ -192,8 +192,17 @@ def infer_minibatch(model, dataset: Dataset, backend,
 
     ``fanouts=None`` uses full neighborhoods (every edge kept, no
     randomness), the standard way to evaluate a sampled-trained model.
-    Logits rows align with ``ids`` order.
+    Logits rows align with ``ids`` order.  Empty ``ids`` return a
+    ``(0, num_classes)`` logits array (and ``0.0`` seconds) instead of
+    crashing in ``np.concatenate`` -- callers batching arbitrary id sets
+    (the serving layer, mask-driven evaluation) rely on this.
     """
+    ids = np.asarray(ids, dtype=np.int64)
+    if len(ids) == 0:
+        width = getattr(model, "out_dim", None)
+        if width is None and dataset.labels is not None:
+            width = int(dataset.labels.max()) + 1
+        return np.zeros((0, int(width or 0)), dtype=np.float32), 0.0
     if fanouts is None:
         fanouts = [_FULL_NEIGHBORHOOD] * getattr(model, "num_block_layers", 2)
     loader = BlockLoader(dataset.adj, ids, batch_size, list(fanouts),

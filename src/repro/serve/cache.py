@@ -1,0 +1,119 @@
+"""Hot feature-row cache for the serving layer (docs/serving.md).
+
+Online inference gathers the feature rows of every sampled block's source
+frontier (:meth:`Block.gather_src_features`).  Under a request workload
+those gathers are highly skewed -- hub vertices land in nearly every
+frontier -- so the serving layer fronts the global feature matrix with a
+pinned-budget row cache, modeled on DGL's frame cache: a fixed byte budget
+is carved into feature-row slots, rows are filled on miss, and the least
+recently used row is evicted when the budget is full.
+
+The cache is deliberately simple and single-writer: only the service's
+batcher thread calls :meth:`gather`, so lookups need no lock (readers of
+:meth:`stats` see monotonic counters under the GIL).  The hit path is
+vectorized -- one ``slot_of`` table lookup per gather plus fancy-indexed
+copies -- and only LRU bookkeeping touches Python per row.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["FeatureCache"]
+
+
+class FeatureCache:
+    """LRU cache of feature rows under a pinned byte budget.
+
+    ``budget_bytes`` is divided into ``capacity_rows`` fixed-size slots of
+    one feature row each; a budget smaller than a single row is rejected.
+    ``gather(ids)`` returns ``features[ids]`` row-for-row, serving hits
+    from the pinned buffer and filling misses from the backing matrix.
+    """
+
+    def __init__(self, features: np.ndarray, budget_bytes: int):
+        features = np.asarray(features)
+        if features.ndim < 2:
+            raise ValueError("features must be (num_vertices, ...) rows")
+        row_bytes = int(features.dtype.itemsize
+                        * int(np.prod(features.shape[1:])))
+        capacity = int(budget_bytes // row_bytes) if row_bytes else 0
+        if capacity < 1:
+            raise ValueError(
+                f"budget_bytes={budget_bytes} holds no feature row "
+                f"(row_bytes={row_bytes})")
+        self._features = features
+        self.budget_bytes = int(budget_bytes)
+        self.row_bytes = row_bytes
+        self.capacity_rows = capacity
+        self._buf = np.empty((capacity,) + features.shape[1:],
+                             dtype=features.dtype)
+        #: vertex id -> slot in ``_buf``; -1 when not cached
+        self._slot_of = np.full(features.shape[0], -1, dtype=np.int64)
+        #: insertion/recency order; maps vertex id -> slot
+        self._lru: "OrderedDict[int, int]" = OrderedDict()
+        self._next_slot = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def gather(self, ids: np.ndarray) -> np.ndarray:
+        """Return the feature rows of ``ids`` (in order), through the cache."""
+        ids = np.asarray(ids, dtype=np.int64)
+        out = np.empty((len(ids),) + self._buf.shape[1:],
+                       dtype=self._buf.dtype)
+        if len(ids) == 0:
+            return out
+        slots = self._slot_of[ids]
+        hit = slots >= 0
+        if hit.any():
+            out[hit] = self._buf[slots[hit]]
+            for vid in ids[hit].tolist():
+                self._lru.move_to_end(vid)
+            self.hits += int(hit.sum())
+        miss_ids = ids[~hit]
+        if len(miss_ids):
+            rows = self._features[miss_ids]
+            out[~hit] = rows
+            for vid, row in zip(miss_ids.tolist(), rows):
+                self._insert(vid, row)
+            self.misses += len(miss_ids)
+        return out
+
+    def _insert(self, vid: int, row: np.ndarray) -> None:
+        if self._slot_of[vid] >= 0:  # duplicate id within one gather
+            self._lru.move_to_end(vid)
+            return
+        if len(self._lru) >= self.capacity_rows:
+            old, slot = self._lru.popitem(last=False)
+            self._slot_of[old] = -1
+            self.evictions += 1
+        else:
+            slot = self._next_slot
+            self._next_slot += 1
+        self._buf[slot] = row
+        self._slot_of[vid] = slot
+        self._lru[vid] = slot
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "budget_bytes": self.budget_bytes,
+            "row_bytes": self.row_bytes,
+            "capacity_rows": self.capacity_rows,
+            "rows": len(self._lru),
+            "bytes_pinned": len(self._lru) * self.row_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

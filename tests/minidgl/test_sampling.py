@@ -1,5 +1,8 @@
 """Neighbor-sampling and mini-batch tests."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -351,3 +354,97 @@ class TestBlockLoader:
         assert loader.batches_produced == len(out) == 4
         assert loader.sample_seconds > 0
         assert loader.wait_seconds >= 0
+
+
+class TestBlockLoaderShutdown:
+    """Regression (PR-10): the producer's terminal ``end``/``error`` puts
+    must be stop-aware.  Pre-fix, a consumer that left the loop mid-epoch
+    with the queue full stranded the producer forever in
+    ``out.put(("end", None))`` -- a leaked thread on the thread backend and,
+    with a ``pool``, a consumer deadlock in the generator's
+    ``finally: future.result()``.
+    """
+
+    def _make_loader(self, graph, pool=None):
+        from repro.minidgl.sampling import BlockLoader
+
+        # exactly 2 batches with prefetch=1: after the consumer takes batch
+        # 1, the producer re-fills the depth-1 queue with batch 2 and its
+        # next put is the terminal "end" -- the pre-fix hang site
+        return BlockLoader(graph, np.arange(20), 10, [3],
+                           rng=np.random.default_rng(1), prefetch=1,
+                           shuffle=False, pool=pool)
+
+    def _wait_until_end_put(self, loader, timeout=5.0):
+        """Block until the producer has sampled every batch (its next queue
+        offer is the terminal put)."""
+        deadline = time.time() + timeout
+        while loader.batches_produced < 2:
+            assert time.time() < deadline, "producer never reached batch 2"
+            time.sleep(0.005)
+        time.sleep(0.05)  # let it advance from sampling to the put itself
+
+    def _no_producer_threads(self, timeout=5.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if not [t for t in threading.enumerate()
+                    if t.name == "repro-block-loader"]:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def test_early_break_releases_thread_producer(self, graph):
+        assert self._no_producer_threads(), "stale producers from other tests"
+        loader = self._make_loader(graph)
+        it = iter(loader)
+        next(it)
+        self._wait_until_end_put(loader)
+        it.close()  # abandon the epoch with the queue full
+        assert self._no_producer_threads(), \
+            "producer thread still blocked on its terminal put"
+
+    def test_early_break_with_pool_does_not_deadlock(self, graph):
+        from repro.tensorir.runtime import WorkPool
+
+        done = threading.Event()
+
+        def consume():
+            with WorkPool(1) as pool:
+                loader = self._make_loader(graph, pool=pool)
+                it = iter(loader)
+                next(it)
+                self._wait_until_end_put(loader)
+                it.close()  # pre-fix: deadlocks in finally future.result()
+            done.set()
+
+        t = threading.Thread(target=consume, daemon=True)
+        t.start()
+        t.join(10.0)
+        assert done.is_set(), \
+            "early break deadlocked the consumer with a pool producer"
+
+
+class TestEmptyIdsContract:
+    """Empty ``ids`` are a no-op epoch: ``__len__`` is 0 and iteration
+    yields nothing, for both ``drop_last`` values and all producer modes
+    (pinned by PR-10 alongside the serving layer, which feeds arbitrary
+    request-derived id sets to the loaders)."""
+
+    @pytest.mark.parametrize("drop_last", [False, True])
+    def test_minibatches_yield_nothing(self, drop_last):
+        empty = np.array([], dtype=np.int64)
+        assert list(minibatches(empty, 4, drop_last=drop_last)) == []
+        assert list(minibatches(empty, 4, rng=np.random.default_rng(0),
+                                drop_last=drop_last)) == []
+
+    @pytest.mark.parametrize("drop_last", [False, True])
+    @pytest.mark.parametrize("prefetch", [0, 2])
+    def test_loader_len_agrees_with_iteration(self, graph, drop_last,
+                                              prefetch):
+        from repro.minidgl.sampling import BlockLoader
+
+        loader = BlockLoader(graph, np.array([], dtype=np.int64), 4, [2],
+                             rng=np.random.default_rng(0), prefetch=prefetch,
+                             drop_last=drop_last)
+        assert len(loader) == 0
+        assert list(loader) == []

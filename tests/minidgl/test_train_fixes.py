@@ -127,3 +127,36 @@ class TestMinibatchHarness:
         with pytest.raises(ValueError):
             train_minibatch(GraphSage(16, 4, hidden=8), ds,
                             get_backend("featgraph"))
+
+
+class TestInferMinibatchEmptyIds:
+    """Regression (PR-10): empty ``ids`` crashed ``infer_minibatch`` in
+    ``np.concatenate([])``; the contract is a ``(0, num_classes)`` logits
+    array and ``0.0`` seconds."""
+
+    def test_empty_ids_return_zero_row_logits(self, dataset):
+        model = GCN(16, 4, hidden=8, dropout=0.0, seed=0)
+        logits, seconds = infer_minibatch(
+            model, dataset, get_backend("featgraph"),
+            np.array([], dtype=np.int64))
+        assert logits.shape == (0, 4)
+        assert logits.dtype == np.float32
+        assert seconds == 0.0
+
+    def test_models_expose_out_dim(self):
+        from repro.minidgl.models import APPNP, GAT, GraphSage
+
+        assert GCN(16, 4, hidden=8).out_dim == 4
+        assert GraphSage(16, 5, hidden=8).out_dim == 5
+        assert GAT(16, 3, hidden=8).out_dim == 3
+        assert APPNP(16, 6, hidden=8).out_dim == 6
+
+    def test_empty_ids_width_falls_back_to_labels(self, dataset):
+        """Models without ``out_dim`` still get a correctly-shaped result
+        via the dataset's label count."""
+        model = GCN(16, 4, hidden=8, dropout=0.0, seed=0)
+        del model.out_dim
+        logits, _ = infer_minibatch(model, dataset,
+                                    get_backend("featgraph"),
+                                    np.array([], dtype=np.int64))
+        assert logits.shape == (0, 4)

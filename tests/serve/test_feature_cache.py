@@ -1,0 +1,79 @@
+"""Unit tests for the pinned-budget LRU feature-row cache."""
+
+import numpy as np
+import pytest
+
+from repro.serve import FeatureCache
+
+
+@pytest.fixture()
+def features():
+    return np.arange(80, dtype=np.float32).reshape(20, 4)  # 16 B per row
+
+
+class TestGatherCorrectness:
+    def test_rows_match_direct_indexing(self, features):
+        cache = FeatureCache(features, budget_bytes=8 * 16)
+        ids = np.array([3, 0, 7, 3, 19])
+        assert np.array_equal(cache.gather(ids), features[ids])
+        # second pass: same rows, now (partly) from the pinned buffer
+        assert np.array_equal(cache.gather(ids), features[ids])
+        assert cache.hits > 0
+
+    def test_empty_gather(self, features):
+        cache = FeatureCache(features, budget_bytes=16)
+        assert cache.gather(np.array([], dtype=np.int64)).shape == (0, 4)
+
+    def test_duplicate_ids_within_one_gather(self, features):
+        cache = FeatureCache(features, budget_bytes=4 * 16)
+        ids = np.array([5, 5, 5])
+        assert np.array_equal(cache.gather(ids), features[ids])
+        assert len(cache) == 1
+
+    def test_rows_correct_across_eviction_churn(self, features):
+        """Every gather returns exact rows even when the working set is far
+        larger than the budget."""
+        cache = FeatureCache(features, budget_bytes=3 * 16)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            ids = rng.integers(0, 20, size=6)
+            assert np.array_equal(cache.gather(ids), features[ids])
+
+
+class TestBudgetAndEviction:
+    def test_capacity_from_byte_budget(self, features):
+        cache = FeatureCache(features, budget_bytes=5 * 16 + 7)
+        assert cache.capacity_rows == 5  # partial row does not count
+
+    def test_budget_below_one_row_rejected(self, features):
+        with pytest.raises(ValueError):
+            FeatureCache(features, budget_bytes=15)
+
+    def test_rows_never_exceed_capacity(self, features):
+        cache = FeatureCache(features, budget_bytes=4 * 16)
+        cache.gather(np.arange(20))
+        assert len(cache) == 4
+        assert cache.stats()["bytes_pinned"] == 4 * 16
+        assert cache.evictions == 16
+
+    def test_lru_eviction_order(self, features):
+        cache = FeatureCache(features, budget_bytes=2 * 16)
+        cache.gather(np.array([0]))
+        cache.gather(np.array([1]))
+        cache.gather(np.array([0]))  # touch 0: now 1 is least recent
+        cache.gather(np.array([2]))  # evicts 1, keeps 0
+        assert cache._slot_of[0] >= 0
+        assert cache._slot_of[1] == -1
+        assert cache._slot_of[2] >= 0
+
+
+class TestAccounting:
+    def test_hit_miss_counters(self, features):
+        cache = FeatureCache(features, budget_bytes=8 * 16)
+        cache.gather(np.array([1, 2, 3]))
+        assert (cache.hits, cache.misses) == (0, 3)
+        cache.gather(np.array([2, 3, 4]))
+        assert (cache.hits, cache.misses) == (2, 4)
+        stats = cache.stats()
+        assert stats["hit_rate"] == pytest.approx(2 / 6)
+        assert stats["rows"] == 4
